@@ -1,0 +1,96 @@
+// Ablation A2 — partitioning heuristics and scheduler budget.
+//
+// DESIGN.md calls out two load-bearing choices in the partitioner: the
+// cluster-selection heuristic (affinity vs load-balance vs first-fit) and
+// IMS's backtracking budget.  This bench quantifies both on the clustered
+// machines, using the same-II-as-single-cluster criterion of Fig. 6.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace qvliw {
+namespace {
+
+struct Outcome {
+  double same_ii = 0.0;
+  double mean_ratio = 0.0;
+  double failed = 0.0;
+};
+
+Outcome compare(const std::vector<LoopResult>& rs, const std::vector<LoopResult>& rc) {
+  int comparable = 0;
+  int same = 0;
+  int failed = 0;
+  OnlineStats ratio;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (!rs[i].ok) continue;
+    if (!rc[i].ok) {
+      ++failed;
+      continue;
+    }
+    ++comparable;
+    if (rc[i].ii <= rs[i].ii) ++same;
+    ratio.add(static_cast<double>(rc[i].ii) / rs[i].ii);
+  }
+  Outcome out;
+  const double n = comparable > 0 ? static_cast<double>(comparable) : 1.0;
+  const double all = static_cast<double>(comparable + failed);
+  out.same_ii = same / n;
+  out.mean_ratio = ratio.mean();
+  out.failed = all > 0 ? failed / all : 0.0;
+  return out;
+}
+
+int run() {
+  print_banner(std::cout, "Ablation A2 — cluster heuristic and IMS budget",
+               "affinity ordering and a budget ratio of ~6 carry the Fig. 6 result");
+  const Suite suite = bench::make_suite();
+  bench::print_suite_line(std::cout, suite);
+
+  PipelineOptions base;
+  base.unroll = true;
+  base.max_unroll = bench::max_unroll();
+
+  std::cout << "Cluster-selection heuristic (same-II fraction vs single cluster):\n";
+  TextTable heuristic_table({"clusters", "heuristic", "same II", "mean II ratio", "unschedulable"});
+  for (int clusters : {4, 6}) {
+    const MachineConfig single = MachineConfig::single_cluster_machine(3 * clusters);
+    const MachineConfig ring = MachineConfig::clustered_machine(clusters);
+    const auto rs = run_suite(suite.loops, single, base);
+    for (const auto heuristic : {ClusterHeuristic::kAffinity, ClusterHeuristic::kLoadBalance,
+                                 ClusterHeuristic::kFirstFit}) {
+      PipelineOptions options = base;
+      options.scheduler = SchedulerKind::kClustered;
+      options.heuristic = heuristic;
+      const Outcome out = compare(rs, run_suite(suite.loops, ring, options));
+      heuristic_table.add_row({cat(clusters), std::string(cluster_heuristic_name(heuristic)),
+                               percent(out.same_ii), out.mean_ratio, percent(out.failed)});
+    }
+  }
+  heuristic_table.render(std::cout);
+
+  std::cout << "\nIMS backtracking budget (4 clusters, affinity):\n";
+  TextTable budget_table({"budget ratio", "same II", "mean II ratio", "unschedulable"});
+  {
+    const MachineConfig single = MachineConfig::single_cluster_machine(12);
+    const MachineConfig ring = MachineConfig::clustered_machine(4);
+    const auto rs = run_suite(suite.loops, single, base);
+    for (int budget : {1, 2, 6, 12}) {
+      PipelineOptions options = base;
+      options.scheduler = SchedulerKind::kClustered;
+      options.ims.budget_ratio = budget;
+      const Outcome out = compare(rs, run_suite(suite.loops, ring, options));
+      budget_table.add_row(
+          {cat(budget, "x"), percent(out.same_ii), out.mean_ratio, percent(out.failed)});
+    }
+  }
+  budget_table.render(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qvliw
+
+int main() { return qvliw::run(); }

@@ -1,0 +1,75 @@
+// Ablation A1 — move operations for non-adjacent transfers.
+//
+// The paper's conclusion proposes `move` operations so values can cross
+// intermediate clusters, predicting that the 5/6-cluster degradation of
+// Fig. 6 disappears.  This bench measures exactly that prediction with
+// the routed partitioner (cluster/route.h): same-II fraction against the
+// single-cluster machine, with and without move routing.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace qvliw {
+namespace {
+
+int run() {
+  print_banner(std::cout, "Ablation A1 — multi-hop routing via move ops (paper's future work)",
+               "moves should recover the 5/6-cluster same-II loss of Fig. 6");
+  const Suite suite = bench::make_suite();
+  bench::print_suite_line(std::cout, suite);
+
+  TextTable table({"clusters", "scheme", "same II", "II +1", "II +2 or more", "unschedulable",
+                   "mean moves"});
+  for (int clusters : {4, 5, 6}) {
+    const MachineConfig single = MachineConfig::single_cluster_machine(3 * clusters);
+    const MachineConfig ring = MachineConfig::clustered_machine(clusters);
+
+    PipelineOptions base;
+    base.unroll = true;
+    base.max_unroll = bench::max_unroll();
+    const auto rs = run_suite(suite.loops, single, base);
+
+    for (const SchedulerKind scheduler :
+         {SchedulerKind::kClustered, SchedulerKind::kClusteredMoves}) {
+      PipelineOptions ring_options = base;
+      ring_options.scheduler = scheduler;
+      const auto rc = run_suite(suite.loops, ring, ring_options);
+
+      int comparable = 0;
+      int same = 0;
+      int plus_one = 0;
+      int plus_more = 0;
+      int failed = 0;
+      OnlineStats moves;
+      for (std::size_t i = 0; i < rs.size(); ++i) {
+        if (!rs[i].ok) continue;
+        if (!rc[i].ok) {
+          ++failed;
+          continue;
+        }
+        ++comparable;
+        const int delta = rc[i].ii - rs[i].ii;
+        if (delta <= 0) ++same;
+        else if (delta == 1) ++plus_one;
+        else ++plus_more;
+        moves.add(rc[i].moves);
+      }
+      const double n = comparable > 0 ? static_cast<double>(comparable) : 1.0;
+      const double all = static_cast<double>(comparable + failed);
+      table.add_row({cat(clusters),
+                     scheduler == SchedulerKind::kClustered ? std::string("adjacent-only")
+                                                            : std::string("with moves"),
+                     percent(same / n), percent(plus_one / n), percent(plus_more / n),
+                     percent(all > 0 ? failed / all : 0.0), moves.mean()});
+    }
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qvliw
+
+int main() { return qvliw::run(); }

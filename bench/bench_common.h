@@ -1,0 +1,45 @@
+// Shared plumbing for the figure-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/suite.h"
+
+namespace qvliw::bench {
+
+/// Suite size: the paper's 1258 loops by default; override with
+/// QVLIW_LOOPS=<n> for quick runs.
+inline int suite_size() {
+  if (const char* env = std::getenv("QVLIW_LOOPS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1258;
+}
+
+/// Unroll search bound (QVLIW_MAX_UNROLL, default 8 as in the library).
+inline int max_unroll() {
+  if (const char* env = std::getenv("QVLIW_MAX_UNROLL")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 8;
+}
+
+inline Suite make_suite() {
+  SynthConfig config;
+  config.loops = suite_size();
+  return full_suite(config);
+}
+
+inline void print_suite_line(std::ostream& os, const Suite& suite) {
+  os << "suite: " << suite.loops.size() << " loops (" << suite.kernel_count
+     << " hand-written kernels + " << suite.loops.size() - static_cast<std::size_t>(suite.kernel_count)
+     << " calibrated synthetic); override size with QVLIW_LOOPS=<n>\n\n";
+}
+
+}  // namespace qvliw::bench

@@ -1,0 +1,88 @@
+// Fig. 3 — "Number of Queues".
+//
+// Paper: with copy operations enabled, the fraction of benchmark loops
+// schedulable with 4 / 8 / 16 / 32 queues on machines of 4, 6 and 12 FUs;
+// 32 queues cover the overwhelming majority of loops on every machine,
+// and copy insertion does not significantly increase queue demand.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace qvliw {
+namespace {
+
+int run() {
+  using bench::make_suite;
+  print_banner(std::cout, "Fig. 3 — queue requirements (4/6/12 FU machines, copy ops)",
+               "32 queues schedule most loops; copies barely move the demand");
+  const Suite suite = make_suite();
+  bench::print_suite_line(std::cout, suite);
+
+  const std::vector<int> bounds = {4, 8, 16, 32};
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> series;
+
+  for (int fus : {4, 6, 12}) {
+    const MachineConfig machine = MachineConfig::single_cluster_machine(fus);
+    PipelineOptions options;  // copies on (default), no unrolling (Sec. 2 setup)
+    const auto results = run_suite(suite.loops, machine, options);
+    labels.push_back(std::to_string(fus) + " FUs");
+    series.push_back(
+        cumulative_fractions(results, bounds, [](const LoopResult& r) { return r.total_queues; }));
+    std::cout << "  " << fus << " FUs: scheduled " << percent(fraction_ok(results))
+              << " of loops\n";
+  }
+  std::cout << "\n% of scheduled loops fitting in <= Q queues (cumulative):\n";
+  print_cumulative_table(std::cout, bounds, labels, series, "Queues");
+
+  // Copy-op effect on queue demand (the paper's side observation).
+  std::cout << "\nCopy-op effect on queue demand (12 FUs):\n";
+  const MachineConfig machine = MachineConfig::single_cluster_machine(12);
+  PipelineOptions with;
+  PipelineOptions without;
+  without.insert_copies = false;
+  const auto rw = run_suite(suite.loops, machine, with);
+  const auto ro = run_suite(suite.loops, machine, without);
+  TextTable table({"variant", "mean queues", "p95 queues", "<=32 queues"});
+  auto add = [&](const std::string& label, const std::vector<LoopResult>& results) {
+    std::vector<double> queues;
+    for (const LoopResult& r : results) {
+      if (r.ok) queues.push_back(r.total_queues);
+    }
+    table.add_row({label, mean(queues), percentile(queues, 95),
+                   percent(fraction_of_scheduled(
+                       results, [](const LoopResult& r) { return r.total_queues <= 32; }))});
+  };
+  add("with copy ops", rw);
+  add("no copy ops (multi-write QRF baseline)", ro);
+  table.render(std::cout);
+
+  // II cost of a finite QRF: enforce the queue budget by escalating the II
+  // (the scheduling-side alternative to spill code for small files).
+  std::cout << "\nII cost of enforcing a finite queue file (6 FUs):\n";
+  TextTable fit_table({"queues", "loops fitting", "mean II inflation", "mean retries"});
+  for (int queues : {4, 8, 16, 32}) {
+    MachineConfig constrained = MachineConfig::single_cluster_machine(6, queues);
+    PipelineOptions options;
+    options.enforce_queue_limits = true;
+    const auto results = run_suite(suite.loops, constrained, options);
+    OnlineStats inflation;
+    OnlineStats retries;
+    for (const LoopResult& r : results) {
+      if (!r.ok) continue;
+      inflation.add(static_cast<double>(r.ii) / r.mii);
+      retries.add(r.queue_fit_retries);
+    }
+    fit_table.add_row({static_cast<std::int64_t>(queues), percent(fraction_ok(results)),
+                       inflation.mean(), retries.mean()});
+  }
+  fit_table.render(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qvliw
+
+int main() { return qvliw::run(); }

@@ -1,0 +1,76 @@
+// Fig. 6 — "Initiation Interval Variation" under partitioning.
+//
+// Paper: fraction of loops whose partitioned schedule on a clustered
+// machine keeps the II of the corresponding single-cluster machine:
+// ~95% at 4 clusters (12 FUs), ~84% at 5 (15 FUs), ~52% at 6 (18 FUs);
+// when the II grows it is typically by one cycle.  Loop unrolling is
+// applied throughout, and the degradation is attributed to the inability
+// to move values between non-adjacent clusters.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace qvliw {
+namespace {
+
+int run() {
+  print_banner(std::cout, "Fig. 6 — partitioned II vs single-cluster II (4/5/6 clusters)",
+               "same II for ~95% / 84% / 52% of loops; misses typically +1 cycle");
+  const Suite suite = bench::make_suite();
+  bench::print_suite_line(std::cout, suite);
+
+  TextTable table({"clusters", "FUs", "same II", "II +1", "II +2 or more", "unschedulable",
+                   "mean II ratio", "same SC"});
+  for (int clusters : {4, 5, 6}) {
+    const MachineConfig single = MachineConfig::single_cluster_machine(3 * clusters);
+    const MachineConfig ring = MachineConfig::clustered_machine(clusters);
+
+    PipelineOptions single_options;
+    single_options.unroll = true;
+    single_options.max_unroll = bench::max_unroll();
+    PipelineOptions ring_options = single_options;
+    ring_options.scheduler = SchedulerKind::kClustered;
+
+    const auto rs = run_suite(suite.loops, single, single_options);
+    const auto rc = run_suite(suite.loops, ring, ring_options);
+
+    int comparable = 0;
+    int same = 0;
+    int plus_one = 0;
+    int plus_more = 0;
+    int failed = 0;
+    int same_sc = 0;
+    OnlineStats ratio;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (!rs[i].ok) continue;
+      if (!rc[i].ok) {
+        ++failed;
+        continue;
+      }
+      ++comparable;
+      const int delta = rc[i].ii - rs[i].ii;
+      if (delta <= 0) ++same;
+      else if (delta == 1) ++plus_one;
+      else ++plus_more;
+      if (rc[i].stage_count == rs[i].stage_count) ++same_sc;
+      ratio.add(static_cast<double>(rc[i].ii) / rs[i].ii);
+    }
+    const double n = comparable > 0 ? static_cast<double>(comparable) : 1.0;
+    const double all = static_cast<double>(comparable + failed);
+    table.add_row({cat(clusters), cat(3 * clusters), percent(same / n), percent(plus_one / n),
+                   percent(plus_more / n), percent(all > 0 ? failed / all : 0.0), ratio.mean(),
+                   percent(same_sc / n)});
+  }
+  table.render(std::cout);
+  std::cout << "\nBoth sides use identical FU totals, copy insertion and the same\n"
+               "unroll-factor policy; the clustered side adds only the ring-adjacency\n"
+               "communication constraint (the paper's base partitioning scheme).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace qvliw
+
+int main() { return qvliw::run(); }

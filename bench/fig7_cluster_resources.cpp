@@ -1,0 +1,65 @@
+// Fig. 7 (text) — the basic cluster configuration.
+//
+// Paper: a cluster of {L/S, ADD, MUL, COPY} with 8 private queues plus a
+// ring of 8 queues per direction per segment suffices for (almost) every
+// loop of the benchmark on the machines analysed; a small fraction needs
+// more.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace qvliw {
+namespace {
+
+int run() {
+  print_banner(std::cout, "Fig. 7 — per-cluster queue resources (8 private + 8+8 ring)",
+               "the 8/8/8 cluster covers nearly all loops; positions stay small");
+  const Suite suite = bench::make_suite();
+  bench::print_suite_line(std::cout, suite);
+
+  TextTable table({"clusters", "priv <= 8", "ring <= 8", "both <= 8", "p95 priv", "p95 ring",
+                   "p95 positions", "max positions"});
+  for (int clusters : {4, 5, 6}) {
+    const MachineConfig ring = MachineConfig::clustered_machine(clusters);
+    PipelineOptions options;
+    options.unroll = true;
+    options.max_unroll = bench::max_unroll();
+    options.scheduler = SchedulerKind::kClustered;
+    const auto results = run_suite(suite.loops, ring, options);
+
+    std::vector<double> priv;
+    std::vector<double> ring_q;
+    std::vector<double> positions;
+    int ok_priv = 0;
+    int ok_ring = 0;
+    int ok_both = 0;
+    int scheduled = 0;
+    for (const LoopResult& r : results) {
+      if (!r.ok) continue;
+      ++scheduled;
+      priv.push_back(r.max_private_queues);
+      ring_q.push_back(r.max_ring_queues);
+      positions.push_back(r.max_positions);
+      const bool p = r.max_private_queues <= 8;
+      const bool g = r.max_ring_queues <= 8;
+      if (p) ++ok_priv;
+      if (g) ++ok_ring;
+      if (p && g) ++ok_both;
+    }
+    const double n = scheduled > 0 ? static_cast<double>(scheduled) : 1.0;
+    table.add_row({cat(clusters), percent(ok_priv / n), percent(ok_ring / n),
+                   percent(ok_both / n), percentile(priv, 95), percentile(ring_q, 95),
+                   percentile(positions, 95),
+                   static_cast<std::int64_t>(positions.empty() ? 0 : static_cast<std::int64_t>(
+                                                 percentile(positions, 100)))});
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qvliw
+
+int main() { return qvliw::run(); }

@@ -1,0 +1,60 @@
+// Fig. 9 — "Operations issued per cycle — resource constrained loops".
+//
+// Paper: restricted to loops whose execution is limited by FU
+// availability, single-cluster IPC scales almost linearly to 18 FUs; the
+// clustered machine falls slightly behind at 15 and 18 FUs (the
+// partitioning loss of Fig. 6), with the dynamic gap smaller than the
+// static one because a few large loops dominate execution time and
+// partition cleanly.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/strings.h"
+
+namespace qvliw {
+namespace {
+
+int clusters_for(int fus) { return fus % 3 == 0 && fus >= 12 ? fus / 3 : 0; }
+
+int run() {
+  print_banner(std::cout, "Fig. 9 — IPC vs machine size, resource-constrained loops",
+               "near-linear single-cluster scaling; clustered slightly lower at 15/18 FUs");
+  const Suite full = bench::make_suite();
+  Suite suite;
+  suite.kernel_count = 0;
+  for (const Loop& loop : full.loops) {
+    if (is_resource_constrained(loop, bench::max_unroll())) suite.loops.push_back(loop);
+  }
+  std::cout << "resource-constrained subset: " << suite.loops.size() << " of "
+            << full.loops.size() << " loops\n\n";
+
+  TextTable table({"FUs", "static single", "dyn single", "static clustered", "dyn clustered"});
+  for (int fus = 4; fus <= 18; ++fus) {
+    PipelineOptions options;
+    options.unroll = true;
+    options.max_unroll = bench::max_unroll();
+
+    const MachineConfig single = MachineConfig::single_cluster_machine(fus);
+    const auto rs = run_suite(suite.loops, single, options);
+    std::vector<Cell> row{static_cast<std::int64_t>(fus),
+                          mean_of_scheduled(rs, [](const LoopResult& r) { return r.ipc_static; }),
+                          mean_of_scheduled(rs, [](const LoopResult& r) { return r.ipc_dynamic; }),
+                          std::string("-"), std::string("-")};
+    if (const int clusters = clusters_for(fus); clusters >= 4) {
+      PipelineOptions ring_options = options;
+      ring_options.scheduler = SchedulerKind::kClustered;
+      const MachineConfig ring = MachineConfig::clustered_machine(clusters);
+      const auto rc = run_suite(suite.loops, ring, ring_options);
+      row[3] = mean_of_scheduled(rc, [](const LoopResult& r) { return r.ipc_static; });
+      row[4] = mean_of_scheduled(rc, [](const LoopResult& r) { return r.ipc_dynamic; });
+    }
+    table.add_row(std::move(row));
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qvliw
+
+int main() { return qvliw::run(); }

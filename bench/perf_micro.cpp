@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark): throughput of the core algorithms.
+#include <benchmark/benchmark.h>
+
+#include "cluster/partition.h"
+#include "ir/ddg.h"
+#include "qrf/qcompat.h"
+#include "qrf/queue_alloc.h"
+#include "sched/ims.h"
+#include "sim/vliwsim.h"
+#include "workload/kernels.h"
+#include "workload/synth.h"
+#include "xform/copy_insert.h"
+#include "xform/unroll.h"
+
+namespace qvliw {
+namespace {
+
+Loop synth_of_size(int target_ops, std::uint64_t seed) {
+  SynthConfig config;
+  config.loops = 1;
+  config.seed = seed;
+  config.small_loop_prob = 0.0;  // force the log-normal mode so the clamp bites
+  config.min_ops = target_ops;
+  config.max_ops = target_ops;
+  return synthesize_suite(config)[0];
+}
+
+void BM_DdgBuild(benchmark::State& state) {
+  const Loop loop = insert_copies(synth_of_size(static_cast<int>(state.range(0)), 7)).loop;
+  const LatencyModel lat = LatencyModel::classic();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ddg::build(loop, lat));
+  }
+  state.SetItemsProcessed(state.iterations() * loop.op_count());
+}
+BENCHMARK(BM_DdgBuild)->Arg(16)->Arg(64);
+
+void BM_Ims(benchmark::State& state) {
+  const Loop loop = insert_copies(synth_of_size(static_cast<int>(state.range(0)), 11)).loop;
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ims_schedule(loop, graph, machine));
+  }
+  state.SetItemsProcessed(state.iterations() * loop.op_count());
+}
+BENCHMARK(BM_Ims)->Arg(8)->Arg(24)->Arg(64);
+
+void BM_PartitionedIms(benchmark::State& state) {
+  const Loop loop = insert_copies(synth_of_size(static_cast<int>(state.range(0)), 13)).loop;
+  const MachineConfig machine = MachineConfig::clustered_machine(4);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_schedule(loop, graph, machine));
+  }
+  state.SetItemsProcessed(state.iterations() * loop.op_count());
+}
+BENCHMARK(BM_PartitionedIms)->Arg(24)->Arg(64);
+
+void BM_QCompat(benchmark::State& state) {
+  int x = 0;
+  for (auto _ : state) {
+    for (int p = 0; p < 16; ++p) {
+      benchmark::DoNotOptimize(q_compatible(3, 17, 3 + p, 9 + p, 8));
+    }
+    ++x;
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_QCompat);
+
+void BM_QueueAllocation(benchmark::State& state) {
+  const Loop loop = insert_copies(kernel_by_name("fir8")).loop;
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  const ImsResult sched = ims_schedule(loop, graph, machine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocate_queues(loop, graph, machine, sched.schedule));
+  }
+}
+BENCHMARK(BM_QueueAllocation);
+
+void BM_Unroll(benchmark::State& state) {
+  const Loop loop = kernel_by_name("lk1_hydro");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unroll(loop, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Unroll)->Arg(2)->Arg(8);
+
+void BM_Simulator(benchmark::State& state) {
+  const Loop loop = insert_copies(kernel_by_name("cmul_acc")).loop;
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  const ImsResult sched = ims_schedule(loop, graph, machine);
+  const QueueAllocation allocation = allocate_queues(loop, graph, machine, sched.schedule);
+  const long long trip = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate(loop, graph, machine, sched.schedule, allocation, trip));
+  }
+  state.SetItemsProcessed(state.iterations() * trip * loop.op_count());
+}
+BENCHMARK(BM_Simulator)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace qvliw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Section 2 (text) — the cost of copy operations.
+//
+// Paper: inserting copy operations leaves the II unchanged for ~95% of
+// loops; the rest typically grow by one cycle.  The stage count is
+// unchanged for most loops, and the most demanding loops even need
+// slightly fewer queues/positions.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace qvliw {
+namespace {
+
+int run() {
+  print_banner(std::cout, "Sec. 2 — effect of copy operations on II / stage count",
+               "~95% of loops keep their II after copy insertion; misses are +1 cycle");
+  const Suite suite = bench::make_suite();
+  bench::print_suite_line(std::cout, suite);
+
+  TextTable table({"machine", "same II", "II +1", "II +2 or more", "same SC", "mean dQueues"});
+  for (int fus : {4, 6, 12}) {
+    const MachineConfig machine = MachineConfig::single_cluster_machine(fus);
+    PipelineOptions with;     // copies on
+    PipelineOptions without;  // the multi-write QRF baseline of [7]
+    without.insert_copies = false;
+    const auto rw = run_suite(suite.loops, machine, with);
+    const auto ro = run_suite(suite.loops, machine, without);
+
+    int both = 0;
+    int same_ii = 0;
+    int plus_one = 0;
+    int plus_more = 0;
+    int same_sc = 0;
+    OnlineStats dqueues;
+    for (std::size_t i = 0; i < rw.size(); ++i) {
+      if (!rw[i].ok || !ro[i].ok) continue;
+      ++both;
+      const int delta = rw[i].ii - ro[i].ii;
+      if (delta <= 0) ++same_ii;
+      else if (delta == 1) ++plus_one;
+      else ++plus_more;
+      if (rw[i].stage_count == ro[i].stage_count) ++same_sc;
+      dqueues.add(rw[i].total_queues - ro[i].total_queues);
+    }
+    const double n = both > 0 ? static_cast<double>(both) : 1.0;
+    table.add_row({cat(fus, " FUs"), percent(same_ii / n), percent(plus_one / n),
+                   percent(plus_more / n), percent(same_sc / n), dqueues.mean()});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nCopy tree shape (12 FUs): balanced vs chain fan-out\n";
+  TextTable shape_table({"shape", "mean II", "mean SC", "same II as balanced"});
+  const MachineConfig machine = MachineConfig::single_cluster_machine(12);
+  PipelineOptions balanced;
+  balanced.copy_shape = CopyTreeShape::kBalanced;
+  PipelineOptions chain;
+  chain.copy_shape = CopyTreeShape::kChain;
+  const auto rb = run_suite(suite.loops, machine, balanced);
+  const auto rc = run_suite(suite.loops, machine, chain);
+  int both = 0;
+  int same = 0;
+  OnlineStats ii_b;
+  OnlineStats ii_c;
+  OnlineStats sc_b;
+  OnlineStats sc_c;
+  for (std::size_t i = 0; i < rb.size(); ++i) {
+    if (!rb[i].ok || !rc[i].ok) continue;
+    ++both;
+    if (rb[i].ii == rc[i].ii) ++same;
+    ii_b.add(rb[i].ii);
+    ii_c.add(rc[i].ii);
+    sc_b.add(rb[i].stage_count);
+    sc_c.add(rc[i].stage_count);
+  }
+  shape_table.add_row({std::string("balanced"), ii_b.mean(), sc_b.mean(), percent(1.0)});
+  shape_table.add_row({std::string("chain"), ii_c.mean(), sc_c.mean(),
+                       percent(both > 0 ? static_cast<double>(same) / both : 0.0)});
+  shape_table.render(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qvliw
+
+int main() { return qvliw::run(); }

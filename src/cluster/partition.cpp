@@ -1,0 +1,181 @@
+#include "cluster/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+std::string_view cluster_heuristic_name(ClusterHeuristic heuristic) {
+  switch (heuristic) {
+    case ClusterHeuristic::kAffinity:
+      return "affinity";
+    case ClusterHeuristic::kLoadBalance:
+      return "load-balance";
+    case ClusterHeuristic::kFirstFit:
+      return "first-fit";
+  }
+  QVLIW_ASSERT(false, "bad ClusterHeuristic");
+}
+
+RingClusterAssigner::RingClusterAssigner(const Loop& loop, const Ddg& graph,
+                                         const MachineConfig& machine,
+                                         ClusterHeuristic heuristic, bool strict)
+    : graph_(graph), machine_(machine), heuristic_(heuristic), strict_(strict) {
+  check(loop.op_count() == graph.node_count(), "RingClusterAssigner: loop/DDG mismatch");
+  kind_of_.reserve(loop.ops.size());
+  for (const Op& op : loop.ops) kind_of_.push_back(fu_for(op.opcode));
+  reset(1);
+}
+
+void RingClusterAssigner::reset(int) {
+  cluster_of_.assign(kind_of_.size(), -1);
+  load_.assign(static_cast<std::size_t>(machine_.cluster_count()),
+               std::vector<int>(kNumFuKinds, 0));
+}
+
+int RingClusterAssigner::cluster_of(int op) const {
+  return cluster_of_[static_cast<std::size_t>(op)];
+}
+
+double RingClusterAssigner::score(int op, int cluster) const {
+  const int k = machine_.cluster_count();
+  const FuKind kind = kind_of_[static_cast<std::size_t>(op)];
+  const int kind_load = load_[static_cast<std::size_t>(cluster)][static_cast<std::size_t>(kind)];
+  const int kind_fus = machine_.fu_count(cluster, kind);
+  const double pressure =
+      kind_fus > 0 ? static_cast<double>(kind_load) / kind_fus : 1e9;
+
+  switch (heuristic_) {
+    case ClusterHeuristic::kFirstFit:
+      return -cluster;  // fixed order
+    case ClusterHeuristic::kLoadBalance:
+      return -pressure;
+    case ClusterHeuristic::kAffinity: {
+      // +2 for each scheduled flow neighbour in `cluster`, +1 when adjacent;
+      // light pressure tie-break.
+      double affinity = 0.0;
+      auto account = [&](int other) {
+        const int oc = cluster_of_[static_cast<std::size_t>(other)];
+        if (oc < 0) return;
+        const int dist = machine_.ring_distance(cluster, oc);
+        if (dist == 0) affinity += 2.0;
+        else if (dist == 1) affinity += 1.0;
+        else affinity -= static_cast<double>(dist);  // relaxed mode: fewer hops
+      };
+      for (int e : graph_.out_edges(op)) {
+        const DepEdge& edge = graph_.edge(e);
+        if (edge.is_value_flow() && edge.dst != op) account(edge.dst);
+      }
+      for (int e : graph_.in_edges(op)) {
+        const DepEdge& edge = graph_.edge(e);
+        if (edge.is_value_flow() && edge.src != op) account(edge.src);
+      }
+      (void)k;
+      return affinity - 0.25 * pressure;
+    }
+  }
+  QVLIW_ASSERT(false, "bad ClusterHeuristic");
+}
+
+void RingClusterAssigner::candidates(int op, std::vector<int>& out) {
+  const int k = machine_.cluster_count();
+  out.resize(static_cast<std::size_t>(k));
+  std::iota(out.begin(), out.end(), 0);
+  std::vector<double> scores(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) scores[static_cast<std::size_t>(c)] = score(op, c);
+  std::stable_sort(out.begin(), out.end(), [&scores](int a, int b) {
+    return scores[static_cast<std::size_t>(a)] > scores[static_cast<std::size_t>(b)];
+  });
+}
+
+bool RingClusterAssigner::legal(int op, int cluster) {
+  if (!strict_) return true;
+  auto reachable = [&](int other) {
+    const int oc = cluster_of_[static_cast<std::size_t>(other)];
+    return oc < 0 || machine_.ring_distance(cluster, oc) <= 1;
+  };
+  for (int e : graph_.out_edges(op)) {
+    const DepEdge& edge = graph_.edge(e);
+    if (edge.is_value_flow() && edge.dst != op && !reachable(edge.dst)) return false;
+  }
+  for (int e : graph_.in_edges(op)) {
+    const DepEdge& edge = graph_.edge(e);
+    if (edge.is_value_flow() && edge.src != op && !reachable(edge.src)) return false;
+  }
+  return true;
+}
+
+void RingClusterAssigner::adjacency_evictions(int op, int cluster, std::vector<int>& out) {
+  out.clear();
+  if (!strict_) return;
+  auto collect = [&](int other) {
+    const int oc = cluster_of_[static_cast<std::size_t>(other)];
+    if (oc >= 0 && machine_.ring_distance(cluster, oc) > 1) out.push_back(other);
+  };
+  for (int e : graph_.out_edges(op)) {
+    const DepEdge& edge = graph_.edge(e);
+    if (edge.is_value_flow() && edge.dst != op) collect(edge.dst);
+  }
+  for (int e : graph_.in_edges(op)) {
+    const DepEdge& edge = graph_.edge(e);
+    if (edge.is_value_flow() && edge.src != op) collect(edge.src);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void RingClusterAssigner::on_place(int op, int cluster) {
+  cluster_of_[static_cast<std::size_t>(op)] = cluster;
+  load_[static_cast<std::size_t>(cluster)][static_cast<std::size_t>(
+      kind_of_[static_cast<std::size_t>(op)])] += 1;
+}
+
+void RingClusterAssigner::on_remove(int op) {
+  const int cluster = cluster_of_[static_cast<std::size_t>(op)];
+  QVLIW_ASSERT(cluster >= 0, "on_remove of an unplaced op");
+  load_[static_cast<std::size_t>(cluster)][static_cast<std::size_t>(
+      kind_of_[static_cast<std::size_t>(op)])] -= 1;
+  cluster_of_[static_cast<std::size_t>(op)] = -1;
+}
+
+ImsResult partition_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
+                             const PartitionOptions& options) {
+  RingClusterAssigner assigner(loop, graph, machine, options.heuristic, options.strict);
+  ImsResult result = ims_schedule(loop, graph, machine, options.ims, &assigner);
+  if (result.ok && options.strict) {
+    const auto comm_errors = communication_violations(graph, machine, result.schedule);
+    QVLIW_ASSERT(comm_errors.empty(),
+                 cat("partitioner produced non-adjacent communication: ", comm_errors.front()));
+  }
+  return result;
+}
+
+std::vector<std::string> communication_violations(const Ddg& graph, const MachineConfig& machine,
+                                                  const Schedule& schedule) {
+  std::vector<std::string> violations;
+  for (const CommViolation& v : find_comm_violations(graph, machine, schedule)) {
+    const DepEdge& edge = graph.edge(v.edge);
+    violations.push_back(cat("flow edge ", edge.src, "->", edge.dst, " spans ", v.hops,
+                             " ring hops (clusters ", schedule.cluster(edge.src), " -> ",
+                             schedule.cluster(edge.dst), ")"));
+  }
+  return violations;
+}
+
+std::vector<CommViolation> find_comm_violations(const Ddg& graph, const MachineConfig& machine,
+                                                const Schedule& schedule) {
+  std::vector<CommViolation> violations;
+  for (int e = 0; e < graph.edge_count(); ++e) {
+    const DepEdge& edge = graph.edge(e);
+    if (!edge.is_value_flow()) continue;
+    if (!schedule.scheduled(edge.src) || !schedule.scheduled(edge.dst)) continue;
+    const int hops = machine.ring_distance(schedule.cluster(edge.src), schedule.cluster(edge.dst));
+    if (hops > 1) violations.push_back({e, edge.dst, edge.dst_arg, hops});
+  }
+  return violations;
+}
+
+}  // namespace qvliw

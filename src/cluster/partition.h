@@ -1,0 +1,92 @@
+// Partitioned modulo scheduling for the clustered ring machine (Section 4).
+//
+// The partitioner is the paper's scheme: heuristics layered on IMS decide
+// which cluster each operation goes to, under the constraint that a value
+// may only flow within a cluster (private QRF) or between ring-adjacent
+// clusters (a directional segment queue).  No multi-hop routing exists in
+// the base scheme, so an op whose neighbours have drifted apart can become
+// unplaceable; IMS's force-and-evict backtracking then displaces the
+// offenders, and persistent failure escalates the II — exactly the
+// degradation Fig. 6 quantifies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/ims.h"
+
+namespace qvliw {
+
+enum class ClusterHeuristic {
+  kAffinity,     // prefer clusters holding/adjacent to scheduled neighbours
+  kLoadBalance,  // prefer the cluster with the least pressure on the op's FU kind
+  kFirstFit,     // fixed order 0..k-1 (baseline for the ablation)
+};
+
+[[nodiscard]] std::string_view cluster_heuristic_name(ClusterHeuristic heuristic);
+
+/// IMS ClusterAssigner for a bidirectional ring of clusters.
+///
+/// In strict mode (the paper's scheme) `legal` enforces ring adjacency of
+/// every scheduled flow neighbour.  In relaxed mode any cluster is legal —
+/// used by the move-routing extension to discover which edges need relay
+/// moves; candidate ordering still minimises expected hops.
+class RingClusterAssigner final : public ClusterAssigner {
+ public:
+  RingClusterAssigner(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
+                      ClusterHeuristic heuristic, bool strict = true);
+
+  void reset(int ii) override;
+  void candidates(int op, std::vector<int>& out) override;
+  bool legal(int op, int cluster) override;
+  void adjacency_evictions(int op, int cluster, std::vector<int>& out) override;
+  void on_place(int op, int cluster) override;
+  void on_remove(int op) override;
+
+  /// Cluster of a currently placed op (-1 when unplaced).
+  [[nodiscard]] int cluster_of(int op) const;
+
+ private:
+  [[nodiscard]] double score(int op, int cluster) const;
+
+  const Ddg& graph_;
+  const MachineConfig& machine_;
+  ClusterHeuristic heuristic_;
+  bool strict_;
+  std::vector<FuKind> kind_of_;
+  std::vector<int> cluster_of_;
+  std::vector<std::vector<int>> load_;  // [cluster][fu kind] placed ops
+};
+
+struct PartitionOptions {
+  ClusterHeuristic heuristic = ClusterHeuristic::kAffinity;
+  bool strict = true;
+  ImsOptions ims;
+};
+
+/// Partitioned IMS over the ring machine.  On success the schedule is
+/// additionally checked for communication legality (strict mode).
+[[nodiscard]] ImsResult partition_schedule(const Loop& loop, const Ddg& graph,
+                                           const MachineConfig& machine,
+                                           const PartitionOptions& options = {});
+
+/// Flow edges whose endpoint clusters are not ring-adjacent (empty ==
+/// communication-legal for the base scheme).
+[[nodiscard]] std::vector<std::string> communication_violations(const Ddg& graph,
+                                                                const MachineConfig& machine,
+                                                                const Schedule& schedule);
+
+/// The violating flow edges themselves, as (dst op, dst arg) operand slots
+/// plus the hop distance (used by the move router).
+struct CommViolation {
+  int edge = -1;
+  int dst = -1;
+  int dst_arg = -1;
+  int hops = 0;  // ring distance between producer and consumer clusters
+};
+
+[[nodiscard]] std::vector<CommViolation> find_comm_violations(const Ddg& graph,
+                                                              const MachineConfig& machine,
+                                                              const Schedule& schedule);
+
+}  // namespace qvliw

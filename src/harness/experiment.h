@@ -1,0 +1,29 @@
+// Suite-level experiment driver.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "harness/pipeline.h"
+
+namespace qvliw {
+
+/// Runs the pipeline over every loop (parallel across worker threads);
+/// results are index-aligned with `loops`.
+[[nodiscard]] std::vector<LoopResult> run_suite(const std::vector<Loop>& loops,
+                                                const MachineConfig& machine,
+                                                const PipelineOptions& options = {});
+
+/// Fraction of results with ok == true.
+[[nodiscard]] double fraction_ok(const std::vector<LoopResult>& results);
+
+/// Fraction of *scheduled* loops satisfying `predicate` (failed loops are
+/// excluded from numerator and denominator).
+[[nodiscard]] double fraction_of_scheduled(const std::vector<LoopResult>& results,
+                                           const std::function<bool(const LoopResult&)>& predicate);
+
+/// Mean of a metric over scheduled loops.
+[[nodiscard]] double mean_of_scheduled(const std::vector<LoopResult>& results,
+                                       const std::function<double(const LoopResult&)>& metric);
+
+}  // namespace qvliw

@@ -1,0 +1,112 @@
+// The canonical compilation pipeline of the experiments.
+//
+// source loop
+//   -> invariant strategy (immediate | recirculating queues)
+//   -> loop unrolling (off | policy-selected | forced factor)
+//   -> copy insertion (fan-out trees for the QRF)
+//   -> modulo scheduling (single cluster | partitioned | partitioned+moves)
+//   -> queue allocation (+ conventional-RF register baseline)
+//   -> optional cycle-accurate simulation checked against the reference
+//      interpreter
+//
+// Every paper experiment is a sweep of this pipeline under different
+// options; benches only aggregate LoopResult records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/partition.h"
+#include "ir/loop.h"
+#include "machine/machine.h"
+#include "sched/ims.h"
+#include "xform/copy_insert.h"
+#include "xform/invariants.h"
+
+namespace qvliw {
+
+enum class SchedulerKind {
+  kSingleCluster,    // classic IMS, machine treated as one cluster
+  kClustered,        // the paper's partitioned IMS (adjacent-only comm)
+  kClusteredMoves,   // extension: multi-hop routing via move ops
+};
+
+struct PipelineOptions {
+  InvariantStrategy invariants = InvariantStrategy::kImmediate;
+
+  bool unroll = false;
+  int forced_unroll = 0;  // 0 = policy choice; >= 1 = exact factor
+  int max_unroll = 8;
+
+  bool insert_copies = true;
+  CopyTreeShape copy_shape = CopyTreeShape::kBalanced;
+
+  SchedulerKind scheduler = SchedulerKind::kSingleCluster;
+  ClusterHeuristic heuristic = ClusterHeuristic::kAffinity;
+  ImsOptions ims;
+
+  bool simulate = false;
+  long long sim_trip = 0;  // 0 = the (unrolled) loop's trip_hint
+  std::uint64_t seed = 0x5eedULL;
+
+  /// When true, the schedule must also *fit the machine's queues* (counts
+  /// and depths).  A larger II shortens the per-iteration overlap of
+  /// lifetimes, so the pipeline escalates the II until the allocation
+  /// fits or `queue_fit_attempts` retries are exhausted — the scheduling-
+  /// side alternative to the spill code the paper mentions for finite
+  /// QRFs.
+  bool enforce_queue_limits = false;
+  int queue_fit_attempts = 16;
+};
+
+struct LoopResult {
+  std::string name;
+  bool ok = false;
+  std::string failure;
+
+  // Shape.
+  int src_ops = 0;    // operations in the source loop
+  int sched_ops = 0;  // operations actually scheduled (replicas + copies + moves)
+  int copies = 0;
+  int moves = 0;
+  int unroll_factor = 1;
+
+  // Bounds and schedule.
+  int res_mii = 0;
+  int rec_mii = 0;
+  int mii = 0;
+  int ii = 0;
+  int stage_count = 0;
+  double ii_per_source = 0.0;  // ii / unroll_factor
+
+  // Issue rates (useful ops only; copies/moves are plumbing).
+  double ipc_static = 0.0;
+  double ipc_dynamic = 0.0;
+
+  // Queue demand.
+  int total_queues = 0;
+  int max_private_queues = 0;
+  int max_ring_queues = 0;
+  int max_positions = 0;
+
+  // Conventional-RF register baseline for the same schedule.
+  int registers = 0;
+
+  // Queue-capacity enforcement (when requested).
+  bool fits_machine_queues = false;  // true when capacity_violations() is empty
+  int queue_fit_retries = 0;         // II escalations spent to fit
+
+  // Simulation (when requested).
+  bool sim_ok = false;
+  long long sim_cycles = 0;
+
+  ImsStats sched_stats;
+};
+
+/// Runs the full pipeline on one loop.  Failures (loop does not fit the
+/// machine within the II ladder, simulation mismatch, ...) are reported in
+/// ok/failure, never thrown.
+[[nodiscard]] LoopResult run_pipeline(const Loop& loop, const MachineConfig& machine,
+                                      const PipelineOptions& options = {});
+
+}  // namespace qvliw

@@ -1,0 +1,55 @@
+#include "harness/report.h"
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+void print_banner(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_claim) {
+  os << std::string(72, '=') << '\n';
+  os << experiment << '\n';
+  os << "paper: " << paper_claim << '\n';
+  os << std::string(72, '=') << '\n';
+}
+
+std::vector<double> cumulative_fractions(const std::vector<LoopResult>& results,
+                                         const std::vector<int>& bounds,
+                                         const std::function<int(const LoopResult&)>& metric) {
+  std::vector<double> fractions;
+  fractions.reserve(bounds.size());
+  std::size_t total = 0;
+  for (const LoopResult& r : results) {
+    if (r.ok) ++total;
+  }
+  for (int bound : bounds) {
+    std::size_t hits = 0;
+    for (const LoopResult& r : results) {
+      if (r.ok && metric(r) <= bound) ++hits;
+    }
+    fractions.push_back(total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total));
+  }
+  return fractions;
+}
+
+void print_cumulative_table(std::ostream& os, const std::vector<int>& bounds,
+                            const std::vector<std::string>& series_labels,
+                            const std::vector<std::vector<double>>& series,
+                            const std::string& bound_label) {
+  check(series_labels.size() == series.size(), "labels/series mismatch");
+  std::vector<std::string> headers{bound_label};
+  for (const std::string& label : series_labels) headers.push_back(label);
+  TextTable table(headers);
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    std::vector<Cell> row;
+    row.emplace_back(static_cast<std::int64_t>(bounds[b]));
+    for (const auto& column : series) {
+      check(column.size() == bounds.size(), "series length mismatch");
+      row.emplace_back(percent(column[b]));
+    }
+    table.add_row(std::move(row));
+  }
+  table.render(os);
+}
+
+}  // namespace qvliw

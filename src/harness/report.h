@@ -1,0 +1,29 @@
+// Figure-shaped reporting helpers shared by the bench binaries.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "support/table.h"
+
+namespace qvliw {
+
+/// Prints a bench banner with the experiment id and the paper's claim.
+void print_banner(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_claim);
+
+/// Cumulative fraction of scheduled loops whose `metric` is <= each bound
+/// (Fig. 3's "% of loops vs number of queues" series).
+[[nodiscard]] std::vector<double> cumulative_fractions(
+    const std::vector<LoopResult>& results, const std::vector<int>& bounds,
+    const std::function<int(const LoopResult&)>& metric);
+
+/// Renders one row per bound from several labelled series.
+void print_cumulative_table(std::ostream& os, const std::vector<int>& bounds,
+                            const std::vector<std::string>& series_labels,
+                            const std::vector<std::vector<double>>& series,
+                            const std::string& bound_label);
+
+}  // namespace qvliw

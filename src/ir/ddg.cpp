@@ -1,0 +1,91 @@
+#include "ir/ddg.h"
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+std::string_view dep_kind_name(DepKind kind) {
+  switch (kind) {
+    case DepKind::kFlow:
+      return "flow";
+    case DepKind::kMemFlow:
+      return "mem-flow";
+    case DepKind::kMemAnti:
+      return "mem-anti";
+    case DepKind::kMemOutput:
+      return "mem-output";
+  }
+  QVLIW_ASSERT(false, "bad DepKind");
+}
+
+Ddg::Ddg(int nodes) : node_count_(nodes), out_(static_cast<std::size_t>(nodes)), in_(static_cast<std::size_t>(nodes)) {
+  check(nodes >= 0, "Ddg: negative node count");
+}
+
+void Ddg::add_edge(DepEdge edge) {
+  check(edge.src >= 0 && edge.src < node_count_, "Ddg::add_edge: src out of range");
+  check(edge.dst >= 0 && edge.dst < node_count_, "Ddg::add_edge: dst out of range");
+  check(edge.latency >= 0, "Ddg::add_edge: negative latency");
+  check(edge.distance >= 0, "Ddg::add_edge: negative distance");
+  const int index = static_cast<int>(edges_.size());
+  out_[static_cast<std::size_t>(edge.src)].push_back(index);
+  in_[static_cast<std::size_t>(edge.dst)].push_back(index);
+  edges_.push_back(edge);
+}
+
+const std::vector<int>& Ddg::out_edges(int node) const {
+  check(node >= 0 && node < node_count_, "Ddg::out_edges: node out of range");
+  return out_[static_cast<std::size_t>(node)];
+}
+
+const std::vector<int>& Ddg::in_edges(int node) const {
+  check(node >= 0 && node < node_count_, "Ddg::in_edges: node out of range");
+  return in_[static_cast<std::size_t>(node)];
+}
+
+Ddg Ddg::build(const Loop& loop, const LatencyModel& lat) {
+  loop.validate();
+  Ddg graph(loop.op_count());
+
+  for (int u = 0; u < loop.op_count(); ++u) {
+    const Op& op = loop.ops[static_cast<std::size_t>(u)];
+    graph.total_latency_ += lat.of(op.opcode);
+    for (std::size_t a = 0; a < op.args.size(); ++a) {
+      const Operand& arg = op.args[a];
+      if (!arg.is_value()) continue;
+      DepEdge edge;
+      edge.src = arg.value_op;
+      edge.dst = u;
+      edge.latency = lat.of(loop.ops[static_cast<std::size_t>(arg.value_op)].opcode);
+      edge.distance = arg.distance;
+      edge.kind = DepKind::kFlow;
+      edge.dst_arg = static_cast<int>(a);
+      graph.add_edge(edge);
+    }
+  }
+
+  for (const MemDep& dep : memory_dependences(loop)) {
+    DepEdge edge;
+    edge.src = dep.src;
+    edge.dst = dep.dst;
+    edge.latency = 1;
+    edge.distance = dep.distance;
+    switch (dep.kind) {
+      case MemDepKind::kFlow:
+        edge.kind = DepKind::kMemFlow;
+        break;
+      case MemDepKind::kAnti:
+        edge.kind = DepKind::kMemAnti;
+        break;
+      case MemDepKind::kOutput:
+        edge.kind = DepKind::kMemOutput;
+        break;
+    }
+    graph.add_edge(edge);
+  }
+
+  return graph;
+}
+
+}  // namespace qvliw

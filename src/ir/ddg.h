@@ -1,0 +1,73 @@
+// Data dependence graph over a loop body.
+//
+// Nodes are the loop's operations.  Edges constrain a modulo schedule with
+// initiation interval II by
+//
+//     sigma(dst) >= sigma(src) + latency - II * distance
+//
+// where sigma is the start cycle within one iteration's schedule.
+// Register flow edges come straight from operands (latency = producing
+// opcode's latency); memory order edges come from memdep.h (latency 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/loop.h"
+#include "ir/memdep.h"
+
+namespace qvliw {
+
+enum class DepKind : std::uint8_t {
+  kFlow,       // register value flow (a queue-resident lifetime)
+  kMemFlow,    // store -> load order
+  kMemAnti,    // load -> store order
+  kMemOutput,  // store -> store order
+};
+
+[[nodiscard]] std::string_view dep_kind_name(DepKind kind);
+
+struct DepEdge {
+  int src = 0;
+  int dst = 0;
+  int latency = 0;
+  int distance = 0;
+  DepKind kind = DepKind::kFlow;
+  /// For kFlow: index of the consuming operand slot in ops[dst].args.
+  int dst_arg = -1;
+
+  [[nodiscard]] bool is_value_flow() const { return kind == DepKind::kFlow; }
+};
+
+class Ddg {
+ public:
+  /// Builds the complete DDG (register flow + memory order) of `loop`.
+  [[nodiscard]] static Ddg build(const Loop& loop, const LatencyModel& lat);
+
+  [[nodiscard]] int node_count() const { return node_count_; }
+  [[nodiscard]] int edge_count() const { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] const std::vector<DepEdge>& edges() const { return edges_; }
+  [[nodiscard]] const DepEdge& edge(int e) const { return edges_[static_cast<std::size_t>(e)]; }
+
+  /// Edge indices leaving / entering a node.
+  [[nodiscard]] const std::vector<int>& out_edges(int node) const;
+  [[nodiscard]] const std::vector<int>& in_edges(int node) const;
+
+  /// Sum of latencies over all nodes (a safe horizon for schedules).
+  [[nodiscard]] int total_latency() const { return total_latency_; }
+
+  /// Constructs an empty DDG with `nodes` nodes (used by transforms/tests).
+  explicit Ddg(int nodes = 0);
+
+  /// Adds an edge; endpoints must be in range, latency >= 0, distance >= 0.
+  void add_edge(DepEdge edge);
+
+ private:
+  int node_count_ = 0;
+  int total_latency_ = 0;
+  std::vector<DepEdge> edges_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+}  // namespace qvliw

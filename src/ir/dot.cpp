@@ -1,0 +1,28 @@
+#include "ir/dot.h"
+
+#include <sstream>
+
+#include "ir/printer.h"
+
+namespace qvliw {
+
+std::string to_dot(const Loop& loop, const Ddg& graph) {
+  std::ostringstream os;
+  os << "digraph \"" << loop.name << "\" {\n";
+  os << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (int v = 0; v < loop.op_count(); ++v) {
+    const Op& op = loop.ops[static_cast<std::size_t>(v)];
+    os << "  n" << v << " [label=\"#" << v << " " << op_text(loop, op) << "\"];\n";
+  }
+  for (const DepEdge& e : graph.edges()) {
+    os << "  n" << e.src << " -> n" << e.dst << " [";
+    if (e.kind != DepKind::kFlow) os << "style=dashed, ";
+    os << "label=\"" << dep_kind_name(e.kind) << " l" << e.latency;
+    if (e.distance != 0) os << " d" << e.distance;
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qvliw

@@ -1,0 +1,15 @@
+// Graphviz export of loops and their dependence graphs.
+#pragma once
+
+#include <string>
+
+#include "ir/ddg.h"
+#include "ir/loop.h"
+
+namespace qvliw {
+
+/// Renders the DDG as a `digraph`; flow edges solid, memory edges dashed,
+/// loop-carried edges annotated with their distance.
+[[nodiscard]] std::string to_dot(const Loop& loop, const Ddg& graph);
+
+}  // namespace qvliw

@@ -1,0 +1,217 @@
+#include "ir/graph_algos.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace qvliw {
+
+namespace {
+
+/// Iterative Tarjan SCC (explicit stack so deep unrolled loops are safe).
+class TarjanScc {
+ public:
+  explicit TarjanScc(const Ddg& graph) : graph_(graph) {
+    const auto n = static_cast<std::size_t>(graph.node_count());
+    index_.assign(n, -1);
+    low_.assign(n, 0);
+    on_stack_.assign(n, false);
+    component_.assign(n, -1);
+  }
+
+  std::vector<int> run() {
+    for (int v = 0; v < graph_.node_count(); ++v) {
+      if (index_[static_cast<std::size_t>(v)] < 0) strongconnect(v);
+    }
+    // Tarjan emits components in reverse topological order already.
+    return component_;
+  }
+
+  [[nodiscard]] int components() const { return next_component_; }
+
+ private:
+  struct Frame {
+    int node;
+    std::size_t edge_cursor;
+  };
+
+  void strongconnect(int root) {
+    std::vector<Frame> call_stack{{root, 0}};
+    begin(root);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const auto& out = graph_.out_edges(frame.node);
+      bool descended = false;
+      while (frame.edge_cursor < out.size()) {
+        const int w = graph_.edge(out[frame.edge_cursor]).dst;
+        ++frame.edge_cursor;
+        if (index_[static_cast<std::size_t>(w)] < 0) {
+          begin(w);
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[static_cast<std::size_t>(w)]) {
+          low_[static_cast<std::size_t>(frame.node)] =
+              std::min(low_[static_cast<std::size_t>(frame.node)], index_[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+
+      const int v = frame.node;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const int parent = call_stack.back().node;
+        low_[static_cast<std::size_t>(parent)] =
+            std::min(low_[static_cast<std::size_t>(parent)], low_[static_cast<std::size_t>(v)]);
+      }
+      if (low_[static_cast<std::size_t>(v)] == index_[static_cast<std::size_t>(v)]) {
+        while (true) {
+          const int w = node_stack_.back();
+          node_stack_.pop_back();
+          on_stack_[static_cast<std::size_t>(w)] = false;
+          component_[static_cast<std::size_t>(w)] = next_component_;
+          if (w == v) break;
+        }
+        ++next_component_;
+      }
+    }
+  }
+
+  void begin(int v) {
+    index_[static_cast<std::size_t>(v)] = next_index_;
+    low_[static_cast<std::size_t>(v)] = next_index_;
+    ++next_index_;
+    node_stack_.push_back(v);
+    on_stack_[static_cast<std::size_t>(v)] = true;
+  }
+
+  const Ddg& graph_;
+  std::vector<int> index_;
+  std::vector<int> low_;
+  std::vector<bool> on_stack_;
+  std::vector<int> node_stack_;
+  std::vector<int> component_;
+  int next_index_ = 0;
+  int next_component_ = 0;
+};
+
+}  // namespace
+
+std::vector<int> scc_ids(const Ddg& graph) { return TarjanScc(graph).run(); }
+
+int scc_count(const Ddg& graph) {
+  TarjanScc tarjan(graph);
+  tarjan.run();
+  return tarjan.components();
+}
+
+bool has_positive_cycle(const Ddg& graph, int ii) {
+  check(ii >= 1, "has_positive_cycle: ii must be >= 1");
+  const auto n = static_cast<std::size_t>(graph.node_count());
+  if (n == 0) return false;
+  // Longest-path potentials from a virtual source connected to every node
+  // with weight 0.  A positive cycle keeps relaxing past round n-1.
+  std::vector<long long> pot(n, 0);
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const DepEdge& e : graph.edges()) {
+      const long long w = static_cast<long long>(e.latency) -
+                          static_cast<long long>(ii) * static_cast<long long>(e.distance);
+      const long long candidate = pot[static_cast<std::size_t>(e.src)] + w;
+      if (candidate > pot[static_cast<std::size_t>(e.dst)]) {
+        pot[static_cast<std::size_t>(e.dst)] = candidate;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+int Circuit::min_ii() const {
+  QVLIW_ASSERT(distance_sum > 0, "circuit with zero distance (not schedulable)");
+  return (latency_sum + distance_sum - 1) / distance_sum;
+}
+
+std::vector<Circuit> elementary_circuits(const Ddg& graph, std::size_t max_circuits) {
+  // Smallest-vertex anchoring: enumerate circuits whose minimum node is the
+  // DFS root, visiting only nodes >= root; each elementary circuit is found
+  // exactly once.
+  std::vector<Circuit> circuits;
+  const int n = graph.node_count();
+  std::vector<bool> on_path(static_cast<std::size_t>(n), false);
+  std::vector<int> path;
+  std::vector<int> path_edges;
+
+  struct Walker {
+    const Ddg& graph;
+    std::vector<Circuit>& circuits;
+    std::size_t max_circuits;
+    std::vector<bool>& on_path;
+    std::vector<int>& path;
+    std::vector<int>& path_edges;
+    int root = 0;
+
+    void dfs(int v) {
+      if (circuits.size() >= max_circuits) return;
+      on_path[static_cast<std::size_t>(v)] = true;
+      path.push_back(v);
+      for (int e : graph.out_edges(v)) {
+        if (circuits.size() >= max_circuits) break;
+        const DepEdge& edge = graph.edge(e);
+        const int w = edge.dst;
+        if (w < root) continue;
+        if (w == root) {
+          Circuit circuit;
+          circuit.nodes = path;
+          for (int pe : path_edges) {
+            circuit.latency_sum += graph.edge(pe).latency;
+            circuit.distance_sum += graph.edge(pe).distance;
+          }
+          circuit.latency_sum += edge.latency;
+          circuit.distance_sum += edge.distance;
+          circuits.push_back(std::move(circuit));
+          continue;
+        }
+        if (on_path[static_cast<std::size_t>(w)]) continue;
+        path_edges.push_back(e);
+        dfs(w);
+        path_edges.pop_back();
+      }
+      path.pop_back();
+      on_path[static_cast<std::size_t>(v)] = false;
+    }
+  };
+
+  Walker walker{graph, circuits, max_circuits, on_path, path, path_edges};
+  for (int root = 0; root < n && circuits.size() < max_circuits; ++root) {
+    walker.root = root;
+    walker.dfs(root);
+  }
+  return circuits;
+}
+
+std::vector<int> height_priority(const Ddg& graph, int ii) {
+  check(ii >= 1, "height_priority: ii must be >= 1");
+  const auto n = static_cast<std::size_t>(graph.node_count());
+  std::vector<int> height(n, 0);
+  // Every node implicitly reaches a STOP sink with latency 0, hence the
+  // clamp at zero.  Without positive cycles this converges within n rounds.
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const DepEdge& e : graph.edges()) {
+      const int w = e.latency - ii * e.distance;
+      const int candidate = std::max(0, height[static_cast<std::size_t>(e.dst)] + w);
+      if (candidate > height[static_cast<std::size_t>(e.src)]) {
+        height[static_cast<std::size_t>(e.src)] = candidate;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    QVLIW_ASSERT(round < n, "height_priority on graph with positive cycle");
+  }
+  return height;
+}
+
+}  // namespace qvliw

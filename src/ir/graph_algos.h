@@ -1,0 +1,43 @@
+// Graph algorithms on the DDG used by MII computation and diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "ir/ddg.h"
+
+namespace qvliw {
+
+/// Tarjan strongly-connected components; returns component id per node.
+/// Ids are assigned in reverse topological order of the condensation.
+[[nodiscard]] std::vector<int> scc_ids(const Ddg& graph);
+
+/// Number of distinct values in scc_ids(graph).
+[[nodiscard]] int scc_count(const Ddg& graph);
+
+/// True when the constraint system sigma(dst) >= sigma(src) + lat - ii*dist
+/// admits no solution, i.e. some cycle has positive total (lat - ii*dist).
+/// Bellman-Ford-style longest-path relaxation; O(V * E).
+[[nodiscard]] bool has_positive_cycle(const Ddg& graph, int ii);
+
+/// An elementary circuit with its latency/distance totals.
+struct Circuit {
+  std::vector<int> nodes;  // in traversal order
+  int latency_sum = 0;
+  int distance_sum = 0;
+
+  /// ceil(latency_sum / distance_sum): the II this circuit enforces.
+  [[nodiscard]] int min_ii() const;
+};
+
+/// Enumerates elementary circuits (Johnson's algorithm), stopping after
+/// `max_circuits`.  Self-loops count.  Intended for diagnostics and tests;
+/// RecMII itself uses has_positive_cycle.
+[[nodiscard]] std::vector<Circuit> elementary_circuits(const Ddg& graph,
+                                                       std::size_t max_circuits = 4096);
+
+/// Longest-path "height" of each node to any sink under weights
+/// (lat - ii*dist), clamped at >= 0.  Requires !has_positive_cycle(graph,ii).
+/// This is the height-based scheduling priority of Rau's IMS.
+[[nodiscard]] std::vector<int> height_priority(const Ddg& graph, int ii);
+
+}  // namespace qvliw

@@ -1,0 +1,157 @@
+#include "ir/loop.h"
+
+#include <unordered_set>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+Operand Operand::value(int op, int dist) {
+  Operand out;
+  out.kind = Kind::kValue;
+  out.value_op = op;
+  out.distance = dist;
+  return out;
+}
+
+Operand Operand::invariant_ref(int inv) {
+  Operand out;
+  out.kind = Kind::kInvariant;
+  out.invariant = inv;
+  return out;
+}
+
+Operand Operand::immediate(std::int64_t value) {
+  Operand out;
+  out.kind = Kind::kImmediate;
+  out.imm = value;
+  return out;
+}
+
+Operand Operand::index(int offset) {
+  Operand out;
+  out.kind = Kind::kIndex;
+  out.index_offset = offset;
+  return out;
+}
+
+int Loop::add_op(Op op) {
+  ops.push_back(std::move(op));
+  return static_cast<int>(ops.size()) - 1;
+}
+
+int Loop::find_value(std::string_view value_name) const {
+  for (int i = 0; i < op_count(); ++i) {
+    if (ops[static_cast<std::size_t>(i)].defines_value() &&
+        ops[static_cast<std::size_t>(i)].name == value_name) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int Loop::intern_array(std::string_view array_name) {
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    if (arrays[i] == array_name) return static_cast<int>(i);
+  }
+  arrays.emplace_back(array_name);
+  return static_cast<int>(arrays.size()) - 1;
+}
+
+int Loop::intern_invariant(std::string_view invariant_name) {
+  for (std::size_t i = 0; i < invariants.size(); ++i) {
+    if (invariants[i] == invariant_name) return static_cast<int>(i);
+  }
+  invariants.emplace_back(invariant_name);
+  return static_cast<int>(invariants.size()) - 1;
+}
+
+int Loop::max_distance() const {
+  int max_dist = 0;
+  for (const Op& op : ops) {
+    for (const Operand& arg : op.args) {
+      if (arg.is_value() && arg.distance > max_dist) max_dist = arg.distance;
+    }
+  }
+  return max_dist;
+}
+
+int Loop::value_use_count() const {
+  int uses = 0;
+  for (const Op& op : ops) {
+    for (const Operand& arg : op.args) {
+      if (arg.is_value()) ++uses;
+    }
+  }
+  return uses;
+}
+
+int Loop::use_count(int def) const {
+  int uses = 0;
+  for (const Op& op : ops) {
+    for (const Operand& arg : op.args) {
+      if (arg.is_value() && arg.value_op == def) ++uses;
+    }
+  }
+  return uses;
+}
+
+void Loop::validate() const {
+  check(stride >= 1, cat("loop '", name, "': stride must be >= 1"));
+  check(trip_hint >= 1, cat("loop '", name, "': trip_hint must be >= 1"));
+
+  std::unordered_set<std::string> names;
+  for (int i = 0; i < op_count(); ++i) {
+    const Op& op = ops[static_cast<std::size_t>(i)];
+    const std::string where = cat("loop '", name, "', op #", i, " (", opcode_name(op.opcode), ")");
+
+    if (op.defines_value()) {
+      check(!op.name.empty(), cat(where, ": value-defining op needs a name"));
+      check(names.insert(op.name).second, cat(where, ": duplicate value name '", op.name, "'"));
+    } else {
+      check(op.name.empty(), cat(where, ": store must not name a result"));
+    }
+
+    check(static_cast<int>(op.args.size()) == operand_count(op.opcode),
+          cat(where, ": expected ", operand_count(op.opcode), " operands, got ", op.args.size()));
+
+    if (is_memory(op.opcode)) {
+      check(op.array >= 0 && op.array < static_cast<int>(arrays.size()),
+            cat(where, ": memory op with invalid array index"));
+    } else {
+      check(op.array == -1, cat(where, ": non-memory op must not reference an array"));
+    }
+
+    check(op.init_invariant >= -1 && op.init_invariant < static_cast<int>(invariants.size()),
+          cat(where, ": init_invariant out of range"));
+
+    for (std::size_t a = 0; a < op.args.size(); ++a) {
+      const Operand& arg = op.args[a];
+      switch (arg.kind) {
+        case Operand::Kind::kValue: {
+          check(arg.value_op >= 0 && arg.value_op < op_count(),
+                cat(where, ": operand ", a, " references op out of range"));
+          const Op& def = ops[static_cast<std::size_t>(arg.value_op)];
+          check(def.defines_value(), cat(where, ": operand ", a, " references a store"));
+          check(arg.distance >= 0, cat(where, ": operand ", a, " has negative distance"));
+          if (arg.distance == 0) {
+            check(arg.value_op < i,
+                  cat(where, ": operand ", a, " uses '", def.name,
+                      "' at distance 0 before it is defined"));
+          }
+          break;
+        }
+        case Operand::Kind::kInvariant:
+          check(arg.invariant >= 0 && arg.invariant < static_cast<int>(invariants.size()),
+                cat(where, ": operand ", a, " references invalid invariant"));
+          break;
+        case Operand::Kind::kImmediate:
+        case Operand::Kind::kIndex:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace qvliw

@@ -1,0 +1,110 @@
+// Loop intermediate representation.
+//
+// A `Loop` is the body of a counted innermost loop in a renamed,
+// SSA-flavoured form: every operation defines at most one named value, and
+// operands refer to values by defining operation plus an iteration
+// *distance* (`x@1` = the instance of x produced one iteration earlier).
+// Memory is addressed through named arrays with affine stride-1 indices
+// `A[i + offset]`; after unrolling the loop carries a `stride` so index
+// `i` denotes `stride * iteration + offset`.
+//
+// Loop-carried register dependences are explicit via distances, so the
+// register-level DDG follows directly from operands; memory-level
+// dependences are derived in memdep.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.h"
+
+namespace qvliw {
+
+/// One operand of an operation.
+struct Operand {
+  enum class Kind : std::uint8_t {
+    kValue,      // result of another op, `distance` iterations ago
+    kInvariant,  // loop invariant (kept in a register/immediate by default)
+    kImmediate,  // literal constant
+    kIndex,      // loop index: stride * iteration + index_offset
+  };
+
+  Kind kind = Kind::kImmediate;
+  int value_op = -1;        // kValue: index of the defining op in Loop::ops
+  int distance = 0;         // kValue: iterations ago (>= 0)
+  int invariant = -1;       // kInvariant: index into Loop::invariants
+  std::int64_t imm = 0;     // kImmediate
+  int index_offset = 0;     // kIndex
+
+  [[nodiscard]] static Operand value(int op, int dist = 0);
+  [[nodiscard]] static Operand invariant_ref(int inv);
+  [[nodiscard]] static Operand immediate(std::int64_t value);
+  [[nodiscard]] static Operand index(int offset = 0);
+
+  [[nodiscard]] bool is_value() const { return kind == Kind::kValue; }
+
+  friend bool operator==(const Operand&, const Operand&) = default;
+};
+
+/// One operation of the loop body.
+struct Op {
+  Opcode opcode = Opcode::kAdd;
+  std::string name;            // result name; empty iff opcode == kStore
+  std::vector<Operand> args;   // arity per operand_count(opcode)
+  int array = -1;              // memory ops: index into Loop::arrays
+  int mem_offset = 0;          // memory ops: A[stride*i + mem_offset]
+
+  /// Live-in binding: when an operand reads this op's value from before
+  /// iteration 0 (distance > iteration), the out-of-range instance is 0 by
+  /// convention — unless init_invariant >= 0, in which case it is that
+  /// invariant's value.  Set by the invariant-recirculation transform.
+  int init_invariant = -1;
+
+  [[nodiscard]] bool defines_value() const { return qvliw::defines_value(opcode); }
+};
+
+/// A counted innermost loop body.
+class Loop {
+ public:
+  std::string name = "loop";
+  int stride = 1;       // index stride (1 originally; U after unrolling by U)
+  int trip_hint = 100;  // default trip count for dynamic analyses
+  std::vector<std::string> invariants;
+  std::vector<std::string> arrays;
+  std::vector<Op> ops;
+
+  /// Appends `op`, returning its index.
+  int add_op(Op op);
+
+  /// Index of the op defining `value_name`, or -1.
+  [[nodiscard]] int find_value(std::string_view value_name) const;
+
+  /// Adds (or finds) an array by name; returns its index.
+  int intern_array(std::string_view array_name);
+
+  /// Adds (or finds) an invariant by name; returns its index.
+  int intern_invariant(std::string_view invariant_name);
+
+  [[nodiscard]] int op_count() const { return static_cast<int>(ops.size()); }
+
+  /// Largest operand distance in the body (0 when loop-independent).
+  [[nodiscard]] int max_distance() const;
+
+  /// Number of operand slots that read values (queue pops per iteration).
+  [[nodiscard]] int value_use_count() const;
+
+  /// Number of uses of the value defined by op `def` (operand instances).
+  [[nodiscard]] int use_count(int def) const;
+
+  /// Structural validation; throws Error with a description on violation.
+  ///
+  /// Rules: unique non-empty names for value-defining ops; stores unnamed;
+  /// operand arity matches opcode; value operands reference value-defining
+  /// ops with distance >= 0, and distance-0 references respect program
+  /// order; memory ops carry a valid array, non-memory ops none;
+  /// stride >= 1.
+  void validate() const;
+};
+
+}  // namespace qvliw

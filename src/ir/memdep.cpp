@@ -1,0 +1,44 @@
+#include "ir/memdep.h"
+
+#include "support/diagnostics.h"
+
+namespace qvliw {
+
+std::vector<MemDep> memory_dependences(const Loop& loop, int max_distance) {
+  std::vector<MemDep> deps;
+  const int n = loop.op_count();
+  for (int a = 0; a < n; ++a) {
+    const Op& op_a = loop.ops[static_cast<std::size_t>(a)];
+    if (!is_memory(op_a.opcode)) continue;
+    for (int b = a + 1; b < n; ++b) {
+      const Op& op_b = loop.ops[static_cast<std::size_t>(b)];
+      if (!is_memory(op_b.opcode)) continue;
+      if (op_a.array != op_b.array) continue;
+      const bool a_store = op_a.opcode == Opcode::kStore;
+      const bool b_store = op_b.opcode == Opcode::kStore;
+      if (!a_store && !b_store) continue;  // load-load never constrains
+
+      // stride*i1 + off_a == stride*i2 + off_b  =>  i2 - i1 = (off_a - off_b)/stride
+      const int delta = op_a.mem_offset - op_b.mem_offset;
+      if (delta % loop.stride != 0) continue;  // never the same element
+      const int d = delta / loop.stride;
+
+      auto kind_of = [](bool src_store, bool dst_store) {
+        if (src_store && dst_store) return MemDepKind::kOutput;
+        if (src_store) return MemDepKind::kFlow;
+        return MemDepKind::kAnti;
+      };
+
+      if (d >= 0) {
+        // op_b's touching iteration is d later than op_a's: a -> b.
+        if (d <= max_distance) deps.push_back({a, b, d, kind_of(a_store, b_store)});
+      } else {
+        // op_a touches d iterations after op_b: b -> a.
+        if (-d <= max_distance) deps.push_back({b, a, -d, kind_of(b_store, a_store)});
+      }
+    }
+  }
+  return deps;
+}
+
+}  // namespace qvliw

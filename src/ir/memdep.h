@@ -1,0 +1,44 @@
+// Memory dependence derivation for affine array references.
+//
+// All memory references have the form A[stride*i + offset].  Two references
+// to the same array alias when their offsets differ by a multiple of the
+// stride; the multiple is the dependence distance.  References to distinct
+// arrays never alias (arrays are independent storage in this IR).
+//
+// Memory-order edges all carry latency 1: the simulator defines a store to
+// be visible to any access issued at a strictly later cycle, so a one-cycle
+// separation is necessary and sufficient for every flavour (flow, anti,
+// output).
+#pragma once
+
+#include <vector>
+
+#include "ir/loop.h"
+
+namespace qvliw {
+
+enum class MemDepKind : std::uint8_t {
+  kFlow,    // store -> load
+  kAnti,    // load -> store
+  kOutput,  // store -> store
+};
+
+struct MemDep {
+  int src = 0;       // op index issued in the earlier (or same) iteration
+  int dst = 0;       // op index `distance` iterations later
+  int distance = 0;  // >= 0; 0 means program order within an iteration
+  MemDepKind kind = MemDepKind::kFlow;
+
+  friend bool operator==(const MemDep&, const MemDep&) = default;
+};
+
+/// Computes all pairwise memory dependences of `loop`.
+///
+/// Distances larger than `max_distance` are dropped: a dependence spanning
+/// that many iterations cannot constrain a modulo schedule whose span is
+/// far smaller, and dropping the bound keeps edge counts quadratic-free for
+/// wide unrolled loops.  The default keeps everything relevant for the
+/// paper's workloads.
+[[nodiscard]] std::vector<MemDep> memory_dependences(const Loop& loop, int max_distance = 64);
+
+}  // namespace qvliw

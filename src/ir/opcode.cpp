@@ -1,0 +1,53 @@
+#include "ir/opcode.h"
+
+#include "support/diagnostics.h"
+
+namespace qvliw {
+
+namespace {
+constexpr std::array<std::string_view, kNumOpcodes> kNames = {
+    "load", "store", "add", "sub", "mul", "div",
+    "fadd", "fsub", "fmul", "fdiv", "copy", "move",
+};
+}  // namespace
+
+std::string_view opcode_name(Opcode opcode) {
+  const auto index = static_cast<std::size_t>(opcode);
+  QVLIW_ASSERT(index < kNames.size(), "bad opcode");
+  return kNames[index];
+}
+
+bool parse_opcode(std::string_view text, Opcode& out) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == text) {
+      out = static_cast<Opcode>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+LatencyModel LatencyModel::classic() {
+  LatencyModel model;
+  model.latency[static_cast<std::size_t>(Opcode::kLoad)] = 2;
+  model.latency[static_cast<std::size_t>(Opcode::kStore)] = 1;
+  model.latency[static_cast<std::size_t>(Opcode::kAdd)] = 1;
+  model.latency[static_cast<std::size_t>(Opcode::kSub)] = 1;
+  model.latency[static_cast<std::size_t>(Opcode::kMul)] = 3;
+  model.latency[static_cast<std::size_t>(Opcode::kDiv)] = 8;
+  model.latency[static_cast<std::size_t>(Opcode::kFAdd)] = 2;
+  model.latency[static_cast<std::size_t>(Opcode::kFSub)] = 2;
+  model.latency[static_cast<std::size_t>(Opcode::kFMul)] = 3;
+  model.latency[static_cast<std::size_t>(Opcode::kFDiv)] = 8;
+  model.latency[static_cast<std::size_t>(Opcode::kCopy)] = 1;
+  model.latency[static_cast<std::size_t>(Opcode::kMove)] = 1;
+  return model;
+}
+
+LatencyModel LatencyModel::unit() {
+  LatencyModel model;
+  model.latency.fill(1);
+  return model;
+}
+
+}  // namespace qvliw

@@ -1,0 +1,86 @@
+// Operation set of the loop IR.
+//
+// The IR models the operation repertoire the paper's machine executes:
+// memory accesses (handled by the L/S unit with implicit address
+// generation), integer and floating-point arithmetic (ADD- and MUL-class
+// units), and the two data-movement operations the paper introduces for
+// queue register files: `copy` (one pop, up to two pushes — Section 2) and
+// `move` (one pop, one push; the future-work inter-cluster transfer that
+// our extension implements).
+//
+// Arithmetic is evaluated over int64 regardless of the nominal int/float
+// flavour: the flavours exist to exercise different latencies and FU
+// classes, while exact integer semantics keep simulator-vs-reference
+// equivalence checks bit-precise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace qvliw {
+
+enum class Opcode : std::uint8_t {
+  kLoad,   // r = load A[i+k]
+  kStore,  // store A[i+k], v
+  kAdd,    // integer add
+  kSub,    // integer subtract
+  kMul,    // integer multiply
+  kDiv,    // integer divide (guarded: x/0 == 0)
+  kFAdd,   // "float" add (int64 semantics, FP latency)
+  kFSub,
+  kFMul,
+  kFDiv,
+  kCopy,  // queue fan-out: one input value, consumable by up to two readers
+  kMove,  // inter-cluster transfer: one input, one reader
+};
+
+inline constexpr int kNumOpcodes = 12;
+
+/// Mnemonic used by the DSL and printers ("load", "fmul", ...).
+[[nodiscard]] std::string_view opcode_name(Opcode opcode);
+
+/// Parses a mnemonic; returns false when `text` is not an opcode.
+[[nodiscard]] bool parse_opcode(std::string_view text, Opcode& out);
+
+/// True for kLoad/kStore.
+[[nodiscard]] constexpr bool is_memory(Opcode opcode) {
+  return opcode == Opcode::kLoad || opcode == Opcode::kStore;
+}
+
+/// True for every opcode that produces a value (everything but kStore).
+[[nodiscard]] constexpr bool defines_value(Opcode opcode) { return opcode != Opcode::kStore; }
+
+/// Number of explicit operands the opcode takes.
+[[nodiscard]] constexpr int operand_count(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kLoad:
+      return 0;
+    case Opcode::kStore:
+    case Opcode::kCopy:
+    case Opcode::kMove:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+/// Per-opcode result latency in cycles.
+struct LatencyModel {
+  std::array<int, kNumOpcodes> latency{};
+
+  [[nodiscard]] int of(Opcode opcode) const {
+    return latency[static_cast<std::size_t>(opcode)];
+  }
+
+  /// The model used throughout the experiments: load 2, store 1, int
+  /// add/sub 1, int mul 3, div 8, FP add/sub 2, FP mul 3, FP div 8,
+  /// copy/move 1 — in line with the era's VLIW literature (Rau's IMS
+  /// studies and the Cydra-5 family the paper builds on).
+  [[nodiscard]] static LatencyModel classic();
+
+  /// Unit latency for every opcode (useful in tests).
+  [[nodiscard]] static LatencyModel unit();
+};
+
+}  // namespace qvliw

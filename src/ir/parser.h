@@ -1,0 +1,46 @@
+// Textual loop DSL.
+//
+// Grammar (comments start with '#'; ';' terminates statements):
+//
+//   file       := loop+
+//   loop       := "loop" IDENT "{" stmt* "}"
+//   stmt       := "invariant" IDENT ("," IDENT)* ";"
+//              |  "array" IDENT ("," IDENT)* ";"
+//              |  "trip" NUMBER ";"
+//              |  "stride" NUMBER ";"
+//              |  IDENT "=" "load" IDENT "[" index "]" ";"
+//              |  "store" IDENT "[" index "]" "," operand ";"
+//              |  IDENT "=" MNEMONIC operand ("," operand)* ";"
+//   operand    := IDENT ("@" NUMBER)?    -- value (or invariant) reference
+//              |  ("-")? NUMBER          -- immediate
+//              |  "i" (("+"|"-") NUMBER)?-- loop index
+//   index      := "i" (("+"|"-") NUMBER)?
+//
+// Example:
+//   loop fir2 {
+//     invariant c0, c1;
+//     x0 = load X[i];
+//     x1 = load X[i+1];
+//     t0 = fmul x0, c0;
+//     t1 = fmul x1, c1;
+//     s  = fadd t0, t1;
+//     acc = fadd acc@1, s;   # loop-carried accumulator
+//     store Y[i], s;
+//   }
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/loop.h"
+
+namespace qvliw {
+
+/// Parses exactly one loop; throws Error with line/column context.
+[[nodiscard]] Loop parse_loop(std::string_view text);
+
+/// Parses a file of one or more loops.
+[[nodiscard]] std::vector<Loop> parse_loops(std::string_view text);
+
+}  // namespace qvliw

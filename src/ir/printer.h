@@ -1,0 +1,20 @@
+// Loop-to-DSL printing (round-trips through the parser).
+#pragma once
+
+#include <string>
+
+#include "ir/loop.h"
+
+namespace qvliw {
+
+/// Renders one operand in DSL syntax ("x@1", "c0", "42", "i+3").
+[[nodiscard]] std::string operand_text(const Loop& loop, const Operand& operand);
+
+/// Renders one op as a DSL statement without the trailing ';'.
+[[nodiscard]] std::string op_text(const Loop& loop, const Op& op);
+
+/// Renders a whole loop in DSL syntax; parse_loop(to_text(l)) == l
+/// structurally.
+[[nodiscard]] std::string to_text(const Loop& loop);
+
+}  // namespace qvliw

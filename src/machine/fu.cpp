@@ -1,0 +1,21 @@
+#include "machine/fu.h"
+
+#include "support/diagnostics.h"
+
+namespace qvliw {
+
+std::string_view fu_kind_name(FuKind kind) {
+  switch (kind) {
+    case FuKind::kLS:
+      return "L/S";
+    case FuKind::kAdd:
+      return "ADD";
+    case FuKind::kMul:
+      return "MUL";
+    case FuKind::kCopy:
+      return "COPY";
+  }
+  QVLIW_ASSERT(false, "bad FuKind");
+}
+
+}  // namespace qvliw

@@ -1,0 +1,100 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+ClusterConfig ClusterConfig::paper_cluster() {
+  ClusterConfig config;
+  config.fus(FuKind::kLS) = 1;
+  config.fus(FuKind::kAdd) = 1;
+  config.fus(FuKind::kMul) = 1;
+  config.fus(FuKind::kCopy) = 1;
+  config.private_queues = 8;
+  config.queue_depth = 16;
+  return config;
+}
+
+const ClusterConfig& MachineConfig::cluster(int c) const {
+  check(c >= 0 && c < cluster_count(), "MachineConfig::cluster out of range");
+  return clusters[static_cast<std::size_t>(c)];
+}
+
+int MachineConfig::total_fus(FuKind kind) const {
+  int total = 0;
+  for (const ClusterConfig& c : clusters) total += c.fus(kind);
+  return total;
+}
+
+int MachineConfig::total_compute_fus() const {
+  return total_fus(FuKind::kLS) + total_fus(FuKind::kAdd) + total_fus(FuKind::kMul);
+}
+
+int MachineConfig::ring_distance(int a, int b) const {
+  const int k = cluster_count();
+  check(a >= 0 && a < k && b >= 0 && b < k, "ring_distance: cluster out of range");
+  const int cw = clockwise_distance(a, b);
+  return std::min(cw, k - cw);
+}
+
+int MachineConfig::clockwise_distance(int a, int b) const {
+  const int k = cluster_count();
+  check(a >= 0 && a < k && b >= 0 && b < k, "clockwise_distance: cluster out of range");
+  return ((b - a) % k + k) % k;
+}
+
+int MachineConfig::step_toward(int a, int b) const {
+  check(a != b, "step_toward: a == b");
+  const int k = cluster_count();
+  const int cw = clockwise_distance(a, b);
+  if (cw <= k - cw) return (a + 1) % k;
+  return (a - 1 + k) % k;
+}
+
+void MachineConfig::validate() const {
+  check(!clusters.empty(), cat("machine '", name, "': needs at least one cluster"));
+  for (int c = 0; c < cluster_count(); ++c) {
+    const ClusterConfig& cc = cluster(c);
+    check(cc.fus(FuKind::kLS) >= 1 && cc.fus(FuKind::kAdd) >= 1 && cc.fus(FuKind::kMul) >= 1,
+          cat("machine '", name, "', cluster ", c, ": every compute FU kind needs >= 1 instance"));
+    check(cc.fus(FuKind::kCopy) >= 0, "negative copy FU count");
+    check(cc.private_queues >= 1, cat("machine '", name, "', cluster ", c, ": needs private queues"));
+    check(cc.queue_depth >= 1, cat("machine '", name, "', cluster ", c, ": needs queue depth"));
+  }
+  if (cluster_count() > 1) {
+    check(ring.queues_per_direction >= 1, cat("machine '", name, "': ring needs queues"));
+    check(ring.queue_depth >= 1, cat("machine '", name, "': ring needs queue depth"));
+  }
+}
+
+MachineConfig MachineConfig::single_cluster_machine(int n_fus, int queues) {
+  check(n_fus >= 3, "single_cluster_machine: need at least 3 FUs (one per kind)");
+  MachineConfig machine;
+  machine.name = cat("single-", n_fus, "fu");
+  ClusterConfig cc;
+  // Round-robin L/S, ADD, MUL so 12 FUs -> 4/4/4 (matching 4 paper clusters).
+  static constexpr FuKind kOrder[3] = {FuKind::kLS, FuKind::kAdd, FuKind::kMul};
+  for (int i = 0; i < n_fus; ++i) cc.fus(kOrder[i % 3]) += 1;
+  cc.fus(FuKind::kCopy) = (n_fus + 2) / 3;  // one copy unit per 3 compute FUs
+  cc.private_queues = queues;
+  cc.queue_depth = 16;
+  machine.clusters.push_back(cc);
+  machine.validate();
+  return machine;
+}
+
+MachineConfig MachineConfig::clustered_machine(int n_clusters) {
+  check(n_clusters >= 2, "clustered_machine: need at least 2 clusters");
+  MachineConfig machine;
+  machine.name = cat("ring-", n_clusters, "x3fu");
+  machine.clusters.assign(static_cast<std::size_t>(n_clusters), ClusterConfig::paper_cluster());
+  machine.ring.queues_per_direction = 8;
+  machine.ring.queue_depth = 16;
+  machine.validate();
+  return machine;
+}
+
+}  // namespace qvliw

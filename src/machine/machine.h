@@ -1,0 +1,101 @@
+// Machine configuration: clusters, queue register files, ring interconnect.
+//
+// A machine is a ring of clusters.  Each cluster has a private QRF (a set
+// of queues usable only by its own FUs) and is connected to its two ring
+// neighbours by directional *segments*, each implemented as a set of
+// queues (Fig. 5b / Fig. 7 of the paper): a producer in cluster c writes a
+// segment queue that a consumer in the adjacent cluster pops.  The base
+// partitioning scheme permits communication only between adjacent
+// clusters; `move` operations (the paper's future-work extension) relay
+// values across several segments.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.h"
+#include "machine/fu.h"
+
+namespace qvliw {
+
+struct ClusterConfig {
+  /// FU instances per kind, indexed by FuKind.
+  std::array<int, kNumFuKinds> fu_count{};
+
+  /// Queues in the private QRF (paper's basic cluster: 8).
+  int private_queues = 8;
+
+  /// Positions (depth) per private queue.
+  int queue_depth = 16;
+
+  [[nodiscard]] int fus(FuKind kind) const { return fu_count[static_cast<std::size_t>(kind)]; }
+  [[nodiscard]] int& fus(FuKind kind) { return fu_count[static_cast<std::size_t>(kind)]; }
+
+  /// The paper's cluster: 1 L/S + 1 ADD + 1 MUL + 1 COPY, 8 private queues.
+  [[nodiscard]] static ClusterConfig paper_cluster();
+};
+
+struct RingConfig {
+  /// Queues per directional segment between adjacent clusters (paper: 8).
+  int queues_per_direction = 8;
+
+  /// Positions per ring queue.
+  int queue_depth = 16;
+};
+
+class MachineConfig {
+ public:
+  std::string name = "machine";
+  std::vector<ClusterConfig> clusters;
+  RingConfig ring;
+  LatencyModel latency = LatencyModel::classic();
+
+  [[nodiscard]] int cluster_count() const { return static_cast<int>(clusters.size()); }
+  [[nodiscard]] bool single_cluster() const { return clusters.size() == 1; }
+
+  [[nodiscard]] const ClusterConfig& cluster(int c) const;
+
+  [[nodiscard]] int fu_count(int c, FuKind kind) const { return cluster(c).fus(kind); }
+
+  /// FU instances of `kind` summed over all clusters.
+  [[nodiscard]] int total_fus(FuKind kind) const;
+
+  /// Compute FUs (L/S + ADD + MUL) over all clusters — the paper's
+  /// machine-size label ("12 FUs" = 4 clusters).
+  [[nodiscard]] int total_compute_fus() const;
+
+  // --- ring topology ------------------------------------------------------
+
+  /// Minimal hop count between clusters on the bidirectional ring.
+  [[nodiscard]] int ring_distance(int a, int b) const;
+
+  /// True when a == b or the clusters are ring neighbours.
+  [[nodiscard]] bool adjacent(int a, int b) const { return ring_distance(a, b) <= 1; }
+
+  /// Hops going clockwise from a to b (0 .. cluster_count-1).
+  [[nodiscard]] int clockwise_distance(int a, int b) const;
+
+  /// Next cluster one hop from `a` toward `b` along a shortest ring path
+  /// (clockwise preferred on ties).  Requires a != b.
+  [[nodiscard]] int step_toward(int a, int b) const;
+
+  /// Structural checks: >= 1 cluster, every cluster has >= 1 of each
+  /// compute FU kind, positive queue counts/depths.
+  void validate() const;
+
+  // --- paper configurations ----------------------------------------------
+
+  /// Single-cluster machine with `n_fus` compute FUs distributed
+  /// round-robin over L/S, ADD, MUL (12 -> 4/4/4 as in the paper), plus
+  /// ceil(n/3) copy units and `queues` private queues (default 32, the
+  /// configuration that schedules most of the paper's benchmark).
+  [[nodiscard]] static MachineConfig single_cluster_machine(int n_fus, int queues = 32);
+
+  /// `n_clusters` paper clusters on a bidirectional ring of queues
+  /// (Fig. 5b): 3 compute FUs + 1 copy FU per cluster, 8 private queues,
+  /// 8 ring queues per direction per segment.
+  [[nodiscard]] static MachineConfig clustered_machine(int n_clusters);
+};
+
+}  // namespace qvliw

@@ -1,0 +1,91 @@
+#include "qrf/lifetime.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+namespace {
+long long floor_div(long long a, long long b) {
+  QVLIW_ASSERT(b > 0, "floor_div: divisor must be positive");
+  long long q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+}  // namespace
+
+std::string domain_name(const QueueDomain& domain) {
+  switch (domain.kind) {
+    case QueueDomain::Kind::kPrivate:
+      return cat("private[", domain.index, "]");
+    case QueueDomain::Kind::kRingCw:
+      return cat("ring-cw[", domain.index, "]");
+    case QueueDomain::Kind::kRingCcw:
+      return cat("ring-ccw[", domain.index, "]");
+  }
+  QVLIW_ASSERT(false, "bad QueueDomain kind");
+}
+
+QueueDomain domain_of_edge(const MachineConfig& machine, int producer_cluster,
+                           int consumer_cluster) {
+  const int k = machine.cluster_count();
+  if (producer_cluster == consumer_cluster) {
+    return {QueueDomain::Kind::kPrivate, producer_cluster};
+  }
+  // Clockwise first: for k == 2 both directions match, and we consistently
+  // use the two clockwise segments (0->1 and 1->0).
+  if ((producer_cluster + 1) % k == consumer_cluster) {
+    return {QueueDomain::Kind::kRingCw, producer_cluster};
+  }
+  if ((consumer_cluster + 1) % k == producer_cluster) {
+    return {QueueDomain::Kind::kRingCcw, consumer_cluster};
+  }
+  fail(cat("value flow between non-adjacent clusters ", producer_cluster, " and ",
+           consumer_cluster, " (ring of ", k, ")"));
+}
+
+std::vector<Lifetime> extract_lifetimes(const Loop& loop, const Ddg& graph,
+                                        const MachineConfig& machine, const Schedule& schedule) {
+  check(schedule.complete(), "extract_lifetimes: schedule incomplete");
+  std::vector<Lifetime> lifetimes;
+  for (int e = 0; e < graph.edge_count(); ++e) {
+    const DepEdge& edge = graph.edge(e);
+    if (!edge.is_value_flow()) continue;
+    Lifetime lt;
+    lt.edge = e;
+    lt.producer = edge.src;
+    lt.consumer = edge.dst;
+    lt.push = schedule.cycle(edge.src) +
+              machine.latency.of(loop.ops[static_cast<std::size_t>(edge.src)].opcode);
+    lt.pop = schedule.cycle(edge.dst) + schedule.ii() * edge.distance;
+    QVLIW_ASSERT(lt.pop >= lt.push, "lifetime with pop before push (dependence violation)");
+    lt.domain = domain_of_edge(machine, schedule.cluster(edge.src), schedule.cluster(edge.dst));
+    lifetimes.push_back(lt);
+  }
+  return lifetimes;
+}
+
+int live_instances(int push, int pop, int ii, long long t) {
+  check(ii >= 1, "live_instances: ii must be >= 1");
+  check(pop >= push, "live_instances: pop before push");
+  // Count k >= 0 with push + k*ii <= t and t <= pop + k*ii:
+  //   k <= floor((t - push) / ii)  and  k >= ceil((t - pop) / ii).
+  const long long k_hi = floor_div(t - push, ii);
+  const long long k_lo = std::max<long long>(0, -floor_div(pop - t, ii));
+  if (k_hi < k_lo) return 0;
+  return static_cast<int>(k_hi - k_lo + 1);
+}
+
+int max_live_instances(int push, int pop, int ii) {
+  // Steady state is reached once t >= pop; scan one period beyond that.
+  const long long t0 = pop;
+  int best = 0;
+  for (int phase = 0; phase < ii; ++phase) {
+    best = std::max(best, live_instances(push, pop, ii, t0 + phase));
+  }
+  return best;
+}
+
+}  // namespace qvliw

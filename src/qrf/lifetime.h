@@ -1,0 +1,67 @@
+// Queue-resident lifetimes of a modulo schedule.
+//
+// After copy insertion every produced value instance has exactly one
+// consumer per queue, so each register *flow edge* of the DDG is one
+// periodic lifetime: iteration j's instance is pushed at
+// sigma(src)+lat(src)+j*II and popped at sigma(dst)+(j+dist)*II.
+// The lifetime records the j=0 representative (push, pop) pair plus the
+// queue *domain* it must live in: the producer cluster's private QRF, or
+// one directional segment of the ring when producer and consumer sit in
+// adjacent clusters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ddg.h"
+#include "machine/machine.h"
+#include "sched/schedule.h"
+
+namespace qvliw {
+
+/// One pool of physical queues: a cluster's private QRF or one directional
+/// ring segment (clockwise segment i: cluster i -> i+1; counter-clockwise
+/// segment i: cluster i+1 -> i).
+struct QueueDomain {
+  enum class Kind : std::uint8_t { kPrivate, kRingCw, kRingCcw };
+  Kind kind = Kind::kPrivate;
+  int index = 0;  // cluster for kPrivate; segment index otherwise
+
+  friend bool operator==(const QueueDomain&, const QueueDomain&) = default;
+  friend auto operator<=>(const QueueDomain&, const QueueDomain&) = default;
+};
+
+[[nodiscard]] std::string domain_name(const QueueDomain& domain);
+
+struct Lifetime {
+  int edge = -1;      // DDG edge index (always a kFlow edge)
+  int producer = -1;  // op
+  int consumer = -1;  // op
+  int push = 0;       // sigma(producer) + latency(producer)
+  int pop = 0;        // sigma(consumer) + II * distance
+  QueueDomain domain;
+
+  /// Residency length in cycles; >= 0 in any valid schedule.
+  [[nodiscard]] int length() const { return pop - push; }
+};
+
+/// Resolves the queue domain of a flow edge given the placements of its
+/// endpoints.  Fails (Error) when the clusters are not ring-adjacent: the
+/// partitioner guarantees adjacency, so a violation is an internal error.
+[[nodiscard]] QueueDomain domain_of_edge(const MachineConfig& machine, int producer_cluster,
+                                         int consumer_cluster);
+
+/// Extracts every flow edge's lifetime from a complete schedule.
+[[nodiscard]] std::vector<Lifetime> extract_lifetimes(const Loop& loop, const Ddg& graph,
+                                                      const MachineConfig& machine,
+                                                      const Schedule& schedule);
+
+/// Number of live instances of a (push, pop, II)-periodic lifetime at
+/// absolute cycle `t`, counting residency inclusively on both ends
+/// (instances with push+k*II <= t <= pop+k*II, k >= 0).
+[[nodiscard]] int live_instances(int push, int pop, int ii, long long t);
+
+/// Steady-state maximum of live_instances over one period.
+[[nodiscard]] int max_live_instances(int push, int pop, int ii);
+
+}  // namespace qvliw

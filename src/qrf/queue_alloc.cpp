@@ -1,0 +1,146 @@
+#include "qrf/queue_alloc.h"
+
+#include <algorithm>
+
+#include "qrf/qcompat.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+int QueueAllocation::domain_queue_count(const QueueDomain& domain) const {
+  int count = 0;
+  for (const AllocatedQueue& q : queues) {
+    if (q.domain == domain) ++count;
+  }
+  return count;
+}
+
+int QueueAllocation::max_private_queues() const {
+  std::map<int, int> per_cluster;
+  for (const AllocatedQueue& q : queues) {
+    if (q.domain.kind == QueueDomain::Kind::kPrivate) ++per_cluster[q.domain.index];
+  }
+  int best = 0;
+  for (const auto& [cluster, count] : per_cluster) best = std::max(best, count);
+  return best;
+}
+
+int QueueAllocation::max_ring_queues() const {
+  std::map<std::pair<int, int>, int> per_segment;
+  for (const AllocatedQueue& q : queues) {
+    if (q.domain.kind == QueueDomain::Kind::kPrivate) continue;
+    ++per_segment[{static_cast<int>(q.domain.kind), q.domain.index}];
+  }
+  int best = 0;
+  for (const auto& [segment, count] : per_segment) best = std::max(best, count);
+  return best;
+}
+
+int QueueAllocation::max_positions() const {
+  int best = 0;
+  for (const AllocatedQueue& q : queues) best = std::max(best, q.max_occupancy);
+  return best;
+}
+
+std::vector<std::string> QueueAllocation::capacity_violations(const MachineConfig& machine) const {
+  std::vector<std::string> violations;
+  std::map<QueueDomain, int> counts;
+  std::map<QueueDomain, int> depths;
+  for (const AllocatedQueue& q : queues) {
+    ++counts[q.domain];
+    depths[q.domain] = std::max(depths[q.domain], q.max_occupancy);
+  }
+  for (const auto& [domain, count] : counts) {
+    const bool is_private = domain.kind == QueueDomain::Kind::kPrivate;
+    const int queue_limit = is_private ? machine.cluster(domain.index).private_queues
+                                       : machine.ring.queues_per_direction;
+    const int depth_limit =
+        is_private ? machine.cluster(domain.index).queue_depth : machine.ring.queue_depth;
+    if (count > queue_limit) {
+      violations.push_back(cat(domain_name(domain), ": needs ", count, " queues, machine has ",
+                               queue_limit));
+    }
+    if (depths.at(domain) > depth_limit) {
+      violations.push_back(cat(domain_name(domain), ": needs depth ", depths.at(domain),
+                               ", machine has ", depth_limit));
+    }
+  }
+  return violations;
+}
+
+QueueAllocation allocate_queues(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
+                                const Schedule& schedule) {
+  QueueAllocation allocation;
+  allocation.ii = schedule.ii();
+  allocation.lifetimes = extract_lifetimes(loop, graph, machine, schedule);
+  allocation.queue_of.assign(allocation.lifetimes.size(), -1);
+
+  // Stable processing order: by domain, then push time, then pop, then edge.
+  std::vector<int> order(allocation.lifetimes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Lifetime& la = allocation.lifetimes[static_cast<std::size_t>(a)];
+    const Lifetime& lb = allocation.lifetimes[static_cast<std::size_t>(b)];
+    if (la.domain != lb.domain) return la.domain < lb.domain;
+    if (la.push != lb.push) return la.push < lb.push;
+    if (la.pop != lb.pop) return la.pop < lb.pop;
+    return la.edge < lb.edge;
+  });
+
+  const int ii = allocation.ii;
+  for (int lt_index : order) {
+    const Lifetime& lt = allocation.lifetimes[static_cast<std::size_t>(lt_index)];
+    int target = -1;
+    for (std::size_t q = 0; q < allocation.queues.size(); ++q) {
+      AllocatedQueue& queue = allocation.queues[q];
+      if (queue.domain != lt.domain) continue;
+      bool fits = true;
+      for (int member : queue.members) {
+        if (!q_compatible(allocation.lifetimes[static_cast<std::size_t>(member)], lt, ii)) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        target = static_cast<int>(q);
+        break;
+      }
+    }
+    if (target < 0) {
+      AllocatedQueue queue;
+      queue.domain = lt.domain;
+      queue.index_in_domain = 0;
+      for (const AllocatedQueue& other : allocation.queues) {
+        if (other.domain == lt.domain) ++queue.index_in_domain;
+      }
+      allocation.queues.push_back(std::move(queue));
+      target = static_cast<int>(allocation.queues.size()) - 1;
+    }
+    allocation.queues[static_cast<std::size_t>(target)].members.push_back(lt_index);
+    allocation.queue_of[static_cast<std::size_t>(lt_index)] = target;
+  }
+
+  // Steady-state positions per queue: maximum summed occupancy over one
+  // period, evaluated past the longest lifetime's first pop.
+  for (AllocatedQueue& queue : allocation.queues) {
+    long long t0 = 0;
+    for (int member : queue.members) {
+      t0 = std::max<long long>(t0, allocation.lifetimes[static_cast<std::size_t>(member)].pop);
+    }
+    int best = 0;
+    for (int phase = 0; phase < ii; ++phase) {
+      int live = 0;
+      for (int member : queue.members) {
+        const Lifetime& lt = allocation.lifetimes[static_cast<std::size_t>(member)];
+        live += live_instances(lt.push, lt.pop, ii, t0 + phase);
+      }
+      best = std::max(best, live);
+    }
+    queue.max_occupancy = best;
+  }
+
+  return allocation;
+}
+
+}  // namespace qvliw

@@ -1,0 +1,61 @@
+// Queue register file allocation.
+//
+// Partitions the lifetimes of a schedule into queues, per domain (private
+// QRF of each cluster; each directional ring segment).  All members of a
+// queue must be pairwise Q-compatible — pairwise consistency implies a
+// globally consistent FIFO interleaving because push times impose a total
+// order that every pair's pops follow.  Exact minimisation is a clique
+// cover, so the allocator is the classic greedy: lifetimes in ascending
+// push order, first-fit into existing queues.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qrf/lifetime.h"
+
+namespace qvliw {
+
+struct AllocatedQueue {
+  QueueDomain domain;
+  int index_in_domain = 0;
+  std::vector<int> members;  // lifetime indices, ascending push time
+  int max_occupancy = 0;     // positions needed (steady-state maximum)
+};
+
+struct QueueAllocation {
+  int ii = 1;
+  std::vector<Lifetime> lifetimes;
+  std::vector<int> queue_of;          // lifetime index -> queue id
+  std::vector<AllocatedQueue> queues;
+
+  /// Queues used in one domain.
+  [[nodiscard]] int domain_queue_count(const QueueDomain& domain) const;
+
+  /// Largest private-QRF demand over clusters.
+  [[nodiscard]] int max_private_queues() const;
+
+  /// Largest demand over ring segments (either direction).
+  [[nodiscard]] int max_ring_queues() const;
+
+  /// Total queues across every domain (the paper's Fig. 3 metric on
+  /// single-cluster machines, where all queues are private).
+  [[nodiscard]] int total_queues() const { return static_cast<int>(queues.size()); }
+
+  /// Deepest queue (positions).
+  [[nodiscard]] int max_positions() const;
+
+  /// Configured-capacity check; returns human-readable violations
+  /// (empty == the allocation fits `machine`).
+  [[nodiscard]] std::vector<std::string> capacity_violations(const MachineConfig& machine) const;
+};
+
+/// Allocates queues for a complete schedule.  Always succeeds (queue
+/// *counts* are unbounded here); capacity_violations() reports whether the
+/// result fits a concrete machine.
+[[nodiscard]] QueueAllocation allocate_queues(const Loop& loop, const Ddg& graph,
+                                              const MachineConfig& machine,
+                                              const Schedule& schedule);
+
+}  // namespace qvliw

@@ -1,0 +1,36 @@
+// Conventional (random-access) register file baseline.
+//
+// With a conventional RF a value is written once no matter how many
+// readers it has (Fig. 1b of the paper); the register is live from the
+// producer's writeback to the last consumer's read.  For modulo schedules
+// the register requirement is MaxLive: the steady-state maximum of
+// simultaneously live value instances — the register count a rotating
+// register file needs.  Used as the baseline the QRF scheme is compared
+// against and by the register-pressure diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "ir/ddg.h"
+#include "machine/machine.h"
+#include "sched/schedule.h"
+
+namespace qvliw {
+
+struct RfLifetime {
+  int producer = -1;
+  int start = 0;  // sigma(producer) + latency
+  int end = 0;    // max over consumers of sigma(consumer) + II*distance
+};
+
+/// Per-value register lifetimes (one per value-defining op with >= 1 use;
+/// unused values occupy their writeback cycle only).
+[[nodiscard]] std::vector<RfLifetime> rf_lifetimes(const Loop& loop, const Ddg& graph,
+                                                   const LatencyModel& lat,
+                                                   const Schedule& schedule);
+
+/// MaxLive register requirement of the schedule.
+[[nodiscard]] int register_requirement(const Loop& loop, const Ddg& graph,
+                                       const LatencyModel& lat, const Schedule& schedule);
+
+}  // namespace qvliw

@@ -1,0 +1,106 @@
+// Iterative Modulo Scheduling (Rau, IJPP 1996) with pluggable cluster
+// assignment.
+//
+// The engine is Rau's algorithm: operations are scheduled highest
+// height-priority first; each op scans II consecutive cycles from its
+// dependence-derived earliest start for a slot with a free FU (and, when
+// clustered, a communication-legal cluster); when no slot fits, the op is
+// force-placed and conflicting ops are displaced back onto the ready list.
+// A budget bounds total placements per II; on exhaustion II is bumped and
+// scheduling restarts.  With the default `SingleClusterAssigner` this is
+// exactly classic IMS; the partitioner of src/cluster/ supplies a
+// ring-topology-aware assigner (Section 4 of the paper).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ddg.h"
+#include "ir/loop.h"
+#include "machine/machine.h"
+#include "sched/mii.h"
+#include "sched/schedule.h"
+
+namespace qvliw {
+
+/// Strategy hook deciding which clusters an op may go to.
+///
+/// `legal(op, cluster)` must be true iff placing `op` in `cluster` keeps
+/// every *currently scheduled* flow neighbour's value path realisable
+/// (same cluster or ring-adjacent in the base scheme).  Implementations
+/// observe placements through on_place/on_remove.
+class ClusterAssigner {
+ public:
+  virtual ~ClusterAssigner() = default;
+
+  /// Called when an II attempt starts; implementations drop state.
+  virtual void reset(int ii) { (void)ii; }
+
+  /// Candidate clusters for `op`, best first.  Must be non-empty.
+  virtual void candidates(int op, std::vector<int>& out) = 0;
+
+  /// Communication legality of placing `op` in `cluster` now.
+  virtual bool legal(int op, int cluster) = 0;
+
+  /// Scheduled flow neighbours of `op` that become unreachable if `op` is
+  /// force-placed in `cluster`; they will be displaced.
+  virtual void adjacency_evictions(int op, int cluster, std::vector<int>& out) = 0;
+
+  virtual void on_place(int op, int cluster) { (void)op, (void)cluster; }
+  virtual void on_remove(int op) { (void)op; }
+};
+
+/// The trivial assigner for single-cluster machines.
+class SingleClusterAssigner final : public ClusterAssigner {
+ public:
+  void candidates(int, std::vector<int>& out) override { out.assign(1, 0); }
+  bool legal(int, int) override { return true; }
+  void adjacency_evictions(int, int, std::vector<int>&) override {}
+};
+
+struct ImsOptions {
+  /// Budget = budget_ratio * op_count placements per II attempt (Rau
+  /// reports 6 as a robust value).
+  int budget_ratio = 6;
+
+  /// Hard cap on the II search.
+  int max_ii = 1024;
+
+  /// Maximum IIs tried before giving up.  Raising the II relaxes timing
+  /// but never communication structure, so a loop that is unplaceable
+  /// under the ring-adjacency constraint would otherwise burn the whole
+  /// ladder; 32 attempts is far beyond what any schedulable loop needs.
+  int max_ii_attempts = 32;
+
+  /// When > 0, start the search at this II instead of MII (used by the
+  /// same-II clustered experiments of Fig. 6).
+  int start_ii = 0;
+
+  /// When >= 0, try only IIs up to this value (fail beyond); used to ask
+  /// "does it fit at the single-cluster II?".
+  int ii_limit = -1;
+};
+
+struct ImsStats {
+  int placements = 0;   // total scheduling acts over all II attempts
+  int evictions = 0;    // total displacements
+  int ii_attempts = 0;  // number of IIs tried
+};
+
+struct ImsResult {
+  bool ok = false;
+  Schedule schedule;
+  int ii = 0;
+  MiiInfo mii;
+  ImsStats stats;
+  std::string failure;
+};
+
+/// Schedules `loop`'s DDG onto `machine`.  The result schedule is fully
+/// validated (dependences + resources) before ok=true is returned.
+[[nodiscard]] ImsResult ims_schedule(const Loop& loop, const Ddg& graph,
+                                     const MachineConfig& machine, const ImsOptions& options = {},
+                                     ClusterAssigner* assigner = nullptr);
+
+}  // namespace qvliw

@@ -1,0 +1,57 @@
+#include "sched/mii.h"
+
+#include <algorithm>
+
+#include "ir/graph_algos.h"
+#include "support/diagnostics.h"
+
+namespace qvliw {
+
+int res_mii(const Loop& loop, const MachineConfig& machine) {
+  std::array<int, kNumFuKinds> ops_per_kind{};
+  for (const Op& op : loop.ops) {
+    ops_per_kind[static_cast<std::size_t>(fu_for(op.opcode))] += 1;
+  }
+  int bound = 1;
+  for (int k = 0; k < kNumFuKinds; ++k) {
+    const int ops = ops_per_kind[static_cast<std::size_t>(k)];
+    if (ops == 0) continue;
+    const int fus = machine.total_fus(static_cast<FuKind>(k));
+    if (fus == 0) return 0;  // infeasible marker
+    bound = std::max(bound, (ops + fus - 1) / fus);
+  }
+  return bound;
+}
+
+int rec_mii(const Ddg& graph) {
+  // Feasibility is monotone in II: raising II only lowers the weight of
+  // distance-carrying edges.  An II equal to the total latency is always
+  // feasible (any circuit has distance >= 1 in a valid DDG).
+  int lo = 1;
+  int hi = std::max(1, graph.total_latency());
+  QVLIW_ASSERT(!has_positive_cycle(graph, hi), "DDG has a zero-distance cycle");
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (has_positive_cycle(graph, mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+MiiInfo compute_mii(const Loop& loop, const Ddg& graph, const MachineConfig& machine) {
+  MiiInfo info;
+  info.res_mii = res_mii(loop, machine);
+  if (info.res_mii == 0) {
+    info.feasible = false;
+    return info;
+  }
+  info.rec_mii = rec_mii(graph);
+  info.mii = std::max(info.res_mii, info.rec_mii);
+  info.feasible = true;
+  return info;
+}
+
+}  // namespace qvliw

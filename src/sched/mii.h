@@ -1,0 +1,33 @@
+// Lower bounds on the initiation interval.
+//
+// ResMII: most-used FU class (operation count over FU instances, summed
+// machine-wide — a clustered machine is bounded as if monolithic; the
+// partitioner's job is to approach this bound).
+// RecMII: smallest II for which no dependence circuit requires
+// sigma-progress faster than II per iteration (no positive cycle under
+// weights latency - II*distance).
+#pragma once
+
+#include "ir/ddg.h"
+#include "ir/loop.h"
+#include "machine/machine.h"
+
+namespace qvliw {
+
+struct MiiInfo {
+  bool feasible = false;  // false when some op class has no FU at all
+  int res_mii = 0;
+  int rec_mii = 0;
+  int mii = 0;  // max(res_mii, rec_mii)
+};
+
+/// Resource-constrained MII; 0-feasible only if every used FU kind exists.
+[[nodiscard]] MiiInfo compute_mii(const Loop& loop, const Ddg& graph, const MachineConfig& machine);
+
+/// ResMII alone (ops per FU kind vs machine-wide instances).
+[[nodiscard]] int res_mii(const Loop& loop, const MachineConfig& machine);
+
+/// RecMII alone: binary search over II with positive-cycle detection.
+[[nodiscard]] int rec_mii(const Ddg& graph);
+
+}  // namespace qvliw

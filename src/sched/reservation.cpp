@@ -1,0 +1,79 @@
+#include "sched/reservation.h"
+
+#include "support/diagnostics.h"
+
+namespace qvliw {
+
+ReservationTable::ReservationTable(const MachineConfig& machine, int ii)
+    : ii_(ii), clusters_(machine.cluster_count()) {
+  check(ii >= 1, "ReservationTable: ii must be >= 1");
+  counts_.resize(static_cast<std::size_t>(clusters_ * kNumFuKinds));
+  offsets_.resize(static_cast<std::size_t>(clusters_ * kNumFuKinds));
+  std::size_t total = 0;
+  for (int c = 0; c < clusters_; ++c) {
+    for (int k = 0; k < kNumFuKinds; ++k) {
+      const std::size_t cell = static_cast<std::size_t>(c * kNumFuKinds + k);
+      counts_[cell] = machine.fu_count(c, static_cast<FuKind>(k));
+      offsets_[cell] = total;
+      total += static_cast<std::size_t>(counts_[cell]) * static_cast<std::size_t>(ii_);
+    }
+  }
+  slots_.assign(total, -1);
+}
+
+std::size_t ReservationTable::base(int cluster, FuKind kind) const {
+  QVLIW_ASSERT(cluster >= 0 && cluster < clusters_, "MRT: cluster out of range");
+  return offsets_[static_cast<std::size_t>(cluster * kNumFuKinds) +
+                  static_cast<std::size_t>(kind)];
+}
+
+int ReservationTable::slot_of(int cycle) const {
+  QVLIW_ASSERT(cycle >= 0, "MRT: negative cycle");
+  return cycle % ii_;
+}
+
+int ReservationTable::instances(int cluster, FuKind kind) const {
+  QVLIW_ASSERT(cluster >= 0 && cluster < clusters_, "MRT: cluster out of range");
+  return counts_[static_cast<std::size_t>(cluster * kNumFuKinds) + static_cast<std::size_t>(kind)];
+}
+
+int ReservationTable::find_free(int cluster, FuKind kind, int cycle) const {
+  const int n = instances(cluster, kind);
+  const std::size_t b = base(cluster, kind);
+  const int slot = slot_of(cycle);
+  for (int fu = 0; fu < n; ++fu) {
+    if (slots_[b + static_cast<std::size_t>(fu * ii_ + slot)] < 0) return fu;
+  }
+  return -1;
+}
+
+int ReservationTable::occupant(int cluster, FuKind kind, int fu, int cycle) const {
+  QVLIW_ASSERT(fu >= 0 && fu < instances(cluster, kind), "MRT: fu out of range");
+  return slots_[base(cluster, kind) + static_cast<std::size_t>(fu * ii_ + slot_of(cycle))];
+}
+
+void ReservationTable::place(int cluster, FuKind kind, int fu, int cycle, int op) {
+  QVLIW_ASSERT(fu >= 0 && fu < instances(cluster, kind), "MRT: fu out of range");
+  int& cell = slots_[base(cluster, kind) + static_cast<std::size_t>(fu * ii_ + slot_of(cycle))];
+  QVLIW_ASSERT(cell < 0, "MRT: placing into an occupied slot");
+  cell = op;
+}
+
+void ReservationTable::remove(int cluster, FuKind kind, int fu, int cycle, int op) {
+  QVLIW_ASSERT(fu >= 0 && fu < instances(cluster, kind), "MRT: fu out of range");
+  int& cell = slots_[base(cluster, kind) + static_cast<std::size_t>(fu * ii_ + slot_of(cycle))];
+  QVLIW_ASSERT(cell == op, "MRT: removing an op that is not booked here");
+  cell = -1;
+}
+
+int ReservationTable::used_slots(int cluster, FuKind kind) const {
+  const int n = instances(cluster, kind);
+  const std::size_t b = base(cluster, kind);
+  int used = 0;
+  for (int i = 0; i < n * ii_; ++i) {
+    if (slots_[b + static_cast<std::size_t>(i)] >= 0) ++used;
+  }
+  return used;
+}
+
+}  // namespace qvliw

@@ -1,0 +1,51 @@
+// Modulo reservation table (MRT).
+//
+// Tracks which operation occupies each FU instance at each of the II
+// modulo slots.  Fully pipelined FUs: one issue per instance per slot.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine.h"
+
+namespace qvliw {
+
+class ReservationTable {
+ public:
+  ReservationTable(const MachineConfig& machine, int ii);
+
+  [[nodiscard]] int ii() const { return ii_; }
+
+  /// Index of a free instance of `kind` in `cluster` at modulo slot of
+  /// `cycle`, or -1 when all are busy.
+  [[nodiscard]] int find_free(int cluster, FuKind kind, int cycle) const;
+
+  /// Occupant op of an instance at the slot of `cycle`, or -1.
+  [[nodiscard]] int occupant(int cluster, FuKind kind, int fu, int cycle) const;
+
+  /// Number of instances of `kind` in `cluster`.
+  [[nodiscard]] int instances(int cluster, FuKind kind) const;
+
+  /// Books `op` onto (cluster, kind, fu) at the slot of `cycle`.
+  /// The slot must be free.
+  void place(int cluster, FuKind kind, int fu, int cycle, int op);
+
+  /// Releases the booking; the slot must currently hold `op`.
+  void remove(int cluster, FuKind kind, int fu, int cycle, int op);
+
+  /// Occupied slots of `kind` in `cluster` (pressure metric for heuristics).
+  [[nodiscard]] int used_slots(int cluster, FuKind kind) const;
+
+ private:
+  [[nodiscard]] std::size_t base(int cluster, FuKind kind) const;
+  [[nodiscard]] int slot_of(int cycle) const;
+
+  int ii_ = 1;
+  int clusters_ = 0;
+  // Per (cluster, kind): FU instance count and offset into slots_.
+  std::vector<int> counts_;
+  std::vector<std::size_t> offsets_;
+  std::vector<int> slots_;  // [offset + fu*ii + slot] -> op or -1
+};
+
+}  // namespace qvliw

@@ -1,0 +1,180 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/printer.h"
+#include "sched/reservation.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+Schedule::Schedule(int op_count, int ii) : ii_(ii), places_(static_cast<std::size_t>(op_count)) {
+  check(op_count >= 0, "Schedule: negative op count");
+  check(ii >= 1, "Schedule: ii must be >= 1");
+}
+
+bool Schedule::scheduled(int op) const {
+  check(op >= 0 && op < op_count(), "Schedule: op out of range");
+  return places_[static_cast<std::size_t>(op)].has_value();
+}
+
+const Placement& Schedule::place(int op) const {
+  check(scheduled(op), "Schedule: op not scheduled");
+  return *places_[static_cast<std::size_t>(op)];
+}
+
+void Schedule::set(int op, Placement placement) {
+  check(op >= 0 && op < op_count(), "Schedule: op out of range");
+  check(placement.cycle >= 0, "Schedule: negative cycle");
+  places_[static_cast<std::size_t>(op)] = placement;
+}
+
+void Schedule::clear(int op) {
+  check(op >= 0 && op < op_count(), "Schedule: op out of range");
+  places_[static_cast<std::size_t>(op)].reset();
+}
+
+bool Schedule::complete() const {
+  for (const auto& p : places_) {
+    if (!p.has_value()) return false;
+  }
+  return true;
+}
+
+int Schedule::max_cycle() const {
+  int max = -1;
+  for (const auto& p : places_) {
+    if (p.has_value()) max = std::max(max, p->cycle);
+  }
+  return max;
+}
+
+int Schedule::stage_count() const {
+  const int max = max_cycle();
+  return max < 0 ? 0 : max / ii_ + 1;
+}
+
+long long Schedule::total_cycles(const Loop& loop, const LatencyModel& lat, long long trip) const {
+  check(trip >= 1, "total_cycles: trip must be >= 1");
+  check(loop.op_count() == op_count(), "total_cycles: loop/schedule mismatch");
+  int span = 0;
+  for (int op = 0; op < op_count(); ++op) {
+    if (!scheduled(op)) continue;
+    span = std::max(span, cycle(op) + lat.of(loop.ops[static_cast<std::size_t>(op)].opcode));
+  }
+  return (trip - 1) * static_cast<long long>(ii_) + span;
+}
+
+std::vector<std::string> dependence_violations(const Ddg& graph, const Schedule& schedule) {
+  std::vector<std::string> violations;
+  for (const DepEdge& e : graph.edges()) {
+    if (!schedule.scheduled(e.src) || !schedule.scheduled(e.dst)) {
+      violations.push_back(cat("edge ", e.src, "->", e.dst, ": endpoint not scheduled"));
+      continue;
+    }
+    const int lhs = schedule.cycle(e.dst);
+    const int rhs = schedule.cycle(e.src) + e.latency - schedule.ii() * e.distance;
+    if (lhs < rhs) {
+      violations.push_back(cat(dep_kind_name(e.kind), " edge ", e.src, "->", e.dst,
+                               " violated: sigma(dst)=", lhs, " < ", rhs, " (lat=", e.latency,
+                               ", dist=", e.distance, ", ii=", schedule.ii(), ")"));
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> resource_violations(const Loop& loop, const MachineConfig& machine,
+                                             const Schedule& schedule) {
+  std::vector<std::string> violations;
+  if (loop.op_count() != schedule.op_count()) {
+    violations.push_back("loop/schedule op count mismatch");
+    return violations;
+  }
+  // occupancy[(cluster, kind, fu, slot)] -> op
+  ReservationTable table(machine, schedule.ii());
+  for (int op = 0; op < loop.op_count(); ++op) {
+    if (!schedule.scheduled(op)) {
+      violations.push_back(cat("op ", op, " not scheduled"));
+      continue;
+    }
+    const Placement& p = schedule.place(op);
+    const FuKind kind = fu_for(loop.ops[static_cast<std::size_t>(op)].opcode);
+    if (p.cluster < 0 || p.cluster >= machine.cluster_count()) {
+      violations.push_back(cat("op ", op, ": cluster ", p.cluster, " out of range"));
+      continue;
+    }
+    if (p.fu < 0 || p.fu >= machine.fu_count(p.cluster, kind)) {
+      violations.push_back(cat("op ", op, ": ", fu_kind_name(kind), " instance ", p.fu,
+                               " out of range in cluster ", p.cluster));
+      continue;
+    }
+    const int other = table.occupant(p.cluster, kind, p.fu, p.cycle);
+    if (other >= 0) {
+      violations.push_back(cat("op ", op, " and op ", other, " double-book cluster ", p.cluster,
+                               " ", fu_kind_name(kind), "[", p.fu, "] slot ",
+                               p.cycle % schedule.ii()));
+      continue;
+    }
+    table.place(p.cluster, kind, p.fu, p.cycle, op);
+  }
+  return violations;
+}
+
+int useful_op_count(const Loop& loop) {
+  int count = 0;
+  for (const Op& op : loop.ops) {
+    if (op.opcode != Opcode::kCopy && op.opcode != Opcode::kMove) ++count;
+  }
+  return count;
+}
+
+double static_ipc(const Loop& loop, const Schedule& schedule) {
+  return static_cast<double>(useful_op_count(loop)) / static_cast<double>(schedule.ii());
+}
+
+double dynamic_ipc(const Loop& loop, const LatencyModel& lat, const Schedule& schedule,
+                   long long trip) {
+  const long long total = schedule.total_cycles(loop, lat, trip);
+  return static_cast<double>(useful_op_count(loop)) * static_cast<double>(trip) /
+         static_cast<double>(total);
+}
+
+std::string format_kernel(const Loop& loop, const MachineConfig& machine,
+                          const Schedule& schedule) {
+  const int ii = schedule.ii();
+  std::ostringstream os;
+  os << "II=" << ii << " SC=" << schedule.stage_count() << "\n";
+  for (int slot = 0; slot < ii; ++slot) {
+    os << pad_left(std::to_string(slot), 3) << " |";
+    for (int c = 0; c < machine.cluster_count(); ++c) {
+      if (c > 0) os << " ||";
+      for (int k = 0; k < kNumFuKinds; ++k) {
+        const auto kind = static_cast<FuKind>(k);
+        for (int fu = 0; fu < machine.fu_count(c, kind); ++fu) {
+          // Find an op issued on this FU at this slot.
+          std::string cell = ".";
+          for (int op = 0; op < loop.op_count(); ++op) {
+            if (!schedule.scheduled(op)) continue;
+            const Placement& p = schedule.place(op);
+            if (p.cluster == c && p.fu == fu &&
+                fu_for(loop.ops[static_cast<std::size_t>(op)].opcode) == kind &&
+                p.cycle % ii == slot) {
+              cell = loop.ops[static_cast<std::size_t>(op)].defines_value()
+                         ? loop.ops[static_cast<std::size_t>(op)].name
+                         : cat("st#", op);
+              cell += cat("(s", p.cycle / ii, ")");
+              break;
+            }
+          }
+          os << ' ' << pad_right(cell, 10);
+        }
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qvliw

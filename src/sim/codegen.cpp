@@ -1,0 +1,201 @@
+#include "sim/codegen.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+namespace {
+
+std::string index_expr(const Loop& loop, int offset) {
+  (void)loop;
+  if (offset == 0) return "i";
+  return offset > 0 ? cat("i+", offset) : cat("i-", -offset);
+}
+
+/// Queue feeding operand slot (dst, arg), or -1 for non-value operands.
+class QueueLookup {
+ public:
+  QueueLookup(const Loop& loop, const Ddg& graph, const QueueAllocation& allocation) {
+    queue_of_arg_.resize(static_cast<std::size_t>(loop.op_count()));
+    for (int v = 0; v < loop.op_count(); ++v) {
+      queue_of_arg_[static_cast<std::size_t>(v)].assign(
+          loop.ops[static_cast<std::size_t>(v)].args.size(), -1);
+    }
+    out_queues_.resize(static_cast<std::size_t>(loop.op_count()));
+    for (std::size_t lt = 0; lt < allocation.lifetimes.size(); ++lt) {
+      const Lifetime& lifetime = allocation.lifetimes[lt];
+      const DepEdge& edge = graph.edge(lifetime.edge);
+      queue_of_arg_[static_cast<std::size_t>(edge.dst)][static_cast<std::size_t>(edge.dst_arg)] =
+          allocation.queue_of[lt];
+      out_queues_[static_cast<std::size_t>(edge.src)].push_back(allocation.queue_of[lt]);
+    }
+  }
+
+  [[nodiscard]] int arg_queue(int op, int arg) const {
+    return queue_of_arg_[static_cast<std::size_t>(op)][static_cast<std::size_t>(arg)];
+  }
+
+  [[nodiscard]] const std::vector<int>& out_queues(int op) const {
+    return out_queues_[static_cast<std::size_t>(op)];
+  }
+
+ private:
+  std::vector<std::vector<int>> queue_of_arg_;
+  std::vector<std::vector<int>> out_queues_;
+};
+
+std::string operand_expr(const Loop& loop, const QueueLookup& queues, int op, int arg) {
+  const Operand& operand = loop.ops[static_cast<std::size_t>(op)].args[static_cast<std::size_t>(arg)];
+  switch (operand.kind) {
+    case Operand::Kind::kValue:
+      return cat("q", queues.arg_queue(op, arg));
+    case Operand::Kind::kInvariant:
+      return cat("%", loop.invariants[static_cast<std::size_t>(operand.invariant)]);
+    case Operand::Kind::kImmediate:
+      return cat("#", operand.imm);
+    case Operand::Kind::kIndex:
+      return index_expr(loop, operand.index_offset);
+  }
+  QVLIW_ASSERT(false, "bad operand kind");
+}
+
+std::string destinations(const QueueLookup& queues, int op) {
+  const auto& outs = queues.out_queues(op);
+  if (outs.empty()) return "(unused)";
+  std::string text;
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    text += (i == 0 ? "" : ", ") + cat("q", outs[i]);
+  }
+  return text;
+}
+
+std::string render_op(const Loop& loop, const QueueLookup& queues, int op) {
+  const Op& o = loop.ops[static_cast<std::size_t>(op)];
+  switch (o.opcode) {
+    case Opcode::kLoad:
+      return cat("load  ", loop.arrays[static_cast<std::size_t>(o.array)], "[",
+                 index_expr(loop, o.mem_offset), "] -> ", destinations(queues, op));
+    case Opcode::kStore:
+      return cat("store ", operand_expr(loop, queues, op, 0), " -> ",
+                 loop.arrays[static_cast<std::size_t>(o.array)], "[",
+                 index_expr(loop, o.mem_offset), "]");
+    case Opcode::kCopy:
+    case Opcode::kMove:
+      return cat(opcode_name(o.opcode), o.opcode == Opcode::kCopy ? "  " : "  ",
+                 operand_expr(loop, queues, op, 0), " -> ", destinations(queues, op));
+    default:
+      return cat(opcode_name(o.opcode), std::string(6 - opcode_name(o.opcode).size(), ' '),
+                 operand_expr(loop, queues, op, 0), ", ", operand_expr(loop, queues, op, 1),
+                 " -> ", destinations(queues, op));
+  }
+}
+
+}  // namespace
+
+double VliwProgram::kernel_utilization(const MachineConfig& machine) const {
+  int total_slots = 0;
+  for (int c = 0; c < machine.cluster_count(); ++c) {
+    for (int k = 0; k < kNumFuKinds; ++k) {
+      total_slots += machine.fu_count(c, static_cast<FuKind>(k));
+    }
+  }
+  total_slots *= ii;
+  int filled = 0;
+  for (const WideInstruction& inst : kernel) filled += static_cast<int>(inst.slots.size());
+  return total_slots > 0 ? static_cast<double>(filled) / total_slots : 0.0;
+}
+
+VliwProgram generate_program(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
+                             const Schedule& schedule, const QueueAllocation& allocation) {
+  check(schedule.complete(), "generate_program: incomplete schedule");
+  (void)machine;
+  const QueueLookup queues(loop, graph, allocation);
+
+  VliwProgram program;
+  program.ii = schedule.ii();
+  program.stage_count = schedule.stage_count();
+  const int ii = program.ii;
+  const int ramp = (program.stage_count - 1) * ii;
+
+  auto make_slot = [&](int op) {
+    const Placement& p = schedule.place(op);
+    SlotOp slot;
+    slot.op = op;
+    slot.stage = p.cycle / ii;
+    slot.text = render_op(loop, queues, op);
+    slot.cluster = p.cluster;
+    slot.fu_kind = fu_for(loop.ops[static_cast<std::size_t>(op)].opcode);
+    slot.fu = p.fu;
+    return slot;
+  };
+
+  // Kernel: instruction s holds every op issued at modulo slot s.
+  for (int s = 0; s < ii; ++s) {
+    WideInstruction inst;
+    inst.cycle = s;
+    for (int op = 0; op < loop.op_count(); ++op) {
+      if (schedule.cycle(op) % ii == s) inst.slots.push_back(make_slot(op));
+    }
+    program.kernel.push_back(std::move(inst));
+  }
+
+  // Prologue cycle t: stages <= t/II have begun.
+  for (int t = 0; t < ramp; ++t) {
+    WideInstruction inst;
+    inst.cycle = t;
+    for (int op = 0; op < loop.op_count(); ++op) {
+      const int sigma = schedule.cycle(op);
+      if (sigma % ii == t % ii && sigma / ii <= t / ii) inst.slots.push_back(make_slot(op));
+    }
+    program.prologue.push_back(std::move(inst));
+  }
+
+  // Epilogue cycle t: only stages >= t/II + 1 still drain.
+  for (int t = 0; t < ramp; ++t) {
+    WideInstruction inst;
+    inst.cycle = t;
+    for (int op = 0; op < loop.op_count(); ++op) {
+      const int sigma = schedule.cycle(op);
+      if (sigma % ii == t % ii && sigma / ii >= t / ii + 1) inst.slots.push_back(make_slot(op));
+    }
+    program.epilogue.push_back(std::move(inst));
+  }
+
+  return program;
+}
+
+std::string format_program(const VliwProgram& program, const MachineConfig& machine) {
+  std::ostringstream os;
+  os << "; II=" << program.ii << " SC=" << program.stage_count << " kernel-utilization="
+     << fixed(program.kernel_utilization(machine) * 100.0, 1) << "%\n";
+  auto section = [&](const char* name, const std::vector<WideInstruction>& instructions) {
+    os << name << ":\n";
+    if (instructions.empty()) {
+      os << "  (empty)\n";
+      return;
+    }
+    for (const WideInstruction& inst : instructions) {
+      os << "  [" << pad_left(std::to_string(inst.cycle), 3) << "]";
+      if (inst.slots.empty()) {
+        os << "  nop\n";
+        continue;
+      }
+      bool first = true;
+      for (const SlotOp& slot : inst.slots) {
+        if (!first) os << "       ";
+        first = false;
+        os << "  c" << slot.cluster << "." << fu_kind_name(slot.fu_kind) << slot.fu << ": "
+           << pad_right(slot.text, 36) << " ; s" << slot.stage << "\n";
+      }
+    }
+  };
+  section("prologue", program.prologue);
+  section("kernel", program.kernel);
+  section("epilogue", program.epilogue);
+  return os.str();
+}
+
+}  // namespace qvliw

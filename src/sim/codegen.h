@@ -1,0 +1,68 @@
+// Lowering a scheduled, queue-allocated loop to a VLIW program listing.
+//
+// The listing is what a code generator for the paper's machine would
+// emit: one wide instruction per cycle with one slot per FU instance,
+// each operation written with *physical queue operands* —
+//
+//     fmul  q3 -> q7          pop q3, push q7
+//     copy  q7 -> q2, q4      the copy FU's two write ports
+//     load  A0[i+2] -> q1
+//     store q5 -> A1[i]
+//
+// Three sections are emitted, exactly as modulo-scheduled code is laid
+// out: a prologue of SC-1 partial iterations (stage s omits ops of later
+// stages), the steady-state kernel of II instructions, and an epilogue
+// draining the last SC-1 iterations.  The listing is a faithful, human-
+// checkable rendering of the same schedule the cycle-accurate simulator
+// executes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ddg.h"
+#include "ir/loop.h"
+#include "machine/machine.h"
+#include "qrf/queue_alloc.h"
+#include "sched/schedule.h"
+
+namespace qvliw {
+
+/// One operation slot inside a wide instruction.
+struct SlotOp {
+  int op = -1;              // loop op index
+  int stage = 0;            // pipeline stage of the op (cycle / II)
+  std::string text;         // rendered "opcode q -> q" form
+  int cluster = 0;
+  FuKind fu_kind = FuKind::kAdd;
+  int fu = 0;
+};
+
+/// One VLIW instruction (all slots issued in the same cycle).
+struct WideInstruction {
+  int cycle = 0;  // cycle within its section
+  std::vector<SlotOp> slots;
+};
+
+struct VliwProgram {
+  int ii = 0;
+  int stage_count = 0;
+  std::vector<WideInstruction> prologue;  // (SC-1)*II instructions
+  std::vector<WideInstruction> kernel;    // II instructions
+  std::vector<WideInstruction> epilogue;  // (SC-1)*II instructions
+
+  /// Issue slots filled over total slots in the kernel (density).
+  [[nodiscard]] double kernel_utilization(const MachineConfig& machine) const;
+};
+
+/// Lowers the schedule; every flow operand is resolved to its queue.
+[[nodiscard]] VliwProgram generate_program(const Loop& loop, const Ddg& graph,
+                                           const MachineConfig& machine,
+                                           const Schedule& schedule,
+                                           const QueueAllocation& allocation);
+
+/// Renders the whole program as an assembly-like listing.
+[[nodiscard]] std::string format_program(const VliwProgram& program,
+                                         const MachineConfig& machine);
+
+}  // namespace qvliw

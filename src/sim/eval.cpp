@@ -1,0 +1,47 @@
+#include "sim/eval.h"
+
+#include <limits>
+
+#include "support/diagnostics.h"
+#include "support/rng.h"
+
+namespace qvliw {
+
+std::int64_t eval_arith(Opcode opcode, std::int64_t lhs, std::int64_t rhs) {
+  const auto ul = static_cast<std::uint64_t>(lhs);
+  const auto ur = static_cast<std::uint64_t>(rhs);
+  switch (opcode) {
+    case Opcode::kAdd:
+    case Opcode::kFAdd:
+      return static_cast<std::int64_t>(ul + ur);
+    case Opcode::kSub:
+    case Opcode::kFSub:
+      return static_cast<std::int64_t>(ul - ur);
+    case Opcode::kMul:
+    case Opcode::kFMul:
+      return static_cast<std::int64_t>(ul * ur);
+    case Opcode::kDiv:
+    case Opcode::kFDiv:
+      if (rhs == 0) return 0;
+      if (lhs == std::numeric_limits<std::int64_t>::min() && rhs == -1) return lhs;
+      return lhs / rhs;
+    default:
+      fail("eval_arith: not an arithmetic opcode");
+  }
+}
+
+std::int64_t initial_array_value(std::uint64_t seed, int array, long long index) {
+  const std::uint64_t h = hash_combine(hash_combine(seed, static_cast<std::uint64_t>(array) + 1),
+                                       static_cast<std::uint64_t>(index + 0x10000));
+  // Keep magnitudes modest so intermediate products stay readable in dumps
+  // (semantics are wrapping either way).
+  return static_cast<std::int64_t>(h % 65521) - 32760;
+}
+
+std::int64_t invariant_value(std::uint64_t seed, int invariant) {
+  const std::uint64_t h = hash_combine(seed ^ 0x9e3779b97f4a7c15ULL,
+                                       static_cast<std::uint64_t>(invariant) + 17);
+  return static_cast<std::int64_t>(h % 251) - 125;
+}
+
+}  // namespace qvliw

@@ -1,0 +1,24 @@
+// Shared value semantics of the IR.
+//
+// All arithmetic is exact wrapping int64 (two's complement), including the
+// nominally floating-point opcodes — they differ only in latency/FU class.
+// Exactness lets simulator-vs-reference checks demand bit equality.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/opcode.h"
+
+namespace qvliw {
+
+/// Applies a two-operand arithmetic opcode (not load/store/copy/move).
+/// Division is total: x/0 == 0 and INT64_MIN / -1 == INT64_MIN.
+[[nodiscard]] std::int64_t eval_arith(Opcode opcode, std::int64_t lhs, std::int64_t rhs);
+
+/// Deterministic initial array element: hash of (seed, array, index).
+[[nodiscard]] std::int64_t initial_array_value(std::uint64_t seed, int array, long long index);
+
+/// Deterministic invariant value: hash of (seed, invariant index).
+[[nodiscard]] std::int64_t invariant_value(std::uint64_t seed, int invariant);
+
+}  // namespace qvliw

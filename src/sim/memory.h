@@ -1,0 +1,41 @@
+// Array memory shared by the reference interpreter and the VLIW simulator.
+//
+// Arrays span logical indices [-pad, elements + pad): negative offsets at
+// iteration 0 and positive offsets at the last iteration land in the pad.
+// `elements` should be stride * trip so that a loop and its unrolled form
+// (stride*U, trip/U) address the same image.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qvliw {
+
+class MemoryImage {
+ public:
+  static constexpr long long kPad = 64;
+
+  /// `arrays` arrays of `elements` logical elements, deterministically
+  /// initialised from `seed`.
+  MemoryImage(int arrays, long long elements, std::uint64_t seed);
+
+  [[nodiscard]] std::int64_t load(int array, long long index) const;
+  void store(int array, long long index, std::int64_t value);
+
+  [[nodiscard]] int arrays() const { return static_cast<int>(data_.size()); }
+  [[nodiscard]] long long elements() const { return elements_; }
+
+  friend bool operator==(const MemoryImage&, const MemoryImage&) = default;
+
+  /// Index of the first element differing from `other` as (array, index),
+  /// or {-1, 0} when equal (diagnostics for failing equivalence checks).
+  [[nodiscard]] std::pair<int, long long> first_difference(const MemoryImage& other) const;
+
+ private:
+  [[nodiscard]] std::size_t slot(int array, long long index) const;
+
+  long long elements_ = 0;
+  std::vector<std::vector<std::int64_t>> data_;
+};
+
+}  // namespace qvliw

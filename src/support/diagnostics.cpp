@@ -1,0 +1,15 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace qvliw {
+
+void fail(std::string_view message) { throw Error(std::string(message)); }
+
+void fail_at(std::string_view file, int line, std::string_view message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": internal error: " << message;
+  throw Error(os.str());
+}
+
+}  // namespace qvliw

@@ -1,0 +1,22 @@
+// Minimal fork-join parallelism for experiment sweeps.
+//
+// The harness evaluates ~1258 independent loops per machine configuration;
+// `parallel_for` fans the index range out over a worker pool.  Work items
+// must be independent; results are written to caller-owned slots indexed by
+// the loop index, so no synchronisation is needed beyond the join.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace qvliw {
+
+/// Number of workers used by parallel_for (>= 1).
+[[nodiscard]] std::size_t worker_count();
+
+/// Invokes body(i) for every i in [0, count) across the worker pool.
+/// Exceptions thrown by `body` are captured and rethrown on the caller
+/// thread after the join (first one wins).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace qvliw

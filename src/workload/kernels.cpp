@@ -1,0 +1,532 @@
+#include "workload/kernels.h"
+
+#include "ir/parser.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+const char* kernel_corpus_text() {
+  return R"(
+# --- BLAS-1 style streaming kernels --------------------------------------
+
+loop daxpy {            # y[i] = a*x[i] + y[i]
+  invariant a;
+  trip 96;
+  x  = load X[i];
+  y  = load Y[i];
+  ax = fmul x, a;
+  s  = fadd ax, y;
+  store Y[i], s;
+}
+
+loop vadd {             # c[i] = a[i] + b[i]
+  trip 96;
+  x = load A[i];
+  y = load B[i];
+  s = fadd x, y;
+  store C[i], s;
+}
+
+loop vscale {           # y[i] = a * x[i]
+  invariant a;
+  trip 96;
+  x = load X[i];
+  s = fmul x, a;
+  store Y[i], s;
+}
+
+loop vcopy {            # y[i] = x[i]
+  trip 96;
+  x = load X[i];
+  store Y[i], x;
+}
+
+loop vtriad {           # a[i] = b[i] + q * c[i]   (STREAM triad)
+  invariant q;
+  trip 96;
+  b = load B[i];
+  c = load C[i];
+  qc = fmul c, q;
+  s  = fadd b, qc;
+  store A[i], s;
+}
+
+loop offset_add {       # tiny body: maximal unrolling headroom
+  trip 96;
+  x = load X[i];
+  s = add x, 1;
+  store Y[i], s;
+}
+
+loop vdiv {             # y[i] = x[i] / d  (long-latency MUL-class pressure)
+  invariant d;
+  trip 96;
+  x = load X[i];
+  s = div x, d;
+  store Y[i], s;
+}
+
+# --- reductions -----------------------------------------------------------
+
+loop dot {              # acc += x[i] * y[i]
+  trip 96;
+  x = load X[i];
+  y = load Y[i];
+  p = fmul x, y;
+  acc = fadd acc@1, p;
+  store R[i], acc;
+}
+
+loop norm2 {            # acc += x[i] * x[i]   (value used twice: fan-out)
+  trip 96;
+  x = load X[i];
+  p = fmul x, x;
+  acc = fadd acc@1, p;
+  store R[i], acc;
+}
+
+loop prefix_sum {       # s += x[i]; y[i] = s
+  trip 96;
+  x = load X[i];
+  s = fadd s@1, x;
+  store Y[i], s;
+}
+
+loop dual_acc {         # two independent accumulators (2x reduction ILP)
+  trip 96;
+  x = load X[i];
+  y = load Y[i];
+  a0 = fadd a0@1, x;
+  a1 = fadd a1@1, y;
+  store R[i], a0;
+  store S[i], a1;
+}
+
+loop correl {           # acc0 += x*y, acc1 += x*x  (shared load, 2 accs)
+  trip 96;
+  x  = load X[i];
+  y  = load Y[i];
+  xy = fmul x, y;
+  xx = fmul x, x;
+  a0 = fadd a0@1, xy;
+  a1 = fadd a1@1, xx;
+  store R[i], a0;
+  store S[i], a1;
+}
+
+# --- filters & stencils ----------------------------------------------------
+
+loop stencil3 {         # y[i] = w * (x[i-1] + x[i] + x[i+1])
+  invariant w;
+  trip 96;
+  xm = load X[i-1];
+  xc = load X[i];
+  xp = load X[i+1];
+  t0 = fadd xm, xc;
+  t1 = fadd t0, xp;
+  s  = fmul t1, w;
+  store Y[i], s;
+}
+
+loop stencil3_reuse {   # same stencil, loads shared across iterations
+  invariant w;
+  trip 96;
+  xp = load X[i+1];
+  t0 = fadd xp@2, xp@1;
+  t1 = fadd t0, xp;
+  s  = fmul t1, w;
+  store Y[i], s;
+}
+
+loop fir4 {             # 4-tap FIR, direct form
+  invariant c0, c1, c2, c3;
+  trip 96;
+  x0 = load X[i];
+  x1 = load X[i+1];
+  x2 = load X[i+2];
+  x3 = load X[i+3];
+  m0 = fmul x0, c0;
+  m1 = fmul x1, c1;
+  m2 = fmul x2, c2;
+  m3 = fmul x3, c3;
+  s0 = fadd m0, m1;
+  s1 = fadd m2, m3;
+  s  = fadd s0, s1;
+  store Y[i], s;
+}
+
+loop fir8 {             # 8-tap FIR with register reuse of the delay line
+  invariant c0, c1, c2, c3, c4, c5, c6, c7;
+  trip 96;
+  x  = load X[i];
+  m0 = fmul x, c0;
+  m1 = fmul x@1, c1;
+  m2 = fmul x@2, c2;
+  m3 = fmul x@3, c3;
+  m4 = fmul x@4, c4;
+  m5 = fmul x@5, c5;
+  m6 = fmul x@6, c6;
+  m7 = fmul x@7, c7;
+  s0 = fadd m0, m1;
+  s1 = fadd m2, m3;
+  s2 = fadd m4, m5;
+  s3 = fadd m6, m7;
+  t0 = fadd s0, s1;
+  t1 = fadd s2, s3;
+  s  = fadd t0, t1;
+  store Y[i], s;
+}
+
+loop interp {           # y[i] = x[i]*(1-t) + x[i+1]*t
+  invariant t, onemt;
+  trip 96;
+  x0 = load X[i];
+  x1 = load X[i+1];
+  a  = fmul x0, onemt;
+  b  = fmul x1, t;
+  s  = fadd a, b;
+  store Y[i], s;
+}
+
+loop cmul_acc {         # complex multiply-accumulate
+  trip 96;
+  ar = load AR[i];
+  ai = load AI[i];
+  br = load BR[i];
+  bi = load BI[i];
+  rr = fmul ar, br;
+  ii = fmul ai, bi;
+  ri = fmul ar, bi;
+  ir = fmul ai, br;
+  re = fsub rr, ii;
+  im = fadd ri, ir;
+  sr = fadd sr@1, re;
+  si = fadd si@1, im;
+  store CR[i], sr;
+  store CI[i], si;
+}
+
+# --- recurrences ------------------------------------------------------------
+
+loop rec1 {             # y = a*y' + x   (first-order IIR)
+  invariant a;
+  trip 96;
+  x  = load X[i];
+  ay = fmul y@1, a;
+  y  = fadd ay, x;
+  store Y[i], y;
+}
+
+loop rec2 {             # y = a*y' + b*y'' + x  (second-order IIR)
+  invariant a, b;
+  trip 96;
+  x   = load X[i];
+  ay  = fmul y@1, a;
+  by  = fmul y@2, b;
+  s   = fadd ay, by;
+  y   = fadd s, x;
+  store Y[i], y;
+}
+
+loop horner {           # p = p*x + c[i]
+  invariant x;
+  trip 96;
+  c = load C[i];
+  px = fmul p@1, x;
+  p  = fadd px, c;
+  store P[i], p;
+}
+
+loop geo_decay {        # s = s/2 + x[i]  (divide in the recurrence)
+  trip 48;
+  x = load X[i];
+  h = div s@1, 2;
+  s = fadd h, x;
+  store Y[i], s;
+}
+
+# --- Livermore-style kernels -------------------------------------------------
+
+loop lk1_hydro {        # x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])
+  invariant q, r, t;
+  trip 96;
+  y   = load Y[i];
+  z0  = load Z[i+10];
+  z1  = load Z[i+11];
+  rz  = fmul z0, r;
+  tz  = fmul z1, t;
+  s   = fadd rz, tz;
+  ys  = fmul y, s;
+  x   = fadd ys, q;
+  store X[i], x;
+}
+
+loop lk5_tridiag {      # x[i] = z[i]*(y[i] - x[i-1])  (memory-carried)
+  trip 96;
+  z  = load Z[i];
+  y  = load Y[i];
+  xm = load X[i-1];
+  d  = fsub y, xm;
+  x  = fmul z, d;
+  store X[i], x;
+}
+
+loop lk11_partial_sum { # x[k] = x[k-1] + y[k]  (memory-carried sum)
+  trip 96;
+  xm = load X[i-1];
+  y  = load Y[i];
+  x  = fadd xm, y;
+  store X[i], x;
+}
+
+loop lk12_first_diff {  # x[k] = y[k+1] - y[k]
+  trip 96;
+  y0 = load Y[i];
+  y1 = load Y[i+1];
+  d  = fsub y1, y0;
+  store X[i], d;
+}
+
+# --- ILP-rich wide bodies ----------------------------------------------------
+
+loop wide8 {            # eight independent mul-add lanes
+  invariant k0, k1;
+  trip 96;
+  a0 = load A[i];
+  a1 = load B[i];
+  a2 = load C[i];
+  a3 = load D[i];
+  m0 = fmul a0, k0;
+  m1 = fmul a1, k1;
+  m2 = fmul a2, k0;
+  m3 = fmul a3, k1;
+  s0 = fadd m0, 3;
+  s1 = fadd m1, 5;
+  s2 = fadd m2, 7;
+  s3 = fadd m3, 11;
+  store E[i], s0;
+  store F[i], s1;
+  store G[i], s2;
+  store H[i], s3;
+}
+
+loop chain12 {          # one long intra-iteration dependence chain
+  trip 96;
+  x  = load X[i];
+  t0 = fadd x, 1;
+  t1 = fmul t0, 3;
+  t2 = fadd t1, 5;
+  t3 = fmul t2, 7;
+  t4 = fsub t3, 2;
+  t5 = fadd t4, t0;
+  t6 = fmul t5, 3;
+  t7 = fadd t6, 9;
+  t8 = fsub t7, t2;
+  t9 = fadd t8, 4;
+  store Y[i], t9;
+}
+
+loop saxpy2 {           # two interleaved daxpys
+  invariant a, b;
+  trip 96;
+  x0 = load X[i];
+  y0 = load Y[i];
+  u0 = load U[i];
+  v0 = load V[i];
+  m0 = fmul x0, a;
+  m1 = fmul u0, b;
+  s0 = fadd m0, y0;
+  s1 = fadd m1, v0;
+  store Y[i], s0;
+  store V[i], s1;
+}
+
+loop mixed_index {      # index arithmetic feeding a store
+  trip 96;
+  x  = load X[i];
+  ii = add i, 100;
+  s  = mul x, 3;
+  t  = add s, ii;
+  store Y[i], t;
+}
+
+# --- more Livermore / DSP shapes --------------------------------------------
+
+loop lk7_eos {          # equation of state fragment (deep expression tree)
+  invariant r, t;
+  trip 96;
+  u0 = load U[i];
+  u1 = load U[i+1];
+  u2 = load U[i+2];
+  u3 = load U[i+3];
+  z  = load Z[i];
+  y  = load Y[i];
+  ry  = fmul y, r;
+  zry = fadd z, ry;
+  a   = fmul zry, r;
+  a2  = fadd u0, a;
+  ru1 = fmul u1, r;
+  b   = fadd u2, ru1;
+  rb  = fmul b, r;
+  c   = fadd u3, rb;
+  tc  = fmul c, t;
+  x   = fadd a2, tc;
+  store X[i], x;
+}
+
+loop lk9_integrate {    # predictor integration: wide coefficient sum
+  invariant c0, c1, c2, c3, c4;
+  trip 96;
+  p0 = load P[i];
+  p1 = load P[i+1];
+  p2 = load P[i+2];
+  p3 = load P[i+3];
+  p4 = load P[i+4];
+  m0 = fmul p0, c0;
+  m1 = fmul p1, c1;
+  m2 = fmul p2, c2;
+  m3 = fmul p3, c3;
+  m4 = fmul p4, c4;
+  s0 = fadd m0, m1;
+  s1 = fadd m2, m3;
+  s2 = fadd s0, s1;
+  s3 = fadd s2, m4;
+  store Q[i], s3;
+}
+
+loop butterfly4 {       # radix-2 butterflies over two lanes
+  trip 96;
+  a0 = load A[i];
+  a1 = load B[i];
+  b0 = load C[i];
+  b1 = load D[i];
+  s0 = fadd a0, a1;
+  d0 = fsub a0, a1;
+  s1 = fadd b0, b1;
+  d1 = fsub b0, b1;
+  store E[i], s0;
+  store F[i], d0;
+  store G[i], s1;
+  store H[i], d1;
+}
+
+loop horner_even_odd {  # two interleaved Horner chains (2 recurrences)
+  invariant x2;
+  trip 96;
+  ce = load CE[i];
+  co = load CO[i];
+  pe_m = fmul pe@1, x2;
+  pe   = fadd pe_m, ce;
+  po_m = fmul po@1, x2;
+  po   = fadd po_m, co;
+  store PE[i], pe;
+  store PO[i], po;
+}
+
+loop boxfilter5 {       # 5-wide running average with full register reuse
+  invariant inv5;
+  trip 96;
+  x  = load X[i+2];
+  t0 = fadd x@4, x@3;
+  t1 = fadd x@2, x@1;
+  t2 = fadd t0, t1;
+  t3 = fadd t2, x;
+  s  = fmul t3, inv5;
+  store Y[i], s;
+}
+
+loop newton_refine {    # y' = y*(2 - d*y): multiplier-heavy recurrence
+  trip 64;
+  d  = load D[i];
+  dy = fmul y@1, d;
+  e  = fsub 2, dy;
+  y  = fmul y@1, e;
+  store Y[i], y;
+}
+
+loop l2_distance {      # acc += (a-b)^2: square via fan-out
+  trip 96;
+  a = load A[i];
+  b = load B[i];
+  d = fsub a, b;
+  sq = fmul d, d;
+  acc = fadd acc@1, sq;
+  store R[i], acc;
+}
+
+loop alpha_blend {      # o = alpha*x + beta*y
+  invariant alpha, beta;
+  trip 96;
+  x  = load X[i];
+  y  = load Y[i];
+  ax = fmul x, alpha;
+  by = fmul y, beta;
+  o  = fadd ax, by;
+  store O[i], o;
+}
+
+loop shifted_prefix {   # store Y[i+1]; mixes register and memory carry
+  trip 96;
+  x = load X[i];
+  y = load Y[i];       # written by iteration i-1's store Y[i+1]
+  s = fadd y, x;
+  store Y[i+1], s;
+}
+
+loop int_mix {          # integer pipeline with a divide tail
+  invariant k;
+  trip 64;
+  x  = load X[i];
+  a  = add x, 17;
+  b  = mul a, 5;
+  c  = sub b, x;
+  d  = div c, k;
+  store Y[i], d;
+}
+
+loop three_way_avg {    # weighted average of three streams
+  invariant w0, w1, w2;
+  trip 96;
+  a  = load A[i];
+  b  = load B[i];
+  c  = load C[i];
+  wa = fmul a, w0;
+  wb = fmul b, w1;
+  wc = fmul c, w2;
+  s0 = fadd wa, wb;
+  s1 = fadd s0, wc;
+  store O[i], s1;
+}
+
+loop damped_spring {    # x'' via two coupled carried values
+  invariant dt, k, c;
+  trip 64;
+  f   = load F[i];
+  kx  = fmul x@1, k;
+  cv  = fmul v@1, c;
+  fs  = fsub f, kx;
+  acc = fsub fs, cv;
+  dv  = fmul acc, dt;
+  v   = fadd v@1, dv;
+  dx  = fmul v, dt;
+  x   = fadd x@1, dx;
+  store XO[i], x;
+}
+)";
+}
+
+std::vector<Loop> kernel_corpus() {
+  std::vector<Loop> loops = parse_loops(kernel_corpus_text());
+  for (const Loop& loop : loops) loop.validate();
+  return loops;
+}
+
+Loop kernel_by_name(std::string_view name) {
+  for (Loop& loop : kernel_corpus()) {
+    if (loop.name == name) return std::move(loop);
+  }
+  fail(cat("no kernel named '", name, "' in the corpus"));
+}
+
+}  // namespace qvliw

@@ -1,0 +1,26 @@
+// Hand-written corpus of classic innermost loops.
+//
+// These are the loop shapes the Perfect Club (and the Livermore loops)
+// consist of: streaming BLAS-1 kernels, filters, stencils, reductions,
+// first/second-order recurrences, and memory-carried recurrences.  They
+// anchor the synthetic suite in recognisable code and serve as the
+// end-to-end correctness fixtures (every one is scheduled, allocated,
+// simulated and checked against the reference interpreter in the tests).
+#pragma once
+
+#include <vector>
+
+#include "ir/loop.h"
+
+namespace qvliw {
+
+/// The DSL source of the corpus (parseable by parse_loops).
+[[nodiscard]] const char* kernel_corpus_text();
+
+/// Parsed corpus (25+ loops, validated).
+[[nodiscard]] std::vector<Loop> kernel_corpus();
+
+/// Finds a corpus kernel by name; fails if absent.
+[[nodiscard]] Loop kernel_by_name(std::string_view name);
+
+}  // namespace qvliw

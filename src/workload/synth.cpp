@@ -1,0 +1,208 @@
+#include "workload/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+namespace {
+
+Opcode pick_arith(Rng& rng) {
+  static const std::vector<double> weights = {
+      0.30,  // kFAdd
+      0.17,  // kAdd
+      0.26,  // kFMul
+      0.10,  // kMul
+      0.08,  // kSub
+      0.05,  // kFSub
+      0.02,  // kDiv
+      0.02,  // kFDiv
+  };
+  static const Opcode opcodes[] = {Opcode::kFAdd, Opcode::kAdd, Opcode::kFMul, Opcode::kMul,
+                                   Opcode::kSub,  Opcode::kFSub, Opcode::kDiv, Opcode::kFDiv};
+  return opcodes[rng.weighted(weights)];
+}
+
+/// Picks a defined value with a bias toward recent definitions (producer
+/// locality, as in real straight-line bodies).
+int pick_value(Rng& rng, const std::vector<int>& values) {
+  QVLIW_ASSERT(!values.empty(), "pick_value: no values yet");
+  if (values.size() <= 2 || rng.chance(0.35)) return rng.pick(values);
+  const std::size_t window = std::min<std::size_t>(8, values.size());
+  const std::size_t base = values.size() - window;
+  return values[base + static_cast<std::size_t>(rng.uniform_i64(0, static_cast<std::int64_t>(window) - 1))];
+}
+
+}  // namespace
+
+Loop synthesize_loop(Rng& rng, const SynthConfig& config, int index) {
+  Loop loop;
+  loop.name = cat("synth", index);
+  loop.trip_hint = rng.uniform_int(config.trip_lo, config.trip_hi);
+
+  const int size =
+      rng.chance(config.small_loop_prob)
+          ? rng.uniform_int(config.small_lo, config.small_hi)
+          : std::clamp(static_cast<int>(std::lround(
+                           std::exp(config.size_mu + config.size_sigma * rng.normal()))),
+                       config.min_ops, config.max_ops);
+
+  const int n_invariants = rng.uniform_int(0, config.max_invariants);
+  for (int v = 0; v < n_invariants; ++v) loop.intern_invariant(cat("c", v));
+  const int n_arrays = rng.uniform_int(1, config.max_arrays);
+  for (int a = 0; a < n_arrays; ++a) loop.intern_array(cat("A", a));
+
+  int loads = std::max(1, static_cast<int>(std::lround(
+                              size * rng.uniform(config.load_fraction_lo, config.load_fraction_hi))));
+  int stores = std::max(1, static_cast<int>(std::lround(
+                               size * rng.uniform(config.store_fraction_lo,
+                                                  config.store_fraction_hi))));
+  int arith = std::max(1, size - loads - stores);
+
+  // Memory-carried recurrence: one array gets store A[i] ... load A[i-d].
+  const bool memory_recurrence = rng.chance(config.memory_recurrence_prob);
+  const int recurrence_array = 0;
+  const int recurrence_dist = rng.chance(0.7) ? 1 : 2;
+
+  std::vector<int> values;  // op indices defining values
+  int name_counter = 0;
+  auto fresh = [&name_counter] { return cat("v", name_counter++); };
+
+  // Loads up front (typical of scheduled bodies); offsets in [-2, 2].
+  for (int l = 0; l < loads; ++l) {
+    Op op;
+    op.opcode = Opcode::kLoad;
+    op.name = fresh();
+    if (memory_recurrence && l == 0) {
+      op.array = recurrence_array;
+      op.mem_offset = -recurrence_dist;
+    } else {
+      op.array = rng.uniform_int(0, n_arrays - 1);
+      op.mem_offset = rng.uniform_int(-2, 2);
+    }
+    values.push_back(loop.add_op(std::move(op)));
+  }
+
+  // Arithmetic body.
+  for (int a = 0; a < arith; ++a) {
+    Op op;
+    op.opcode = pick_arith(rng);
+    op.name = fresh();
+    for (int slot = 0; slot < 2; ++slot) {
+      const double draw = rng.uniform();
+      if (slot == 1 && draw < config.invariant_operand_prob && n_invariants > 0) {
+        op.args.push_back(Operand::invariant_ref(rng.uniform_int(0, n_invariants - 1)));
+      } else if (slot == 1 && draw < config.invariant_operand_prob + config.immediate_operand_prob) {
+        op.args.push_back(Operand::immediate(rng.uniform_i64(1, 9)));
+      } else if (slot == 1 &&
+                 draw < config.invariant_operand_prob + config.immediate_operand_prob +
+                            config.index_operand_prob) {
+        op.args.push_back(Operand::index(rng.uniform_int(-2, 2)));
+      } else {
+        op.args.push_back(Operand::value(pick_value(rng, values), 0));
+      }
+    }
+    values.push_back(loop.add_op(std::move(op)));
+  }
+
+  // Stores; prefer recently produced values.
+  for (int s = 0; s < stores; ++s) {
+    Op op;
+    op.opcode = Opcode::kStore;
+    if (memory_recurrence && s == 0) {
+      op.array = recurrence_array;
+      op.mem_offset = 0;
+    } else {
+      op.array = rng.uniform_int(0, n_arrays - 1);
+      op.mem_offset = rng.uniform_int(-1, 1);
+    }
+    op.args.push_back(Operand::value(pick_value(rng, values), 0));
+    loop.add_op(std::move(op));
+  }
+
+  // Register recurrences: rewire an operand of an early arithmetic op to a
+  // later value at distance >= 1, then force a forward chain from the
+  // early op to that value so a genuine circuit exists.
+  if (rng.chance(config.recurrence_prob)) {
+    int recurrences = 1;
+    while (rng.chance(config.extra_recurrence_prob) && recurrences < 3) ++recurrences;
+    std::vector<int> arith_ops;
+    for (int v = 0; v < loop.op_count(); ++v) {
+      const Opcode opc = loop.ops[static_cast<std::size_t>(v)].opcode;
+      if (!is_memory(opc)) arith_ops.push_back(v);
+    }
+    for (int r = 0; r < recurrences && arith_ops.size() >= 2; ++r) {
+      const std::size_t head_pos =
+          static_cast<std::size_t>(rng.uniform_i64(0, static_cast<std::int64_t>(arith_ops.size()) - 2));
+      const std::size_t tail_pos = static_cast<std::size_t>(rng.uniform_i64(
+          static_cast<std::int64_t>(head_pos) + 1, static_cast<std::int64_t>(arith_ops.size()) - 1));
+      const int head = arith_ops[head_pos];
+      const int tail = arith_ops[tail_pos];
+      const int dist = rng.chance(0.8) ? 1 : 2;
+      // Close the circuit: head reads tail@dist ...
+      loop.ops[static_cast<std::size_t>(head)].args[0] = Operand::value(tail, dist);
+      // ... and tail (transitively) reads head: force a direct chain by
+      // rewiring intermediate ops' first operands along head -> tail.
+      int from = head;
+      for (std::size_t pos = head_pos + 1; pos <= tail_pos; ++pos) {
+        const int node = arith_ops[pos];
+        if (node == tail || rng.chance(0.5)) {
+          loop.ops[static_cast<std::size_t>(node)].args[rng.chance(0.3) ? 1 : 0] =
+              Operand::value(from, 0);
+          from = node;
+        }
+      }
+      if (from != tail) {
+        loop.ops[static_cast<std::size_t>(tail)].args[0] = Operand::value(from, 0);
+      }
+    }
+  }
+
+  // Consume dead values where cheap: rewire immediate/invariant second
+  // operands onto unused values (keeps op counts intact, avoids dead code).
+  {
+    std::vector<int> use_count(static_cast<std::size_t>(loop.op_count()), 0);
+    for (const Op& op : loop.ops) {
+      for (const Operand& arg : op.args) {
+        if (arg.is_value()) ++use_count[static_cast<std::size_t>(arg.value_op)];
+      }
+    }
+    for (int v = 0; v < loop.op_count(); ++v) {
+      if (!loop.ops[static_cast<std::size_t>(v)].defines_value()) continue;
+      if (use_count[static_cast<std::size_t>(v)] > 0) continue;
+      // Find a later op with a non-value operand to absorb this value.
+      for (int u = v + 1; u < loop.op_count(); ++u) {
+        Op& candidate = loop.ops[static_cast<std::size_t>(u)];
+        if (is_memory(candidate.opcode)) continue;
+        bool rewired = false;
+        for (Operand& arg : candidate.args) {
+          if (!arg.is_value()) {
+            arg = Operand::value(v, 0);
+            rewired = true;
+            break;
+          }
+        }
+        if (rewired) break;
+      }
+    }
+  }
+
+  loop.validate();
+  return loop;
+}
+
+std::vector<Loop> synthesize_suite(const SynthConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Loop> loops;
+  loops.reserve(static_cast<std::size_t>(config.loops));
+  for (int i = 0; i < config.loops; ++i) {
+    Rng child = rng.fork();
+    loops.push_back(synthesize_loop(child, config, i));
+  }
+  return loops;
+}
+
+}  // namespace qvliw

@@ -1,0 +1,179 @@
+#include "xform/copy_insert.h"
+
+#include <map>
+#include <set>
+#include <span>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+namespace {
+
+struct Use {
+  int op;
+  int arg;
+};
+
+/// Copy nodes planned for one producer; parent -1 means "fed by the
+/// producer itself".
+struct CopyNode {
+  int parent = -1;
+};
+
+class Planner {
+ public:
+  Planner(const Loop& loop, CopyTreeShape shape) : loop_(loop), shape_(shape) {}
+
+  void plan() {
+    const int n = loop_.op_count();
+    std::vector<std::vector<Use>> uses(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u) {
+      const Op& op = loop_.ops[static_cast<std::size_t>(u)];
+      for (std::size_t a = 0; a < op.args.size(); ++a) {
+        if (op.args[a].is_value()) {
+          uses[static_cast<std::size_t>(op.args[a].value_op)].push_back(
+              {u, static_cast<int>(a)});
+        }
+      }
+    }
+    trees_.resize(static_cast<std::size_t>(n));
+    for (int def = 0; def < n; ++def) {
+      const int capacity = loop_.ops[static_cast<std::size_t>(def)].opcode == Opcode::kCopy ? 2 : 1;
+      feed(def, -1, capacity, std::span<const Use>(uses[static_cast<std::size_t>(def)]));
+    }
+  }
+
+  [[nodiscard]] const std::vector<CopyNode>& tree(int def) const {
+    return trees_[static_cast<std::size_t>(def)];
+  }
+
+  /// Source feeding a use slot: (def, node) with node == -1 for the
+  /// producer itself.
+  [[nodiscard]] std::pair<int, int> source_of(int use_op, int use_arg) const {
+    const auto it = reroute_.find({use_op, use_arg});
+    QVLIW_ASSERT(it != reroute_.end(), "copy planner missed a use");
+    return it->second;
+  }
+
+ private:
+  void feed(int def, int source_node, int capacity, std::span<const Use> uses) {
+    if (static_cast<int>(uses.size()) <= capacity) {
+      for (const Use& use : uses) reroute_[{use.op, use.arg}] = {def, source_node};
+      return;
+    }
+    auto& nodes = trees_[static_cast<std::size_t>(def)];
+    if (capacity == 1) {
+      // Producer feeds a single root copy; the tree fans out below it.
+      nodes.push_back({source_node});
+      feed(def, static_cast<int>(nodes.size()) - 1, 2, uses);
+      return;
+    }
+    QVLIW_ASSERT(capacity == 2, "unexpected fan-out capacity");
+    if (shape_ == CopyTreeShape::kChain) {
+      // One direct consumer, one copy relaying the rest.
+      reroute_[{uses[0].op, uses[0].arg}] = {def, source_node};
+      nodes.push_back({source_node});
+      feed(def, static_cast<int>(nodes.size()) - 1, 2, uses.subspan(1));
+      return;
+    }
+    // Balanced: split into two halves; singleton halves attach directly.
+    const std::size_t half = uses.size() - uses.size() / 2;  // left gets the extra
+    for (const auto& group : {uses.subspan(0, half), uses.subspan(half)}) {
+      if (group.size() == 1) {
+        reroute_[{group[0].op, group[0].arg}] = {def, source_node};
+      } else {
+        nodes.push_back({source_node});
+        feed(def, static_cast<int>(nodes.size()) - 1, 2, group);
+      }
+    }
+  }
+
+  const Loop& loop_;
+  CopyTreeShape shape_;
+  std::vector<std::vector<CopyNode>> trees_;
+  std::map<std::pair<int, int>, std::pair<int, int>> reroute_;
+};
+
+}  // namespace
+
+CopyInsertResult insert_copies(const Loop& src, CopyTreeShape shape) {
+  src.validate();
+  Planner planner(src, shape);
+  planner.plan();
+
+  CopyInsertResult result;
+  result.loop.name = src.name;
+  result.loop.stride = src.stride;
+  result.loop.trip_hint = src.trip_hint;
+  result.loop.invariants = src.invariants;
+  result.loop.arrays = src.arrays;
+  result.op_map.assign(static_cast<std::size_t>(src.op_count()), -1);
+
+  std::set<std::string> taken;
+  for (const Op& op : src.ops) {
+    if (op.defines_value()) taken.insert(op.name);
+  }
+  auto fresh_name = [&taken](const std::string& base) {
+    std::string name = base;
+    int counter = 0;
+    while (!taken.insert(name).second) name = cat(base, "_", counter++);
+    return name;
+  };
+
+  // Emit originals in order, each followed by its copy tree (parents are
+  // created before children, so emission order keeps distance-0 operands
+  // after their definitions).
+  std::vector<std::vector<int>> node_index(static_cast<std::size_t>(src.op_count()));
+  for (int def = 0; def < src.op_count(); ++def) {
+    result.op_map[static_cast<std::size_t>(def)] =
+        result.loop.add_op(src.ops[static_cast<std::size_t>(def)]);
+    const auto& tree = planner.tree(def);
+    node_index[static_cast<std::size_t>(def)].reserve(tree.size());
+    for (std::size_t node = 0; node < tree.size(); ++node) {
+      Op copy;
+      copy.opcode = Opcode::kCopy;
+      copy.name = fresh_name(cat(src.ops[static_cast<std::size_t>(def)].name, "_c", node));
+      copy.init_invariant = src.ops[static_cast<std::size_t>(def)].init_invariant;
+      const int parent = tree[node].parent;
+      const int source = parent < 0 ? result.op_map[static_cast<std::size_t>(def)]
+                                    : node_index[static_cast<std::size_t>(def)][static_cast<std::size_t>(parent)];
+      copy.args.push_back(Operand::value(source, 0));
+      node_index[static_cast<std::size_t>(def)].push_back(result.loop.add_op(std::move(copy)));
+      ++result.copies_added;
+    }
+  }
+
+  // Rewrite value operands of the original ops to their assigned sources.
+  for (int u = 0; u < src.op_count(); ++u) {
+    Op& op = result.loop.ops[static_cast<std::size_t>(result.op_map[static_cast<std::size_t>(u)])];
+    for (std::size_t a = 0; a < op.args.size(); ++a) {
+      if (!op.args[a].is_value()) continue;
+      const auto [def, node] = planner.source_of(u, static_cast<int>(a));
+      const int source = node < 0 ? result.op_map[static_cast<std::size_t>(def)]
+                                  : node_index[static_cast<std::size_t>(def)][static_cast<std::size_t>(node)];
+      op.args[a] = Operand::value(source, op.args[a].distance);
+    }
+  }
+
+  result.loop.validate();
+  QVLIW_ASSERT(fanout_legal(result.loop), "copy insertion left an over-fanned value");
+  return result;
+}
+
+bool fanout_legal(const Loop& loop) {
+  std::vector<int> uses(static_cast<std::size_t>(loop.op_count()), 0);
+  for (const Op& op : loop.ops) {
+    for (const Operand& arg : op.args) {
+      if (arg.is_value()) ++uses[static_cast<std::size_t>(arg.value_op)];
+    }
+  }
+  for (int def = 0; def < loop.op_count(); ++def) {
+    const int capacity = loop.ops[static_cast<std::size_t>(def)].opcode == Opcode::kCopy ? 2 : 1;
+    if (uses[static_cast<std::size_t>(def)] > capacity) return false;
+  }
+  return true;
+}
+
+}  // namespace qvliw

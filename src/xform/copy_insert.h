@@ -1,0 +1,45 @@
+// Copy insertion (Section 2 of the paper).
+//
+// A queue delivers each value to exactly one reader, and a regular FU has
+// one queue write port, so a value with n > 1 consuming operand instances
+// cannot be scheduled as-is.  The dedicated copy FU pops one queue and
+// pushes *two* (Fig. 2), so fan-out is restored by a balanced binary tree
+// of copy operations: the original producer feeds the tree root; each
+// copy feeds up to two consumers or further copies.  n consumers cost
+// n - 1 copies; the balanced shape adds only ceil(log2 n) copy latencies
+// to any consumer path (a chain shape is available for ablation).
+//
+// Uses at iteration distance d keep their distance: a copy executes in the
+// same iteration as its source, so `u` reading `v@d` becomes `u` reading
+// `leaf@d`.
+#pragma once
+
+#include <vector>
+
+#include "ir/loop.h"
+
+namespace qvliw {
+
+enum class CopyTreeShape {
+  kBalanced,  // minimises added latency depth (default)
+  kChain,     // linear chain; ablation of the tree shape
+};
+
+struct CopyInsertResult {
+  Loop loop;
+  int copies_added = 0;
+  /// Original op index -> index in the rewritten loop.
+  std::vector<int> op_map;
+};
+
+/// Rewrites `loop` so that every value has at most one consuming operand
+/// instance — except values produced by copy ops, which may have two.
+/// Idempotent on already-conforming loops.
+[[nodiscard]] CopyInsertResult insert_copies(const Loop& loop,
+                                             CopyTreeShape shape = CopyTreeShape::kBalanced);
+
+/// True when `loop` satisfies the queue fan-out discipline (<= 1 consumer
+/// per value, <= 2 for copy-produced values).
+[[nodiscard]] bool fanout_legal(const Loop& loop);
+
+}  // namespace qvliw

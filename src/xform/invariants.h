@@ -1,0 +1,32 @@
+// Loop-invariant handling strategies.
+//
+// The paper lists "strategies to deal with loop invariants" as ongoing
+// work: with queue register files an invariant consumed every iteration
+// would be destroyed by its first read.  Two strategies are provided:
+//
+//  * kImmediate (default in the experiments): invariants are encoded in
+//    the instruction word / a scalar register outside the QRF, costing no
+//    queue traffic.  This matches how the paper's experiments charge
+//    invariants (not at all).
+//  * kRecirculate: each invariant is kept in a queue and re-enqueued every
+//    iteration by a copy op (`invq = copy invq@1`, seeded with the
+//    invariant's value); consumers read fan-out copies.  This makes the
+//    cost of queue-resident invariants measurable (ablation bench).
+#pragma once
+
+#include "ir/loop.h"
+
+namespace qvliw {
+
+enum class InvariantStrategy {
+  kImmediate,    // leave invariant operands in place (no-op transform)
+  kRecirculate,  // materialise one self-recirculating copy per invariant
+};
+
+/// Applies the chosen strategy.  For kRecirculate, every used invariant
+/// gains a distance-1 self-copy at the top of the body whose live-in is
+/// the invariant's value, and all invariant operands become value reads of
+/// that copy.  Run *before* copy insertion so fan-out is handled there.
+[[nodiscard]] Loop materialize_invariants(const Loop& loop, InvariantStrategy strategy);
+
+}  // namespace qvliw

@@ -1,0 +1,28 @@
+// Move insertion for inter-cluster routing (the paper's future work).
+//
+// The base partitioning scheme only lets a value flow between ring-adjacent
+// clusters; the paper's conclusion proposes `move` operations to relay
+// values across intermediate clusters.  This transform splits one flow
+// edge with a chain of moves: each hop is an ordinary DDG op executed on a
+// copy/move FU, so the partitioner's adjacency rule applies hop by hop.
+#pragma once
+
+#include "ir/loop.h"
+
+namespace qvliw {
+
+/// Splits the flow edge feeding operand `dst_arg` of op `dst` with `hops`
+/// chained move ops (hops >= 1).  The moves execute in the producer's
+/// iteration; the consumer's operand distance is preserved.  Returns the
+/// rewritten loop; `moves_added` reports the chain length.
+struct MoveInsertResult {
+  Loop loop;
+  int moves_added = 0;
+  /// Original op index -> index in the rewritten loop.
+  std::vector<int> op_map;
+};
+
+[[nodiscard]] MoveInsertResult insert_move_chain(const Loop& loop, int dst, int dst_arg,
+                                                 int hops);
+
+}  // namespace qvliw

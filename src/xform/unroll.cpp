@@ -1,0 +1,87 @@
+#include "xform/unroll.h"
+
+#include <algorithm>
+
+#include "sched/mii.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+Loop unroll(const Loop& src, int factor) {
+  src.validate();
+  check(factor >= 1, "unroll: factor must be >= 1");
+  if (factor == 1) return src;
+
+  Loop out;
+  out.name = cat(src.name, "_x", factor);
+  out.stride = src.stride * factor;
+  out.trip_hint = std::max(1, src.trip_hint / factor);
+  out.invariants = src.invariants;
+  out.arrays = src.arrays;
+
+  const int n = src.op_count();
+  // new index of replica k of source op v = k*n + v (replicas in blocks).
+  auto replica = [n](int v, int k) { return k * n + v; };
+
+  for (int k = 0; k < factor; ++k) {
+    for (int v = 0; v < n; ++v) {
+      Op op = src.ops[static_cast<std::size_t>(v)];
+      if (op.defines_value()) op.name = cat(op.name, "_u", k);
+      if (is_memory(op.opcode)) op.mem_offset += src.stride * k;
+      for (Operand& arg : op.args) {
+        switch (arg.kind) {
+          case Operand::Kind::kValue: {
+            const int m = k - arg.distance;
+            if (m >= 0) {
+              arg = Operand::value(replica(arg.value_op, m), 0);
+            } else {
+              // ceil((-m)/factor) unrolled iterations back.
+              const int q = (-m + factor - 1) / factor;
+              arg = Operand::value(replica(arg.value_op, m + q * factor), q);
+            }
+            break;
+          }
+          case Operand::Kind::kIndex:
+            arg.index_offset += src.stride * k;
+            break;
+          case Operand::Kind::kInvariant:
+          case Operand::Kind::kImmediate:
+            break;
+        }
+      }
+      out.add_op(std::move(op));
+    }
+  }
+
+  out.validate();
+  return out;
+}
+
+UnrollChoice select_unroll_factor(const Loop& loop, const MachineConfig& machine, int max_factor,
+                                  int max_ops) {
+  check(max_factor >= 1, "select_unroll_factor: max_factor must be >= 1");
+  UnrollChoice best;
+  best.factor = 1;
+  {
+    const Ddg graph = Ddg::build(loop, machine.latency);
+    const MiiInfo mii = compute_mii(loop, graph, machine);
+    check(mii.feasible, "select_unroll_factor: loop infeasible on machine");
+    best.rate = static_cast<double>(mii.mii);
+  }
+  for (int factor = 2; factor <= max_factor; ++factor) {
+    if (loop.op_count() * factor > max_ops) break;
+    const Loop unrolled = unroll(loop, factor);
+    const Ddg graph = Ddg::build(unrolled, machine.latency);
+    const MiiInfo mii = compute_mii(unrolled, graph, machine);
+    if (!mii.feasible) continue;
+    const double rate = static_cast<double>(mii.mii) / static_cast<double>(factor);
+    if (rate < best.rate - 1e-9) {
+      best.factor = factor;
+      best.rate = rate;
+    }
+  }
+  return best;
+}
+
+}  // namespace qvliw

@@ -1,0 +1,40 @@
+// Loop unrolling (Section 3 of the paper).
+//
+// Unrolling by U replicates the body U times; the unrolled loop initiates
+// U source iterations per kernel iteration, so its fair comparison metric
+// is II/U per source iteration.  The paper's II_speedup for a loop is
+//
+//     II_speedup = II(original) / (II(unrolled) / U).
+//
+// Value operands are re-indexed: a use of `v@d` in replica k reads replica
+// (k-d) of the same unrolled iteration when k >= d, otherwise replica
+// (k-d mod U) of ceil((d-k)/U) unrolled iterations earlier.  Memory
+// offsets and index operands shift by stride*k, and the unrolled stride is
+// stride*U, which keeps the memory-dependence algebra exact.
+#pragma once
+
+#include "ir/ddg.h"
+#include "ir/loop.h"
+#include "machine/machine.h"
+
+namespace qvliw {
+
+/// Unrolls `loop` by `factor` (>= 1; factor 1 returns a copy).
+/// The result's trip_hint is trip_hint/factor (>= 1): one unrolled
+/// iteration performs `factor` source iterations.
+[[nodiscard]] Loop unroll(const Loop& loop, int factor);
+
+struct UnrollChoice {
+  int factor = 1;
+  /// Estimated per-source-iteration interval MII(factor)/factor.
+  double rate = 0.0;
+};
+
+/// Lavery/Hwu-style selection: the smallest factor in [1, max_factor]
+/// minimising the estimated per-source-iteration MII.  Factors whose
+/// unrolled body exceeds `max_ops` are skipped (they cannot pay off on the
+/// machines considered and blow up scheduling time).
+[[nodiscard]] UnrollChoice select_unroll_factor(const Loop& loop, const MachineConfig& machine,
+                                                int max_factor = 8, int max_ops = 512);
+
+}  // namespace qvliw

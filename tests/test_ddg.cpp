@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/ddg.h"
+#include "ir/parser.h"
+#include "support/diagnostics.h"
+#include "workload/kernels.h"
+
+namespace qvliw {
+namespace {
+
+TEST(Ddg, FlowEdgesFromOperands) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = fadd x, x; store Y[i], s; }");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  EXPECT_EQ(graph.node_count(), 3);
+  int flow_edges = 0;
+  for (const DepEdge& e : graph.edges()) {
+    if (e.is_value_flow()) ++flow_edges;
+  }
+  EXPECT_EQ(flow_edges, 3);  // x twice into fadd, s into store
+}
+
+TEST(Ddg, FlowEdgeCarriesProducerLatency) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = fmul x, 3; store Y[i], s; }");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  for (const DepEdge& e : graph.edges()) {
+    if (!e.is_value_flow()) continue;
+    if (e.src == 0) {
+      EXPECT_EQ(e.latency, 2);  // load latency
+    }
+    if (e.src == 1) {
+      EXPECT_EQ(e.latency, 3);  // fmul latency
+    }
+  }
+}
+
+TEST(Ddg, FlowEdgeRecordsConsumerArgSlot) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; y = load Y[i]; s = fadd y, x; store Z[i], s; }");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  for (const DepEdge& e : graph.edges()) {
+    if (!e.is_value_flow() || e.dst != 2) continue;
+    if (e.src == 1) {
+      EXPECT_EQ(e.dst_arg, 0);
+    }
+    if (e.src == 0) {
+      EXPECT_EQ(e.dst_arg, 1);
+    }
+  }
+}
+
+TEST(Ddg, DistanceFromOperand) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; acc = fadd acc@1, x; store Y[i], acc; }");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  bool found_self = false;
+  for (const DepEdge& e : graph.edges()) {
+    if (e.src == 1 && e.dst == 1) {
+      found_self = true;
+      EXPECT_EQ(e.distance, 1);
+      EXPECT_EQ(e.latency, 2);  // fadd
+    }
+  }
+  EXPECT_TRUE(found_self);
+}
+
+TEST(Ddg, MemoryEdgesIncluded) {
+  const Loop loop = kernel_by_name("lk5_tridiag");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  bool found_mem_flow = false;
+  for (const DepEdge& e : graph.edges()) {
+    if (e.kind == DepKind::kMemFlow) {
+      found_mem_flow = true;
+      EXPECT_EQ(e.latency, 1);
+      EXPECT_EQ(e.distance, 1);
+    }
+  }
+  EXPECT_TRUE(found_mem_flow);
+}
+
+TEST(Ddg, AdjacencyConsistent) {
+  const Loop loop = kernel_by_name("fir4");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  for (int v = 0; v < graph.node_count(); ++v) {
+    for (int e : graph.out_edges(v)) EXPECT_EQ(graph.edge(e).src, v);
+    for (int e : graph.in_edges(v)) EXPECT_EQ(graph.edge(e).dst, v);
+  }
+  int from_out = 0;
+  for (int v = 0; v < graph.node_count(); ++v) from_out += static_cast<int>(graph.out_edges(v).size());
+  EXPECT_EQ(from_out, graph.edge_count());
+}
+
+TEST(Ddg, TotalLatency) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = fmul x, 3; store Y[i], s; }");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  EXPECT_EQ(graph.total_latency(), 2 + 3 + 1);
+}
+
+TEST(Ddg, EmptyGraph) {
+  const Ddg graph(0);
+  EXPECT_EQ(graph.node_count(), 0);
+  EXPECT_EQ(graph.edge_count(), 0);
+}
+
+TEST(Ddg, AddEdgeValidation) {
+  Ddg graph(2);
+  EXPECT_THROW(graph.add_edge({0, 5, 1, 0, DepKind::kFlow, -1}), Error);
+  EXPECT_THROW(graph.add_edge({0, 1, -1, 0, DepKind::kFlow, -1}), Error);
+  EXPECT_THROW(graph.add_edge({0, 1, 1, -2, DepKind::kFlow, -1}), Error);
+  EXPECT_NO_THROW(graph.add_edge({0, 1, 1, 0, DepKind::kFlow, -1}));
+}
+
+TEST(Ddg, DepKindNames) {
+  EXPECT_EQ(dep_kind_name(DepKind::kFlow), "flow");
+  EXPECT_EQ(dep_kind_name(DepKind::kMemAnti), "mem-anti");
+}
+
+TEST(Ddg, CorpusBuildsEverywhere) {
+  for (const Loop& loop : kernel_corpus()) {
+    EXPECT_NO_THROW({
+      const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+      EXPECT_EQ(graph.node_count(), loop.op_count());
+    }) << loop.name;
+  }
+}
+
+}  // namespace
+}  // namespace qvliw

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/graph_algos.h"
+#include "ir/parser.h"
+#include "workload/kernels.h"
+
+namespace qvliw {
+namespace {
+
+Ddg chain(int n, int latency = 1) {
+  Ddg graph(n);
+  for (int v = 0; v + 1 < n; ++v) graph.add_edge({v, v + 1, latency, 0, DepKind::kFlow, -1});
+  return graph;
+}
+
+TEST(Scc, ChainIsAllSingletons) {
+  const Ddg graph = chain(5);
+  EXPECT_EQ(scc_count(graph), 5);
+  const auto ids = scc_ids(graph);
+  std::vector<int> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Scc, CycleIsOneComponent) {
+  Ddg graph = chain(4);
+  graph.add_edge({3, 0, 1, 1, DepKind::kFlow, -1});
+  EXPECT_EQ(scc_count(graph), 1);
+  const auto ids = scc_ids(graph);
+  EXPECT_EQ(ids[0], ids[3]);
+}
+
+TEST(Scc, TwoCyclesPlusIsolated) {
+  Ddg graph(5);
+  graph.add_edge({0, 1, 1, 0, DepKind::kFlow, -1});
+  graph.add_edge({1, 0, 1, 1, DepKind::kFlow, -1});
+  graph.add_edge({2, 3, 1, 0, DepKind::kFlow, -1});
+  graph.add_edge({3, 2, 1, 1, DepKind::kFlow, -1});
+  EXPECT_EQ(scc_count(graph), 3);
+  const auto ids = scc_ids(graph);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[2], ids[3]);
+  EXPECT_NE(ids[0], ids[2]);
+  EXPECT_NE(ids[4], ids[0]);
+}
+
+TEST(Scc, SelfLoop) {
+  Ddg graph(2);
+  graph.add_edge({0, 0, 2, 1, DepKind::kFlow, -1});
+  EXPECT_EQ(scc_count(graph), 2);
+}
+
+TEST(PositiveCycle, AcyclicNeverPositive) {
+  const Ddg graph = chain(6, 10);
+  for (int ii = 1; ii <= 4; ++ii) EXPECT_FALSE(has_positive_cycle(graph, ii));
+}
+
+TEST(PositiveCycle, SelfLoopThreshold) {
+  Ddg graph(1);
+  graph.add_edge({0, 0, 5, 2, DepKind::kFlow, -1});  // needs II >= ceil(5/2) = 3
+  EXPECT_TRUE(has_positive_cycle(graph, 1));
+  EXPECT_TRUE(has_positive_cycle(graph, 2));
+  EXPECT_FALSE(has_positive_cycle(graph, 3));
+  EXPECT_FALSE(has_positive_cycle(graph, 10));
+}
+
+TEST(PositiveCycle, LongCycleThreshold) {
+  // Cycle latency 7, distance 2 -> needs II >= 4.
+  Ddg graph(3);
+  graph.add_edge({0, 1, 3, 0, DepKind::kFlow, -1});
+  graph.add_edge({1, 2, 3, 1, DepKind::kFlow, -1});
+  graph.add_edge({2, 0, 1, 1, DepKind::kFlow, -1});
+  EXPECT_TRUE(has_positive_cycle(graph, 3));
+  EXPECT_FALSE(has_positive_cycle(graph, 4));
+}
+
+TEST(Circuits, FindsSelfLoop) {
+  Ddg graph(2);
+  graph.add_edge({0, 0, 4, 1, DepKind::kFlow, -1});
+  const auto circuits = elementary_circuits(graph);
+  ASSERT_EQ(circuits.size(), 1u);
+  EXPECT_EQ(circuits[0].latency_sum, 4);
+  EXPECT_EQ(circuits[0].distance_sum, 1);
+  EXPECT_EQ(circuits[0].min_ii(), 4);
+}
+
+TEST(Circuits, FindsAllElementaryCircuits) {
+  // Two overlapping cycles: 0->1->0 and 0->1->2->0.
+  Ddg graph(3);
+  graph.add_edge({0, 1, 1, 0, DepKind::kFlow, -1});
+  graph.add_edge({1, 0, 1, 1, DepKind::kFlow, -1});
+  graph.add_edge({1, 2, 1, 0, DepKind::kFlow, -1});
+  graph.add_edge({2, 0, 1, 1, DepKind::kFlow, -1});
+  const auto circuits = elementary_circuits(graph);
+  EXPECT_EQ(circuits.size(), 2u);
+}
+
+TEST(Circuits, MaxCircuitsBound) {
+  // Complete-ish digraph on 6 nodes has many circuits; the bound caps it.
+  Ddg graph(6);
+  for (int a = 0; a < 6; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      if (a != b) graph.add_edge({a, b, 1, 1, DepKind::kFlow, -1});
+    }
+  }
+  const auto circuits = elementary_circuits(graph, 10);
+  EXPECT_EQ(circuits.size(), 10u);
+}
+
+TEST(Circuits, RecMiiMatchesCircuitMax) {
+  // On real kernels: max over circuits of min_ii == smallest feasible II.
+  for (const char* name : {"dot", "rec1", "rec2", "horner", "cmul_acc", "lk5_tridiag"}) {
+    const Loop loop = kernel_by_name(name);
+    const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+    const auto circuits = elementary_circuits(graph);
+    ASSERT_FALSE(circuits.empty()) << name;
+    int bound = 1;
+    for (const Circuit& c : circuits) bound = std::max(bound, c.min_ii());
+    EXPECT_TRUE(has_positive_cycle(graph, bound - 1) || bound == 1) << name;
+    EXPECT_FALSE(has_positive_cycle(graph, bound)) << name;
+  }
+}
+
+TEST(Height, SinkIsZero) {
+  const Ddg graph = chain(3, 2);
+  const auto h = height_priority(graph, 1);
+  EXPECT_EQ(h[2], 0);
+  EXPECT_EQ(h[1], 2);
+  EXPECT_EQ(h[0], 4);
+}
+
+TEST(Height, BackEdgeDiscountedByII) {
+  Ddg graph(2);
+  graph.add_edge({0, 1, 3, 0, DepKind::kFlow, -1});
+  graph.add_edge({1, 0, 1, 1, DepKind::kFlow, -1});
+  // At II=4: h(1) = max(0, h(0) + 1 - 4) = 0; h(0) = 3.
+  const auto h = height_priority(graph, 4);
+  EXPECT_EQ(h[1], 0);
+  EXPECT_EQ(h[0], 3);
+}
+
+TEST(Height, NeverNegative) {
+  const Loop loop = kernel_by_name("rec2");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  for (int h : height_priority(graph, 8)) EXPECT_GE(h, 0);
+}
+
+}  // namespace
+}  // namespace qvliw

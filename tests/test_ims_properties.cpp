@@ -1,0 +1,61 @@
+// Property tests: IMS over a seeded sweep of synthetic loops x machines.
+//
+// Invariants checked for every (loop, machine) pair:
+//   * scheduling succeeds within the II ladder,
+//   * II >= MII = max(ResMII, RecMII),
+//   * every dependence edge satisfies sigma(dst) >= sigma(src)+lat-II*dist,
+//   * no FU modulo slot is double-booked,
+//   * the schedule is complete and stage count is positive.
+#include <gtest/gtest.h>
+
+#include "sched/ims.h"
+#include "workload/synth.h"
+#include "xform/copy_insert.h"
+
+namespace qvliw {
+namespace {
+
+struct Case {
+  int fus;
+  std::uint64_t seed;
+  bool with_copies;
+};
+
+class ImsProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ImsProperty, ScheduleInvariantsHold) {
+  const Case param = GetParam();
+  SynthConfig config;
+  config.loops = 25;
+  config.seed = param.seed;
+  const MachineConfig machine = MachineConfig::single_cluster_machine(param.fus);
+
+  for (Loop loop : synthesize_suite(config)) {
+    if (param.with_copies) loop = insert_copies(loop).loop;
+    const Ddg graph = Ddg::build(loop, machine.latency);
+    const ImsResult r = ims_schedule(loop, graph, machine);
+    ASSERT_TRUE(r.ok) << loop.name << ": " << r.failure;
+    ASSERT_TRUE(r.schedule.complete()) << loop.name;
+    EXPECT_GE(r.ii, r.mii.mii) << loop.name;
+    EXPECT_GE(r.schedule.stage_count(), 1) << loop.name;
+
+    const auto dep_errors = dependence_violations(graph, r.schedule);
+    EXPECT_TRUE(dep_errors.empty()) << loop.name << ": " << (dep_errors.empty() ? "" : dep_errors[0]);
+    const auto res_errors = resource_violations(loop, machine, r.schedule);
+    EXPECT_TRUE(res_errors.empty()) << loop.name << ": " << (res_errors.empty() ? "" : res_errors[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededSweep, ImsProperty,
+    ::testing::Values(Case{3, 11, false}, Case{3, 11, true}, Case{4, 22, false},
+                      Case{4, 22, true}, Case{6, 33, false}, Case{6, 33, true},
+                      Case{9, 44, true}, Case{12, 55, false}, Case{12, 55, true},
+                      Case{15, 66, true}, Case{18, 77, false}, Case{18, 77, true}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "fus" + std::to_string(info.param.fus) + "_seed" +
+             std::to_string(info.param.seed) + (info.param.with_copies ? "_copies" : "_plain");
+    });
+
+}  // namespace
+}  // namespace qvliw

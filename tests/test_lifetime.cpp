@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "qrf/lifetime.h"
+#include "sched/ims.h"
+#include "support/diagnostics.h"
+#include "xform/copy_insert.h"
+
+namespace qvliw {
+namespace {
+
+TEST(LiveInstances, SingleShortLifetime) {
+  // push 0, pop 1, II 4: live at t in {0,1} mod 4 (inclusive residency).
+  EXPECT_EQ(live_instances(0, 1, 4, 0), 1);
+  EXPECT_EQ(live_instances(0, 1, 4, 1), 1);
+  EXPECT_EQ(live_instances(0, 1, 4, 2), 0);
+  EXPECT_EQ(live_instances(0, 1, 4, 4), 1);
+}
+
+TEST(LiveInstances, BeforePushIsZero) {
+  EXPECT_EQ(live_instances(5, 9, 3, 4), 0);
+  EXPECT_EQ(live_instances(5, 9, 3, 0), 0);
+}
+
+TEST(LiveInstances, OverlappingInstances) {
+  // Length 5 with II 2: instances overlap ~3 deep in steady state.
+  // At t=10: k with push+2k <= 10 <= push+5+2k, push=0: k in {3,4,5}.
+  EXPECT_EQ(live_instances(0, 5, 2, 10), 3);
+  EXPECT_EQ(max_live_instances(0, 5, 2), 3);
+}
+
+TEST(LiveInstances, ZeroLengthOccupiesOneCycle) {
+  EXPECT_EQ(live_instances(3, 3, 2, 3), 1);
+  EXPECT_EQ(live_instances(3, 3, 2, 4), 0);
+  EXPECT_EQ(max_live_instances(3, 3, 2), 1);
+}
+
+TEST(LiveInstances, MaxMatchesBruteForce) {
+  for (int push = 0; push < 3; ++push) {
+    for (int len = 0; len < 12; ++len) {
+      for (int ii = 1; ii <= 5; ++ii) {
+        int brute = 0;
+        const int pop = push + len;
+        for (long long t = pop; t < pop + 4LL * ii + 4; ++t) {
+          int live = 0;
+          for (int k = 0; k <= (len / ii) + 8; ++k) {
+            if (push + k * ii <= t && t <= pop + k * ii) ++live;
+          }
+          brute = std::max(brute, live);
+        }
+        EXPECT_EQ(max_live_instances(push, pop, ii), brute)
+            << "push=" << push << " len=" << len << " ii=" << ii;
+      }
+    }
+  }
+}
+
+TEST(DomainOfEdge, PrivateSameCluster) {
+  const MachineConfig m = MachineConfig::clustered_machine(4);
+  const QueueDomain d = domain_of_edge(m, 2, 2);
+  EXPECT_EQ(d.kind, QueueDomain::Kind::kPrivate);
+  EXPECT_EQ(d.index, 2);
+}
+
+TEST(DomainOfEdge, ClockwiseSegment) {
+  const MachineConfig m = MachineConfig::clustered_machine(4);
+  const QueueDomain d = domain_of_edge(m, 1, 2);
+  EXPECT_EQ(d.kind, QueueDomain::Kind::kRingCw);
+  EXPECT_EQ(d.index, 1);
+  const QueueDomain wrap = domain_of_edge(m, 3, 0);
+  EXPECT_EQ(wrap.kind, QueueDomain::Kind::kRingCw);
+  EXPECT_EQ(wrap.index, 3);
+}
+
+TEST(DomainOfEdge, CounterClockwiseSegment) {
+  const MachineConfig m = MachineConfig::clustered_machine(4);
+  const QueueDomain d = domain_of_edge(m, 2, 1);
+  EXPECT_EQ(d.kind, QueueDomain::Kind::kRingCcw);
+  EXPECT_EQ(d.index, 1);
+  const QueueDomain wrap = domain_of_edge(m, 0, 3);
+  EXPECT_EQ(wrap.kind, QueueDomain::Kind::kRingCcw);
+  EXPECT_EQ(wrap.index, 3);
+}
+
+TEST(DomainOfEdge, NonAdjacentFails) {
+  const MachineConfig m = MachineConfig::clustered_machine(5);
+  EXPECT_THROW((void)domain_of_edge(m, 0, 2), Error);
+}
+
+TEST(DomainOfEdge, TwoClusterRingUsesClockwise) {
+  const MachineConfig m = MachineConfig::clustered_machine(2);
+  EXPECT_EQ(domain_of_edge(m, 0, 1).kind, QueueDomain::Kind::kRingCw);
+  EXPECT_EQ(domain_of_edge(m, 0, 1).index, 0);
+  EXPECT_EQ(domain_of_edge(m, 1, 0).kind, QueueDomain::Kind::kRingCw);
+  EXPECT_EQ(domain_of_edge(m, 1, 0).index, 1);
+}
+
+TEST(DomainName, Formats) {
+  EXPECT_EQ(domain_name({QueueDomain::Kind::kPrivate, 3}), "private[3]");
+  EXPECT_EQ(domain_name({QueueDomain::Kind::kRingCw, 0}), "ring-cw[0]");
+  EXPECT_EQ(domain_name({QueueDomain::Kind::kRingCcw, 2}), "ring-ccw[2]");
+}
+
+TEST(ExtractLifetimes, PushPopTimesFromSchedule) {
+  const Loop loop =
+      insert_copies(parse_loop("loop t { x = load X[i]; acc = fadd acc@1, x; store Y[i], acc; }"))
+          .loop;
+  const MachineConfig machine = MachineConfig::single_cluster_machine(3);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  const ImsResult r = ims_schedule(loop, graph, machine);
+  ASSERT_TRUE(r.ok);
+  const auto lifetimes = extract_lifetimes(loop, graph, machine, r.schedule);
+
+  // One lifetime per flow edge.
+  int flow_edges = 0;
+  for (const DepEdge& e : graph.edges()) {
+    if (e.is_value_flow()) ++flow_edges;
+  }
+  EXPECT_EQ(static_cast<int>(lifetimes.size()), flow_edges);
+
+  for (const Lifetime& lt : lifetimes) {
+    const DepEdge& e = graph.edge(lt.edge);
+    EXPECT_EQ(lt.producer, e.src);
+    EXPECT_EQ(lt.consumer, e.dst);
+    EXPECT_EQ(lt.push, r.schedule.cycle(e.src) +
+                           machine.latency.of(loop.ops[static_cast<std::size_t>(e.src)].opcode));
+    EXPECT_EQ(lt.pop, r.schedule.cycle(e.dst) + r.ii * e.distance);
+    EXPECT_GE(lt.length(), 0);
+    EXPECT_EQ(lt.domain.kind, QueueDomain::Kind::kPrivate);  // single cluster
+  }
+}
+
+TEST(ExtractLifetimes, RequiresCompleteSchedule) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; store Y[i], x; }");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(3);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  Schedule incomplete(loop.op_count(), 2);
+  EXPECT_THROW((void)extract_lifetimes(loop, graph, machine, incomplete), Error);
+}
+
+}  // namespace
+}  // namespace qvliw

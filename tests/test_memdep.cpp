@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/memdep.h"
+#include "ir/parser.h"
+
+namespace qvliw {
+namespace {
+
+bool has_dep(const std::vector<MemDep>& deps, int src, int dst, int distance, MemDepKind kind) {
+  return std::any_of(deps.begin(), deps.end(), [&](const MemDep& d) {
+    return d.src == src && d.dst == dst && d.distance == distance && d.kind == kind;
+  });
+}
+
+TEST(MemDep, NoDepsBetweenDistinctArrays) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; store Y[i], x; }");
+  EXPECT_TRUE(memory_dependences(loop).empty());
+}
+
+TEST(MemDep, LoadLoadNeverConstrains) {
+  const Loop loop = parse_loop("loop t { a = load X[i]; b = load X[i]; s = fadd a, b; store Y[i], s; }");
+  for (const MemDep& d : memory_dependences(loop)) {
+    EXPECT_TRUE(loop.ops[static_cast<std::size_t>(d.src)].opcode == Opcode::kStore ||
+                loop.ops[static_cast<std::size_t>(d.dst)].opcode == Opcode::kStore);
+  }
+}
+
+TEST(MemDep, SameIterationFlowInProgramOrder) {
+  // store X[i] then load X[i]: flow at distance 0.
+  const Loop loop = parse_loop("loop t { a = load Y[i]; store X[i], a; b = load X[i]; store Z[i], b; }");
+  const auto deps = memory_dependences(loop);
+  EXPECT_TRUE(has_dep(deps, 1, 2, 0, MemDepKind::kFlow));
+}
+
+TEST(MemDep, SameIterationAntiInProgramOrder) {
+  // load X[i] then store X[i]: anti at distance 0.
+  const Loop loop = parse_loop("loop t { b = load X[i]; store X[i], b; }");
+  const auto deps = memory_dependences(loop);
+  EXPECT_TRUE(has_dep(deps, 0, 1, 0, MemDepKind::kAnti));
+}
+
+TEST(MemDep, CarriedFlowFromStoreToLaterLoad) {
+  // store X[i]; load X[i-1] reads the element stored 1 iteration earlier.
+  const Loop loop = parse_loop("loop t { xm = load X[i-1]; y = load Y[i]; s = fadd xm, y; store X[i], s; }");
+  const auto deps = memory_dependences(loop);
+  // store (op 3, offset 0) -> load (op 0, offset -1): distance 1 flow.
+  EXPECT_TRUE(has_dep(deps, 3, 0, 1, MemDepKind::kFlow));
+}
+
+TEST(MemDep, CarriedAntiFromLoadAhead) {
+  // load X[i+1] is overwritten by next iteration's store X[i]: anti dist 1.
+  const Loop loop = parse_loop("loop t { a = load X[i+1]; store X[i], a; }");
+  const auto deps = memory_dependences(loop);
+  EXPECT_TRUE(has_dep(deps, 0, 1, 1, MemDepKind::kAnti));
+}
+
+TEST(MemDep, OutputDependence) {
+  const Loop loop = parse_loop("loop t { a = load Y[i]; store X[i], a; store X[i], a; }");
+  const auto deps = memory_dependences(loop);
+  EXPECT_TRUE(has_dep(deps, 1, 2, 0, MemDepKind::kOutput));
+}
+
+TEST(MemDep, CarriedOutputDependence) {
+  const Loop loop = parse_loop("loop t { a = load Y[i]; store X[i+1], a; store X[i], a; }");
+  const auto deps = memory_dependences(loop);
+  // store X[i+1] touches what store X[i] touches 1 iteration later:
+  // src = op2 (offset 0), dst = op1 (offset +1)? No: op1 writes element
+  // i+1, op2 writes element i; element k is written by op1 at iteration
+  // k-1 and by op2 at iteration k, so op1 -> op2 with distance 1.
+  EXPECT_TRUE(has_dep(deps, 1, 2, 1, MemDepKind::kOutput));
+}
+
+TEST(MemDep, StrideDivisibilityFilters) {
+  Loop loop = parse_loop("loop t { stride 2; a = load X[i+1]; store X[i], a; }");
+  // offsets differ by 1, stride 2: never the same element.
+  EXPECT_TRUE(memory_dependences(loop).empty());
+}
+
+TEST(MemDep, StrideDividesGivesDistance) {
+  Loop loop = parse_loop("loop t { a = load X[i-2]; b = load Y[i]; s = fadd a, b; store X[i], s; }");
+  loop.stride = 2;
+  const auto deps = memory_dependences(loop);
+  // store offset 0 vs load offset -2: distance (0-(-2))/2 = 1.
+  EXPECT_TRUE(has_dep(deps, 3, 0, 1, MemDepKind::kFlow));
+}
+
+TEST(MemDep, MaxDistanceCap) {
+  const Loop loop = parse_loop("loop t { a = load X[i-40]; store X[i], a; }");
+  EXPECT_TRUE(has_dep(memory_dependences(loop, 64), 1, 0, 40, MemDepKind::kFlow));
+  EXPECT_TRUE(memory_dependences(loop, 10).empty());
+}
+
+TEST(MemDep, DistancesNeverNegative) {
+  const Loop loop = parse_loop(
+      "loop t { a = load X[i-2]; b = load X[i+2]; s = fadd a, b; store X[i+1], s; store X[i-1], s; }");
+  for (const MemDep& d : memory_dependences(loop)) {
+    EXPECT_GE(d.distance, 0);
+  }
+}
+
+}  // namespace
+}  // namespace qvliw

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "sim/interp.h"
+#include "support/diagnostics.h"
+#include "xform/move_insert.h"
+
+namespace qvliw {
+namespace {
+
+TEST(MoveInsert, SingleHopSplitsEdge) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = fadd x, 1; store Y[i], s; }");
+  const MoveInsertResult r = insert_move_chain(loop, 1, 0, 1);
+  EXPECT_EQ(r.moves_added, 1);
+  EXPECT_EQ(r.loop.op_count(), 4);
+  // The move reads x; the add reads the move.
+  const int move = r.op_map[1] - 1;  // emitted right after the producer
+  EXPECT_EQ(r.loop.ops[static_cast<std::size_t>(move)].opcode, Opcode::kMove);
+  const Op& add = r.loop.ops[static_cast<std::size_t>(r.op_map[1])];
+  EXPECT_EQ(add.args[0].value_op, move);
+}
+
+TEST(MoveInsert, MultiHopChains) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = fadd x, 1; store Y[i], s; }");
+  const MoveInsertResult r = insert_move_chain(loop, 1, 0, 3);
+  EXPECT_EQ(r.moves_added, 3);
+  EXPECT_EQ(r.loop.op_count(), 6);
+  EXPECT_NO_THROW(r.loop.validate());
+}
+
+TEST(MoveInsert, PreservesSemantics) {
+  const Loop loop = parse_loop(
+      "loop t { x = load X[i]; s = fadd x, 1; u = fmul s, 3; store Y[i], u; }");
+  const MoveInsertResult r = insert_move_chain(loop, 2, 0, 2);
+  const InterpResult a = interpret(loop, 16, 1);
+  const InterpResult b = interpret(r.loop, 16, 1);
+  EXPECT_TRUE(a.memory == b.memory);
+}
+
+TEST(MoveInsert, LoopCarriedEdgePreservesDistance) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; acc = fadd acc@1, x; store Y[i], acc; }");
+  const MoveInsertResult r = insert_move_chain(loop, 1, 0, 1);  // the acc@1 operand
+  EXPECT_EQ(r.moves_added, 1);
+  const Op& acc = r.loop.ops[static_cast<std::size_t>(r.op_map[1])];
+  EXPECT_EQ(acc.args[0].distance, 1);
+  const InterpResult a = interpret(loop, 16, 2);
+  const InterpResult b = interpret(r.loop, 16, 2);
+  EXPECT_TRUE(a.memory == b.memory);
+}
+
+TEST(MoveInsert, OtherUsesUntouched) {
+  const Loop loop = parse_loop(
+      "loop t { x = load X[i]; c = copy x; a = fadd c, 1; b = fadd c, 2; store Y[i], a; store Z[i], b; }");
+  const MoveInsertResult r = insert_move_chain(loop, 2, 0, 1);  // only a's read of c
+  const Op& b_op = r.loop.ops[static_cast<std::size_t>(r.op_map[3])];
+  EXPECT_EQ(b_op.args[0].value_op, r.op_map[1]);  // still reads the copy directly
+}
+
+TEST(MoveInsert, RejectsNonValueOperand) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = fadd x, 1; store Y[i], s; }");
+  EXPECT_THROW((void)insert_move_chain(loop, 1, 1, 1), Error);  // immediate operand
+}
+
+TEST(MoveInsert, RejectsBadArguments) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; store Y[i], x; }");
+  EXPECT_THROW((void)insert_move_chain(loop, 9, 0, 1), Error);
+  EXPECT_THROW((void)insert_move_chain(loop, 1, 5, 1), Error);
+  EXPECT_THROW((void)insert_move_chain(loop, 1, 0, 0), Error);
+}
+
+}  // namespace
+}  // namespace qvliw

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "support/diagnostics.h"
+
+namespace qvliw {
+namespace {
+
+TEST(Parser, MinimalLoop) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; store Y[i], x; }");
+  EXPECT_EQ(loop.name, "t");
+  ASSERT_EQ(loop.op_count(), 2);
+  EXPECT_EQ(loop.ops[0].opcode, Opcode::kLoad);
+  EXPECT_EQ(loop.ops[0].name, "x");
+  EXPECT_EQ(loop.ops[1].opcode, Opcode::kStore);
+  EXPECT_EQ(loop.arrays.size(), 2u);
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  const Loop loop = parse_loop(R"(
+    # leading comment
+    loop t {   # trailing comment
+      x = load X[i];  # another
+      store Y[i], x;
+    }
+  )");
+  EXPECT_EQ(loop.op_count(), 2);
+}
+
+TEST(Parser, MemoryOffsets) {
+  const Loop loop = parse_loop("loop t { a = load X[i+3]; b = load X[i-2]; store Y[i], a; store Z[i+1], b; }");
+  EXPECT_EQ(loop.ops[0].mem_offset, 3);
+  EXPECT_EQ(loop.ops[1].mem_offset, -2);
+  EXPECT_EQ(loop.ops[3].mem_offset, 1);
+}
+
+TEST(Parser, Distances) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; acc = fadd acc@1, x; store Y[i], acc; }");
+  EXPECT_EQ(loop.ops[1].args[0].value_op, 1);
+  EXPECT_EQ(loop.ops[1].args[0].distance, 1);
+  EXPECT_EQ(loop.ops[1].args[1].value_op, 0);
+  EXPECT_EQ(loop.ops[1].args[1].distance, 0);
+}
+
+TEST(Parser, ForwardReferenceWithDistance) {
+  const Loop loop = parse_loop("loop t { a = fadd b@2, 1; b = fadd a, 2; store X[i], b; }");
+  EXPECT_EQ(loop.ops[0].args[0].value_op, 1);
+  EXPECT_EQ(loop.ops[0].args[0].distance, 2);
+}
+
+TEST(Parser, Invariants) {
+  const Loop loop = parse_loop("loop t { invariant a, b; x = load X[i]; s = fmul x, a; t2 = fadd s, b; store Y[i], t2; }");
+  ASSERT_EQ(loop.invariants.size(), 2u);
+  EXPECT_EQ(loop.ops[1].args[1].kind, Operand::Kind::kInvariant);
+  EXPECT_EQ(loop.ops[1].args[1].invariant, 0);
+  EXPECT_EQ(loop.ops[2].args[1].invariant, 1);
+}
+
+TEST(Parser, Immediates) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = add x, 5; u = sub s, -3; store Y[i], u; }");
+  EXPECT_EQ(loop.ops[1].args[1].imm, 5);
+  EXPECT_EQ(loop.ops[2].args[1].imm, -3);
+}
+
+TEST(Parser, IndexOperands) {
+  const Loop loop = parse_loop("loop t { a = add i, 1; b = add i+2, a; c = mul i-3, b; store X[i], c; }");
+  EXPECT_EQ(loop.ops[0].args[0].kind, Operand::Kind::kIndex);
+  EXPECT_EQ(loop.ops[0].args[0].index_offset, 0);
+  EXPECT_EQ(loop.ops[1].args[0].index_offset, 2);
+  EXPECT_EQ(loop.ops[2].args[0].index_offset, -3);
+}
+
+TEST(Parser, TripAndStride) {
+  const Loop loop = parse_loop("loop t { trip 64; stride 2; x = load X[i]; store Y[i], x; }");
+  EXPECT_EQ(loop.trip_hint, 64);
+  EXPECT_EQ(loop.stride, 2);
+}
+
+TEST(Parser, ArrayDeclaration) {
+  const Loop loop = parse_loop("loop t { array P, Q; x = load P[i]; store Q[i], x; }");
+  EXPECT_EQ(loop.arrays.size(), 2u);
+  EXPECT_EQ(loop.arrays[0], "P");
+}
+
+TEST(Parser, MultipleLoops) {
+  const auto loops = parse_loops(
+      "loop a { x = load X[i]; store Y[i], x; }"
+      "loop b { y = load P[i]; store Q[i], y; }");
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].name, "a");
+  EXPECT_EQ(loops[1].name, "b");
+}
+
+TEST(Parser, CopyAndMoveOpcodes) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; c = copy x; m = move c; store Y[i], m; }");
+  EXPECT_EQ(loop.ops[1].opcode, Opcode::kCopy);
+  EXPECT_EQ(loop.ops[2].opcode, Opcode::kMove);
+}
+
+// --- error cases ------------------------------------------------------------
+
+TEST(ParserErrors, UndefinedName) {
+  EXPECT_THROW((void)parse_loop("loop t { s = add ghost, 1; store X[i], s; }"), Error);
+}
+
+TEST(ParserErrors, DuplicateName) {
+  EXPECT_THROW((void)parse_loop("loop t { x = load X[i]; x = load Y[i]; store Z[i], x; }"), Error);
+}
+
+TEST(ParserErrors, InvariantWithDistance) {
+  EXPECT_THROW((void)parse_loop("loop t { invariant a; s = add a@1, 1; store X[i], s; }"), Error);
+}
+
+TEST(ParserErrors, ReservedIndexName) {
+  EXPECT_THROW((void)parse_loop("loop t { i = add 1, 2; store X[i], i; }"), Error);
+}
+
+TEST(ParserErrors, UnknownOpcode) {
+  EXPECT_THROW((void)parse_loop("loop t { x = frobnicate 1, 2; store X[i], x; }"), Error);
+}
+
+TEST(ParserErrors, StoreDefiningValue) {
+  EXPECT_THROW((void)parse_loop("loop t { x = store X[i], 1; }"), Error);
+}
+
+TEST(ParserErrors, MissingSemicolon) {
+  EXPECT_THROW((void)parse_loop("loop t { x = load X[i] store Y[i], x; }"), Error);
+}
+
+TEST(ParserErrors, MissingBrace) {
+  EXPECT_THROW((void)parse_loop("loop t { x = load X[i];"), Error);
+}
+
+TEST(ParserErrors, TrailingGarbage) {
+  EXPECT_THROW((void)parse_loop("loop t { x = load X[i]; store Y[i], x; } extra"), Error);
+}
+
+TEST(ParserErrors, EmptyInput) { EXPECT_THROW((void)parse_loops(""), Error); }
+
+TEST(ParserErrors, ErrorMentionsLine) {
+  try {
+    (void)parse_loop("loop t {\n  x = load X[i];\n  s = add ghost, 1;\n store X[i], s; }");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ParserErrors, BadIndexExpression) {
+  EXPECT_THROW((void)parse_loop("loop t { x = load X[j]; store Y[i], x; }"), Error);
+}
+
+TEST(ParserErrors, LoadWithDistanceZeroForwardUse) {
+  // Distance-0 use before definition must be rejected by validation.
+  EXPECT_THROW((void)parse_loop("loop t { s = add x, 1; x = load X[i]; store Y[i], s; }"), Error);
+}
+
+}  // namespace
+}  // namespace qvliw

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "cluster/partition.h"
+#include "ir/parser.h"
+#include "qrf/qcompat.h"
+#include "qrf/queue_alloc.h"
+#include "sched/ims.h"
+#include "workload/kernels.h"
+#include "workload/synth.h"
+#include "xform/copy_insert.h"
+
+namespace qvliw {
+namespace {
+
+QueueAllocation allocate_kernel(const char* name, int fus, ImsResult* out_sched = nullptr,
+                                Loop* out_loop = nullptr) {
+  const Loop loop = insert_copies(kernel_by_name(name)).loop;
+  const MachineConfig machine = MachineConfig::single_cluster_machine(fus);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  const ImsResult r = ims_schedule(loop, graph, machine);
+  EXPECT_TRUE(r.ok) << r.failure;
+  if (out_sched != nullptr) *out_sched = r;
+  if (out_loop != nullptr) *out_loop = loop;
+  return allocate_queues(loop, graph, machine, r.schedule);
+}
+
+/// Invariant: all queue members pairwise compatible, in push order.
+void expect_valid_allocation(const QueueAllocation& allocation) {
+  for (const AllocatedQueue& queue : allocation.queues) {
+    for (std::size_t a = 0; a < queue.members.size(); ++a) {
+      const Lifetime& la = allocation.lifetimes[static_cast<std::size_t>(queue.members[a])];
+      EXPECT_EQ(la.domain, queue.domain);
+      for (std::size_t b = a + 1; b < queue.members.size(); ++b) {
+        const Lifetime& lb = allocation.lifetimes[static_cast<std::size_t>(queue.members[b])];
+        EXPECT_TRUE(q_compatible(la, lb, allocation.ii))
+            << "queue with incompatible members " << queue.members[a] << "," << queue.members[b];
+      }
+    }
+  }
+  // Every lifetime assigned exactly once.
+  std::vector<int> seen(allocation.lifetimes.size(), 0);
+  for (const AllocatedQueue& queue : allocation.queues) {
+    for (int member : queue.members) ++seen[static_cast<std::size_t>(member)];
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "lifetime " << i;
+    EXPECT_GE(allocation.queue_of[i], 0);
+  }
+}
+
+TEST(QueueAlloc, DaxpyAllocatesValidly) {
+  const QueueAllocation a = allocate_kernel("daxpy", 3);
+  expect_valid_allocation(a);
+  EXPECT_GT(a.total_queues(), 0);
+  EXPECT_GT(a.max_positions(), 0);
+}
+
+TEST(QueueAlloc, AllKernelsValidOnSeveralMachines) {
+  for (const Loop& source : kernel_corpus()) {
+    for (int fus : {3, 6, 12}) {
+      const Loop loop = insert_copies(source).loop;
+      const MachineConfig machine = MachineConfig::single_cluster_machine(fus);
+      const Ddg graph = Ddg::build(loop, machine.latency);
+      const ImsResult r = ims_schedule(loop, graph, machine);
+      ASSERT_TRUE(r.ok) << source.name;
+      const QueueAllocation a = allocate_queues(loop, graph, machine, r.schedule);
+      expect_valid_allocation(a);
+    }
+  }
+}
+
+TEST(QueueAlloc, SyntheticSweepValid) {
+  SynthConfig config;
+  config.loops = 30;
+  config.seed = 99;
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  for (const Loop& source : synthesize_suite(config)) {
+    const Loop loop = insert_copies(source).loop;
+    const Ddg graph = Ddg::build(loop, machine.latency);
+    const ImsResult r = ims_schedule(loop, graph, machine);
+    ASSERT_TRUE(r.ok) << source.name;
+    const QueueAllocation a = allocate_queues(loop, graph, machine, r.schedule);
+    expect_valid_allocation(a);
+  }
+}
+
+TEST(QueueAlloc, SingleClusterHasOnlyPrivateQueues) {
+  const QueueAllocation a = allocate_kernel("fir4", 6);
+  for (const AllocatedQueue& q : a.queues) {
+    EXPECT_EQ(q.domain.kind, QueueDomain::Kind::kPrivate);
+    EXPECT_EQ(q.domain.index, 0);
+  }
+  EXPECT_EQ(a.max_private_queues(), a.total_queues());
+  EXPECT_EQ(a.max_ring_queues(), 0);
+}
+
+TEST(QueueAlloc, OccupancyPositiveAndBounded) {
+  ImsResult sched;
+  Loop loop;
+  const QueueAllocation a = allocate_kernel("fir8", 6, &sched, &loop);
+  for (const AllocatedQueue& q : a.queues) {
+    EXPECT_GE(q.max_occupancy, 1);
+    // A queue's occupancy is at most the sum of member instance maxima.
+    int bound = 0;
+    for (int member : q.members) {
+      const Lifetime& lt = a.lifetimes[static_cast<std::size_t>(member)];
+      bound += max_live_instances(lt.push, lt.pop, a.ii);
+    }
+    EXPECT_LE(q.max_occupancy, bound);
+  }
+}
+
+TEST(QueueAlloc, CapacityViolationsDetected) {
+  ImsResult sched;
+  Loop loop;
+  QueueAllocation a = allocate_kernel("fir8", 3, &sched, &loop);
+  MachineConfig tiny = MachineConfig::single_cluster_machine(3);
+  tiny.clusters[0].private_queues = 1;  // absurdly small
+  const auto violations = a.capacity_violations(tiny);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("queues"), std::string::npos);
+}
+
+TEST(QueueAlloc, DepthViolationDetected) {
+  ImsResult sched;
+  Loop loop;
+  QueueAllocation a = allocate_kernel("fir8", 3, &sched, &loop);
+  MachineConfig shallow = MachineConfig::single_cluster_machine(3);
+  shallow.clusters[0].queue_depth = 1;
+  bool depth_mentioned = false;
+  for (const auto& v : a.capacity_violations(shallow)) {
+    if (v.find("depth") != std::string::npos) depth_mentioned = true;
+  }
+  EXPECT_TRUE(depth_mentioned);
+}
+
+TEST(QueueAlloc, GenerousMachineFits) {
+  QueueAllocation a = allocate_kernel("daxpy", 6);
+  MachineConfig machine = MachineConfig::single_cluster_machine(6, 32);
+  machine.clusters[0].queue_depth = 64;
+  EXPECT_TRUE(a.capacity_violations(machine).empty());
+}
+
+TEST(QueueAlloc, ClusteredDomainsSeparated) {
+  // Partitioned schedule on a 4-cluster ring: lifetimes must land in
+  // private or adjacent-segment domains only, and stay pairwise compatible
+  // per domain.
+  const Loop loop = insert_copies(kernel_by_name("fir4")).loop;
+  const MachineConfig machine = MachineConfig::clustered_machine(4);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  const ImsResult r = partition_schedule(loop, graph, machine);
+  ASSERT_TRUE(r.ok) << r.failure;
+  const QueueAllocation a = allocate_queues(loop, graph, machine, r.schedule);
+  expect_valid_allocation(a);
+  EXPECT_EQ(a.total_queues(),
+            [&] {
+              int total = 0;
+              for (const AllocatedQueue& q : a.queues) {
+                (void)q;
+                ++total;
+              }
+              return total;
+            }());
+}
+
+TEST(QueueAlloc, DomainQueueCount) {
+  const QueueAllocation a = allocate_kernel("vadd", 6);
+  const QueueDomain d{QueueDomain::Kind::kPrivate, 0};
+  EXPECT_EQ(a.domain_queue_count(d), a.total_queues());
+  EXPECT_EQ(a.domain_queue_count({QueueDomain::Kind::kRingCw, 0}), 0);
+}
+
+}  // namespace
+}  // namespace qvliw

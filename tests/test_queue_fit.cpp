@@ -1,0 +1,126 @@
+// Queue-capacity-constrained scheduling: the pipeline escalates the II
+// until the allocation fits the machine's configured queue counts/depths.
+#include <gtest/gtest.h>
+
+#include "harness/pipeline.h"
+#include "qrf/queue_alloc.h"
+#include "workload/kernels.h"
+#include "workload/synth.h"
+
+namespace qvliw {
+namespace {
+
+TEST(QueueFit, GenerousMachineNeedsNoRetries) {
+  MachineConfig machine = MachineConfig::single_cluster_machine(6, 32);
+  machine.clusters[0].queue_depth = 64;
+  PipelineOptions options;
+  options.enforce_queue_limits = true;
+  const LoopResult r = run_pipeline(kernel_by_name("daxpy"), machine, options);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_TRUE(r.fits_machine_queues);
+  EXPECT_EQ(r.queue_fit_retries, 0);
+}
+
+TEST(QueueFit, TightQueueCountForcesLargerII) {
+  // fir4 wants 7 queues at its natural II; a 6-queue file forces a larger
+  // II at which more lifetimes become Q-compatible.
+  MachineConfig tight = MachineConfig::single_cluster_machine(6, 6);
+  PipelineOptions relaxed;
+  const LoopResult natural = run_pipeline(kernel_by_name("fir4"),
+                                          MachineConfig::single_cluster_machine(6, 32), relaxed);
+  ASSERT_TRUE(natural.ok);
+  ASSERT_GT(natural.total_queues, 6);  // the premise of the test
+
+  PipelineOptions options;
+  options.enforce_queue_limits = true;
+  const LoopResult fitted = run_pipeline(kernel_by_name("fir4"), tight, options);
+  ASSERT_TRUE(fitted.ok) << fitted.failure;
+  EXPECT_TRUE(fitted.fits_machine_queues);
+  EXPECT_GT(fitted.queue_fit_retries, 0);
+  EXPECT_GT(fitted.ii, natural.ii);
+  EXPECT_LE(fitted.total_queues, 6);
+}
+
+TEST(QueueFit, SomeLoopsNeedSpillCode) {
+  // fir8's copy tree produces many same-phase lifetimes; no II fits it in
+  // a 6-queue file — exactly the case the paper reserves for spill code.
+  MachineConfig tight = MachineConfig::single_cluster_machine(6, 6);
+  PipelineOptions options;
+  options.enforce_queue_limits = true;
+  const LoopResult r = run_pipeline(kernel_by_name("fir8"), tight, options);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("queues"), std::string::npos);
+}
+
+TEST(QueueFit, WithoutEnforcementOnlyReports) {
+  MachineConfig tight = MachineConfig::single_cluster_machine(6, 6);
+  PipelineOptions options;  // enforcement off
+  const LoopResult r = run_pipeline(kernel_by_name("fir8"), tight, options);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_FALSE(r.fits_machine_queues);
+  EXPECT_EQ(r.queue_fit_retries, 0);
+}
+
+TEST(QueueFit, ImpossibleBudgetFailsCleanly) {
+  MachineConfig impossible = MachineConfig::single_cluster_machine(6, 1);
+  impossible.clusters[0].queue_depth = 1;
+  PipelineOptions options;
+  options.enforce_queue_limits = true;
+  options.queue_fit_attempts = 4;
+  const LoopResult r = run_pipeline(kernel_by_name("fir8"), impossible, options);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.failure.empty());
+}
+
+TEST(QueueFit, FittedSchedulesStillSimulate) {
+  MachineConfig tight = MachineConfig::single_cluster_machine(6, 8);
+  PipelineOptions options;
+  options.enforce_queue_limits = true;
+  options.simulate = true;
+  options.sim_trip = 24;
+  for (const char* name : {"fir4", "cmul_acc", "stencil3_reuse"}) {
+    const LoopResult r = run_pipeline(kernel_by_name(name), tight, options);
+    ASSERT_TRUE(r.ok) << name << ": " << r.failure;
+    EXPECT_TRUE(r.sim_ok) << name;
+    EXPECT_TRUE(r.fits_machine_queues) << name;
+  }
+}
+
+TEST(QueueFit, ClusteredMachineEnforcement) {
+  MachineConfig ring = MachineConfig::clustered_machine(4);
+  // The paper's 8-queue private files with a tighter depth.
+  for (auto& cluster : ring.clusters) cluster.queue_depth = 4;
+  ring.ring.queue_depth = 4;
+  PipelineOptions options;
+  options.scheduler = SchedulerKind::kClustered;
+  options.enforce_queue_limits = true;
+  options.simulate = true;
+  options.sim_trip = 20;
+  SynthConfig config;
+  config.loops = 8;
+  config.seed = 321;
+  for (const Loop& loop : synthesize_suite(config)) {
+    const LoopResult r = run_pipeline(loop, ring, options);
+    if (!r.ok) continue;  // a tight budget may be genuinely unsatisfiable
+    EXPECT_TRUE(r.fits_machine_queues) << loop.name;
+    EXPECT_TRUE(r.sim_ok) << loop.name;
+  }
+}
+
+TEST(QueueFit, HigherIiNeverNeedsMoreQueues) {
+  // Monotonicity sanity: allocating the same loop at II and II+4 should
+  // not increase the queue demand (longer interval, less overlap).
+  const Loop loop = kernel_by_name("fir8");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6, 32);
+  PipelineOptions base;
+  const LoopResult natural = run_pipeline(loop, machine, base);
+  ASSERT_TRUE(natural.ok);
+  PipelineOptions slowed;
+  slowed.ims.start_ii = natural.ii + 4;
+  const LoopResult slower = run_pipeline(loop, machine, slowed);
+  ASSERT_TRUE(slower.ok);
+  EXPECT_LE(slower.total_queues, natural.total_queues + 1);
+}
+
+}  // namespace
+}  // namespace qvliw

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/parser.h"
+#include "qrf/rf_alloc.h"
+#include "support/diagnostics.h"
+#include "sched/ims.h"
+#include "workload/kernels.h"
+
+namespace qvliw {
+namespace {
+
+TEST(RfAlloc, LifetimeSpansLastUse) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; a = fadd x, 1; b = fadd x, 2; store Y[i], a; store Z[i], b; }");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  const ImsResult r = ims_schedule(loop, graph, machine);
+  ASSERT_TRUE(r.ok);
+  const auto lifetimes = rf_lifetimes(loop, graph, machine.latency, r.schedule);
+  ASSERT_EQ(lifetimes.size(), 3u);  // x, a, b
+  // x's end must cover both consumers.
+  const RfLifetime& x = lifetimes[0];
+  EXPECT_EQ(x.producer, 0);
+  EXPECT_EQ(x.start, r.schedule.cycle(0) + 2);
+  EXPECT_EQ(x.end, std::max(r.schedule.cycle(1), r.schedule.cycle(2)));
+}
+
+TEST(RfAlloc, DeadValueOccupiesWritebackCycle) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; y = load Y[i]; store Z[i], y; }");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  const ImsResult r = ims_schedule(loop, graph, machine);
+  ASSERT_TRUE(r.ok);
+  const auto lifetimes = rf_lifetimes(loop, graph, machine.latency, r.schedule);
+  const RfLifetime& x = lifetimes[0];
+  EXPECT_EQ(x.start, x.end);
+}
+
+TEST(RfAlloc, RegisterRequirementPositive) {
+  for (const char* name : {"daxpy", "dot", "fir8", "rec2"}) {
+    const Loop loop = kernel_by_name(name);
+    const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+    const Ddg graph = Ddg::build(loop, machine.latency);
+    const ImsResult r = ims_schedule(loop, graph, machine);
+    ASSERT_TRUE(r.ok) << name;
+    EXPECT_GE(register_requirement(loop, graph, machine.latency, r.schedule), 1) << name;
+  }
+}
+
+TEST(RfAlloc, MoreOverlapNeedsMoreRegisters) {
+  // fir8's delay line (x@1..x@7) keeps >= 8 instances of x live.
+  const Loop loop = kernel_by_name("fir8");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(12);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  const ImsResult r = ims_schedule(loop, graph, machine);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(register_requirement(loop, graph, machine.latency, r.schedule), 8);
+}
+
+TEST(RfAlloc, TightKernelNeedsFewRegisters) {
+  const Loop loop = kernel_by_name("vcopy");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(3);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  const ImsResult r = ims_schedule(loop, graph, machine);
+  ASSERT_TRUE(r.ok);
+  EXPECT_LE(register_requirement(loop, graph, machine.latency, r.schedule), 3);
+}
+
+TEST(RfAlloc, RequiresCompleteSchedule) {
+  const Loop loop = kernel_by_name("vcopy");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(3);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  Schedule incomplete(loop.op_count(), 2);
+  EXPECT_THROW((void)rf_lifetimes(loop, graph, machine.latency, incomplete), Error);
+}
+
+}  // namespace
+}  // namespace qvliw

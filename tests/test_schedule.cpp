@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "sched/reservation.h"
+#include "sched/schedule.h"
+#include "support/diagnostics.h"
+
+namespace qvliw {
+namespace {
+
+Loop two_op_loop() { return parse_loop("loop t { x = load X[i]; store Y[i], x; }"); }
+
+TEST(Schedule, BasicAccessors) {
+  Schedule s(3, 2);
+  EXPECT_EQ(s.ii(), 2);
+  EXPECT_EQ(s.op_count(), 3);
+  EXPECT_FALSE(s.scheduled(0));
+  EXPECT_FALSE(s.complete());
+  s.set(0, {4, 0, 0});
+  EXPECT_TRUE(s.scheduled(0));
+  EXPECT_EQ(s.cycle(0), 4);
+  s.set(1, {1, 0, 0});
+  s.set(2, {7, 0, 0});
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.max_cycle(), 7);
+  s.clear(2);
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(Schedule, StageCount) {
+  Schedule s(2, 3);
+  s.set(0, {0, 0, 0});
+  s.set(1, {2, 0, 0});
+  EXPECT_EQ(s.stage_count(), 1);  // cycles 0..2 fit in one stage of II=3
+  s.set(1, {3, 0, 0});
+  EXPECT_EQ(s.stage_count(), 2);
+  s.set(1, {8, 0, 0});
+  EXPECT_EQ(s.stage_count(), 3);
+}
+
+TEST(Schedule, TotalCyclesModel) {
+  const Loop loop = two_op_loop();
+  Schedule s(2, 2);
+  s.set(0, {0, 0, 0});  // load, latency 2 -> completes at 2
+  s.set(1, {2, 0, 0});  // store, latency 1 -> completes at 3
+  // span = max(0+2, 2+1) = 3; trip 10 -> 9*2 + 3 = 21.
+  EXPECT_EQ(s.total_cycles(loop, LatencyModel::classic(), 10), 21);
+}
+
+TEST(Schedule, RangeChecks) {
+  Schedule s(1, 1);
+  EXPECT_THROW((void)s.scheduled(5), Error);
+  EXPECT_THROW(s.set(0, {-1, 0, 0}), Error);
+  EXPECT_THROW((void)s.place(0), Error);  // not scheduled yet
+}
+
+TEST(DependenceValidation, DetectsViolation) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = fadd x, 1; store Y[i], s; }");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  Schedule s(3, 4);
+  s.set(0, {0, 0, 0});
+  s.set(1, {1, 0, 0});  // too early: needs >= 2 (load latency)
+  s.set(2, {5, 0, 0});
+  const auto violations = dependence_violations(graph, s);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("flow"), std::string::npos);
+}
+
+TEST(DependenceValidation, LoopCarriedSlackCounts) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; acc = fadd acc@1, x; store Y[i], acc; }");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  Schedule s(3, 2);
+  s.set(0, {0, 0, 0});
+  s.set(1, {2, 0, 0});  // self edge: 2 >= 2 + 2 - 2*1 = 2 OK
+  s.set(2, {4, 0, 0});
+  EXPECT_TRUE(dependence_violations(graph, s).empty());
+  Schedule bad(3, 1);  // II=1 below RecMII: self edge needs 2 <= 1
+  bad.set(0, {0, 0, 0});
+  bad.set(1, {2, 0, 0});
+  bad.set(2, {4, 0, 0});
+  EXPECT_FALSE(dependence_violations(graph, bad).empty());
+}
+
+TEST(DependenceValidation, ReportsUnscheduled) {
+  const Loop loop = two_op_loop();
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  Schedule s(2, 1);
+  s.set(0, {0, 0, 0});
+  EXPECT_FALSE(dependence_violations(graph, s).empty());
+}
+
+TEST(ResourceValidation, DetectsDoubleBooking) {
+  const Loop loop = parse_loop("loop t { a = load X[i]; b = load Y[i]; s = fadd a, b; store Z[i], s; }");
+  const MachineConfig m = MachineConfig::single_cluster_machine(3);  // 1 L/S
+  Schedule s(4, 2);
+  s.set(0, {0, 0, 0});
+  s.set(1, {2, 0, 0});  // slot 0 again on the same L/S instance
+  s.set(2, {4, 0, 0});
+  s.set(3, {6, 0, 0});
+  const auto violations = resource_violations(loop, m, s);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("double-book"), std::string::npos);
+}
+
+TEST(ResourceValidation, AcceptsDistinctInstances) {
+  const Loop loop = parse_loop("loop t { a = load X[i]; b = load Y[i]; s = fadd a, b; store Z[i], s; }");
+  const MachineConfig m = MachineConfig::single_cluster_machine(6);  // 2 L/S
+  Schedule s(4, 2);
+  s.set(0, {0, 0, 0});
+  s.set(1, {0, 0, 1});  // second instance
+  s.set(2, {2, 0, 0});
+  s.set(3, {5, 0, 0});  // store on the L/S at the other modulo slot
+  EXPECT_TRUE(resource_violations(loop, m, s).empty());
+}
+
+TEST(ResourceValidation, DetectsBadFuIndex) {
+  const Loop loop = two_op_loop();
+  const MachineConfig m = MachineConfig::single_cluster_machine(3);
+  Schedule s(2, 2);
+  s.set(0, {0, 0, 5});  // L/S instance 5 does not exist
+  s.set(1, {2, 0, 0});
+  EXPECT_FALSE(resource_violations(loop, m, s).empty());
+}
+
+TEST(ResourceValidation, DetectsBadCluster) {
+  const Loop loop = two_op_loop();
+  const MachineConfig m = MachineConfig::single_cluster_machine(3);
+  Schedule s(2, 2);
+  s.set(0, {0, 3, 0});
+  s.set(1, {2, 0, 0});
+  EXPECT_FALSE(resource_violations(loop, m, s).empty());
+}
+
+TEST(Reservation, PlaceFindRemove) {
+  const MachineConfig m = MachineConfig::single_cluster_machine(6);  // 2 per kind
+  ReservationTable table(m, 3);
+  EXPECT_EQ(table.instances(0, FuKind::kLS), 2);
+  EXPECT_EQ(table.find_free(0, FuKind::kLS, 4), 0);  // slot 1
+  table.place(0, FuKind::kLS, 0, 4, 7);
+  EXPECT_EQ(table.occupant(0, FuKind::kLS, 0, 1), 7);  // same modulo slot
+  EXPECT_EQ(table.find_free(0, FuKind::kLS, 1), 1);
+  table.place(0, FuKind::kLS, 1, 1, 8);
+  EXPECT_EQ(table.find_free(0, FuKind::kLS, 7), -1);  // slot 1 full
+  EXPECT_EQ(table.used_slots(0, FuKind::kLS), 2);
+  table.remove(0, FuKind::kLS, 0, 4, 7);
+  EXPECT_EQ(table.find_free(0, FuKind::kLS, 1), 0);
+}
+
+TEST(UsefulOps, ExcludesCopiesAndMoves) {
+  const Loop loop =
+      parse_loop("loop t { x = load X[i]; c = copy x; m = move c; store Y[i], m; }");
+  EXPECT_EQ(useful_op_count(loop), 2);
+}
+
+TEST(Ipc, StaticAndDynamic) {
+  const Loop loop = two_op_loop();
+  Schedule s(2, 2);
+  s.set(0, {0, 0, 0});
+  s.set(1, {2, 0, 0});
+  EXPECT_DOUBLE_EQ(static_ipc(loop, s), 1.0);  // 2 useful ops / II 2
+  // trip 100: cycles = 99*2 + 3 = 201; IPC = 200/201.
+  EXPECT_NEAR(dynamic_ipc(loop, LatencyModel::classic(), s, 100), 200.0 / 201.0, 1e-12);
+}
+
+TEST(FormatKernel, MentionsOpsAndStages) {
+  const Loop loop = two_op_loop();
+  const MachineConfig m = MachineConfig::single_cluster_machine(3);
+  Schedule s(2, 2);
+  s.set(0, {0, 0, 0});
+  s.set(1, {3, 0, 0});
+  const std::string text = format_kernel(loop, m, s);
+  EXPECT_NE(text.find("II=2"), std::string::npos);
+  EXPECT_NE(text.find("x(s0)"), std::string::npos);
+  EXPECT_NE(text.find("st#1(s1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qvliw

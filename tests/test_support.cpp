@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace qvliw {
+namespace {
+
+// --- diagnostics -----------------------------------------------------------
+
+TEST(Diagnostics, CheckPassesOnTrue) { EXPECT_NO_THROW(check(true, "fine")); }
+
+TEST(Diagnostics, CheckThrowsWithMessage) {
+  try {
+    check(false, "broken precondition");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "broken precondition");
+  }
+}
+
+TEST(Diagnostics, FailAtIncludesLocation) {
+  try {
+    fail_at("file.cpp", 42, "boom");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("file.cpp:42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+// --- strings ----------------------------------------------------------------
+
+TEST(Strings, CatConcatenatesMixedTypes) {
+  EXPECT_EQ(cat("x=", 3, ", y=", 2.5), "x=3, y=2.5");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("prefix-rest", "prefix"));
+  EXPECT_FALSE(starts_with("pre", "prefix"));
+}
+
+TEST(Strings, FixedAndPercent) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(percent(0.952, 1), "95.2%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 3), "abcde");
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(-3, 5);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all values hit
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedrespectsZeroWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted(weights), 1u);
+}
+
+TEST(Rng, WeightedRoughProportions) {
+  Rng rng(17);
+  const std::vector<double> weights = {1.0, 3.0};
+  int hits = 0;
+  const int draws = 4000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.weighted(weights) == 1) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.75, 0.05);
+}
+
+TEST(Rng, PickAndShuffle) {
+  Rng rng(19);
+  std::vector<int> items = {1, 2, 3, 4, 5};
+  for (int i = 0; i < 20; ++i) {
+    const int v = rng.pick(items);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 5);
+  }
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(21);
+  Rng child = a.fork();
+  // Child stream should not replay the parent stream.
+  Rng b(21);
+  (void)b.next();  // parent consumed one draw to fork
+  EXPECT_NE(child.next(), b.next());
+}
+
+TEST(Rng, Hash64Stable) {
+  EXPECT_EQ(hash64(42), hash64(42));
+  EXPECT_NE(hash64(42), hash64(43));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+// --- stats --------------------------------------------------------------------
+
+TEST(Stats, OnlineBasics) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 6.0}) s.add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(Stats, MeanAndGeomean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_THROW((void)geomean({1.0, 0.0}), Error);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> values = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 25.0);
+}
+
+TEST(Stats, FractionAtMost) {
+  const std::vector<int> values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(fraction_at_most(values, 2), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_most(values, 0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_at_most(values, 9), 1.0);
+}
+
+TEST(Stats, HistogramBinsAndCumulative) {
+  Histogram h(0.0, 10.0, 5);
+  for (double v : {0.5, 1.5, 3.0, 9.9, 11.0, -1.0}) h.add(v);  // clamped edges
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin_count(0), 3u);  // 0.5, 1.5, -1.0
+  EXPECT_EQ(h.bin_count(1), 1u);  // 3.0
+  EXPECT_EQ(h.bin_count(4), 2u);  // 9.9, 11.0
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(4), 1.0);
+  EXPECT_NEAR(h.cumulative_fraction(0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("b"), 3.14159});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), Error);
+}
+
+TEST(Table, CsvEscaping) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Table, CsvRendering) {
+  TextTable t({"k", "v"});
+  t.add_row({std::string("x,y"), std::int64_t{1}});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"x,y\",1\n");
+}
+
+// --- parallel ---------------------------------------------------------------------
+
+TEST(Parallel, CoversAllIndicesExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, ZeroCountIsNoop) {
+  bool ran = false;
+  parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Parallel, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(16, [](std::size_t i) {
+        if (i == 7) throw Error("worker failed");
+      }),
+      Error);
+}
+
+TEST(Parallel, WorkerCountPositive) { EXPECT_GE(worker_count(), 1u); }
+
+}  // namespace
+}  // namespace qvliw

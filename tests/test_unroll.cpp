@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "sched/mii.h"
+#include "sim/interp.h"
+#include "support/diagnostics.h"
+#include "workload/kernels.h"
+#include "workload/synth.h"
+#include "xform/unroll.h"
+
+namespace qvliw {
+namespace {
+
+TEST(Unroll, FactorOneIsCopy) {
+  const Loop loop = kernel_by_name("daxpy");
+  const Loop u = unroll(loop, 1);
+  EXPECT_EQ(u.op_count(), loop.op_count());
+  EXPECT_EQ(u.stride, loop.stride);
+}
+
+TEST(Unroll, StructuralShape) {
+  const Loop loop = kernel_by_name("daxpy");
+  const Loop u = unroll(loop, 4);
+  EXPECT_EQ(u.op_count(), 4 * loop.op_count());
+  EXPECT_EQ(u.stride, 4);
+  EXPECT_EQ(u.trip_hint, loop.trip_hint / 4);
+  EXPECT_EQ(u.name, "daxpy_x4");
+  EXPECT_NO_THROW(u.validate());
+}
+
+TEST(Unroll, MemOffsetsShiftPerReplica) {
+  const Loop loop = parse_loop("loop t { x = load X[i+1]; store Y[i], x; }");
+  const Loop u = unroll(loop, 3);
+  // Replica k loads X[i + 1 + k] and stores Y[i + k].
+  EXPECT_EQ(u.ops[0].mem_offset, 1);
+  EXPECT_EQ(u.ops[2].mem_offset, 2);
+  EXPECT_EQ(u.ops[4].mem_offset, 3);
+  EXPECT_EQ(u.ops[1].mem_offset, 0);
+  EXPECT_EQ(u.ops[3].mem_offset, 1);
+  EXPECT_EQ(u.ops[5].mem_offset, 2);
+}
+
+TEST(Unroll, IndexOperandsShift) {
+  const Loop loop = parse_loop("loop t { a = add i, 7; store X[i], a; }");
+  const Loop u = unroll(loop, 2);
+  EXPECT_EQ(u.ops[0].args[0].index_offset, 0);
+  EXPECT_EQ(u.ops[2].args[0].index_offset, 1);
+}
+
+TEST(Unroll, IntraIterationDistanceRewrite) {
+  // use of v@1 in replica 0 reaches replica U-1 of the previous unrolled
+  // iteration; in replica k>0 it reaches replica k-1 of the same iteration.
+  const Loop loop = parse_loop("loop t { x = load X[i]; acc = fadd acc@1, x; store Y[i], acc; }");
+  const Loop u = unroll(loop, 3);
+  const int acc0 = u.find_value("acc_u0");
+  const int acc1 = u.find_value("acc_u1");
+  const int acc2 = u.find_value("acc_u2");
+  ASSERT_GE(acc0, 0);
+  ASSERT_GE(acc1, 0);
+  ASSERT_GE(acc2, 0);
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(acc0)].args[0].value_op, acc2);
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(acc0)].args[0].distance, 1);
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(acc1)].args[0].value_op, acc0);
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(acc1)].args[0].distance, 0);
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(acc2)].args[0].value_op, acc1);
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(acc2)].args[0].distance, 0);
+}
+
+TEST(Unroll, LongDistanceRewrite) {
+  // distance 5 with factor 2: replica 0 -> source replica 1, 3 iterations
+  // back ((0-5) + 3*2 = 1); replica 1 -> source replica 0, 2 back.
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = fadd x@5, x; store Y[i], s; }");
+  const Loop u = unroll(loop, 2);
+  const int s0 = u.find_value("s_u0");
+  const int s1 = u.find_value("s_u1");
+  const int x0 = u.find_value("x_u0");
+  const int x1 = u.find_value("x_u1");
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(s0)].args[0].value_op, x1);
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(s0)].args[0].distance, 3);
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(s1)].args[0].value_op, x0);
+  EXPECT_EQ(u.ops[static_cast<std::size_t>(s1)].args[0].distance, 2);
+}
+
+TEST(Unroll, RejectsBadFactor) {
+  const Loop loop = kernel_by_name("daxpy");
+  EXPECT_THROW((void)unroll(loop, 0), Error);
+}
+
+TEST(Unroll, SemanticsPreservedOnCorpus) {
+  for (const Loop& loop : kernel_corpus()) {
+    for (int factor : {2, 3, 4}) {
+      const Loop u = unroll(loop, factor);
+      const long long trip = 24;  // divisible by 2, 3, 4
+      const InterpResult original = interpret(loop, trip, 0x11);
+      const InterpResult unrolled = interpret(u, trip / factor, 0x11);
+      EXPECT_TRUE(original.memory == unrolled.memory) << loop.name << " x" << factor;
+    }
+  }
+}
+
+TEST(Unroll, SemanticsPreservedOnSyntheticLoops) {
+  SynthConfig config;
+  config.loops = 25;
+  config.seed = 777;
+  for (const Loop& loop : synthesize_suite(config)) {
+    const Loop u = unroll(loop, 4);
+    const InterpResult original = interpret(loop, 32, 0x22);
+    const InterpResult unrolled = interpret(u, 8, 0x22);
+    EXPECT_TRUE(original.memory == unrolled.memory) << loop.name;
+  }
+}
+
+TEST(Unroll, DoubleUnrollComposes) {
+  const Loop loop = kernel_by_name("dot");
+  const Loop once = unroll(loop, 6);
+  const Loop twice = unroll(unroll(loop, 2), 3);
+  EXPECT_EQ(once.stride, twice.stride);
+  const InterpResult a = interpret(once, 4, 9);
+  const InterpResult b = interpret(twice, 4, 9);
+  EXPECT_TRUE(a.memory == b.memory);
+}
+
+TEST(SelectUnroll, TinyLoopWantsUnrolling) {
+  // offset_add has 3 ops; a 12-FU machine is starved at factor 1.
+  const Loop loop = kernel_by_name("offset_add");
+  const UnrollChoice choice = select_unroll_factor(loop, MachineConfig::single_cluster_machine(12));
+  EXPECT_GT(choice.factor, 1);
+  EXPECT_LT(choice.rate, 1.0 + 1e-9);
+}
+
+TEST(SelectUnroll, RecurrenceBoundLoopStaysPut) {
+  // geo_decay is dominated by a latency-10 recurrence; unrolling cannot
+  // improve the per-source-iteration rate.
+  const Loop loop = kernel_by_name("geo_decay");
+  const UnrollChoice choice = select_unroll_factor(loop, MachineConfig::single_cluster_machine(12));
+  EXPECT_EQ(choice.factor, 1);
+}
+
+TEST(SelectUnroll, RateNeverWorseThanFactorOne) {
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  SynthConfig config;
+  config.loops = 15;
+  config.seed = 31;
+  for (const Loop& loop : synthesize_suite(config)) {
+    const Ddg graph = Ddg::build(loop, machine.latency);
+    const MiiInfo base = compute_mii(loop, graph, machine);
+    const UnrollChoice choice = select_unroll_factor(loop, machine);
+    EXPECT_LE(choice.rate, static_cast<double>(base.mii) + 1e-9) << loop.name;
+  }
+}
+
+TEST(Unroll, MemoryCarriedRecurrencePreserved) {
+  const Loop loop = kernel_by_name("lk11_partial_sum");
+  const Loop u = unroll(loop, 2);
+  const InterpResult original = interpret(loop, 24, 3);
+  const InterpResult unrolled = interpret(u, 12, 3);
+  EXPECT_TRUE(original.memory == unrolled.memory);
+}
+
+}  // namespace
+}  // namespace qvliw

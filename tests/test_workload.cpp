@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/ddg.h"
+#include "ir/printer.h"
+#include "sched/mii.h"
+#include "support/diagnostics.h"
+#include "workload/kernels.h"
+#include "workload/suite.h"
+#include "workload/synth.h"
+
+namespace qvliw {
+namespace {
+
+TEST(Kernels, CorpusParsesAndValidates) {
+  const auto corpus = kernel_corpus();
+  EXPECT_GE(corpus.size(), 25u);
+  std::set<std::string> names;
+  for (const Loop& loop : corpus) {
+    EXPECT_NO_THROW(loop.validate()) << loop.name;
+    EXPECT_TRUE(names.insert(loop.name).second) << "duplicate kernel " << loop.name;
+  }
+}
+
+TEST(Kernels, LookupByName) {
+  const Loop loop = kernel_by_name("daxpy");
+  EXPECT_EQ(loop.name, "daxpy");
+  EXPECT_THROW((void)kernel_by_name("no_such_kernel"), Error);
+}
+
+TEST(Synth, DeterministicAcrossRuns) {
+  SynthConfig config;
+  config.loops = 10;
+  config.seed = 5;
+  const auto a = synthesize_suite(config);
+  const auto b = synthesize_suite(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(to_text(a[i]), to_text(b[i])) << i;
+  }
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  SynthConfig a_config;
+  a_config.loops = 5;
+  a_config.seed = 1;
+  SynthConfig b_config = a_config;
+  b_config.seed = 2;
+  const auto a = synthesize_suite(a_config);
+  const auto b = synthesize_suite(b_config);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (to_text(a[i]) != to_text(b[i])) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Synth, AllLoopsValid) {
+  SynthConfig config;
+  config.loops = 200;
+  config.seed = 77;
+  for (const Loop& loop : synthesize_suite(config)) {
+    EXPECT_NO_THROW(loop.validate()) << loop.name;
+  }
+}
+
+TEST(Synth, SizesWithinBounds) {
+  SynthConfig config;
+  config.loops = 200;
+  config.seed = 88;
+  double total = 0;
+  int small_mode = 0;
+  for (const Loop& loop : synthesize_suite(config)) {
+    EXPECT_GE(loop.op_count(), std::min(config.small_lo, config.min_ops));
+    EXPECT_LE(loop.op_count(), config.max_ops);
+    if (loop.op_count() <= config.small_hi) ++small_mode;
+    total += loop.op_count();
+  }
+  const double mean_size = total / config.loops;
+  // Calibration: bimodal — many tiny streaming bodies plus a log-normal
+  // bulk; the mixture mean sits around 9-16 ops.
+  EXPECT_GE(mean_size, 8.0);
+  EXPECT_LE(mean_size, 24.0);
+  // The small mode must be well represented (it powers Fig. 4).
+  EXPECT_GE(small_mode, 200 / 4);
+}
+
+TEST(Synth, MemoryMixCalibrated) {
+  SynthConfig config;
+  config.loops = 200;
+  config.seed = 99;
+  long long mem = 0;
+  long long all = 0;
+  for (const Loop& loop : synthesize_suite(config)) {
+    for (const Op& op : loop.ops) {
+      if (is_memory(op.opcode)) ++mem;
+      ++all;
+    }
+  }
+  const double fraction = static_cast<double>(mem) / static_cast<double>(all);
+  EXPECT_GE(fraction, 0.20);
+  EXPECT_LE(fraction, 0.45);
+}
+
+TEST(Synth, RecurrenceFrequencyCalibrated) {
+  SynthConfig config;
+  config.loops = 300;
+  config.seed = 111;
+  int with_recurrence = 0;
+  for (const Loop& loop : synthesize_suite(config)) {
+    const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+    if (rec_mii(graph) > 1) ++with_recurrence;
+  }
+  const double fraction = static_cast<double>(with_recurrence) / config.loops;
+  // Roughly half the suite should be recurrence-carrying, like the era's
+  // scientific codes.
+  EXPECT_GE(fraction, 0.35);
+  EXPECT_LE(fraction, 0.8);
+}
+
+TEST(Synth, EveryLoopHasMemoryTraffic) {
+  SynthConfig config;
+  config.loops = 50;
+  config.seed = 123;
+  for (const Loop& loop : synthesize_suite(config)) {
+    int stores = 0;
+    for (const Op& op : loop.ops) {
+      if (op.opcode == Opcode::kStore) ++stores;
+    }
+    EXPECT_GE(stores, 1) << loop.name;
+  }
+}
+
+TEST(Suite, FullSuiteHasPaperSize) {
+  SynthConfig config;
+  config.loops = 100;  // keep the test fast; default is 1258
+  const Suite suite = full_suite(config);
+  EXPECT_EQ(static_cast<int>(suite.loops.size()), 100);
+  EXPECT_GT(suite.kernel_count, 0);
+}
+
+TEST(Suite, SmallSuiteComposition) {
+  const Suite suite = small_suite(10, 3);
+  EXPECT_EQ(static_cast<int>(suite.loops.size()), suite.kernel_count + 10);
+}
+
+TEST(Suite, ResourceConstrainedClassification) {
+  // Streaming kernels scale with FUs; heavy recurrences do not.
+  EXPECT_TRUE(is_resource_constrained(kernel_by_name("daxpy")));
+  EXPECT_TRUE(is_resource_constrained(kernel_by_name("fir4")));
+  EXPECT_TRUE(is_resource_constrained(kernel_by_name("wide8")));
+  EXPECT_FALSE(is_resource_constrained(kernel_by_name("geo_decay")));
+  EXPECT_FALSE(is_resource_constrained(kernel_by_name("lk11_partial_sum")));
+}
+
+TEST(Suite, MixOfClassesInSyntheticSuite) {
+  SynthConfig config;
+  config.loops = 120;
+  config.seed = 222;
+  int constrained = 0;
+  for (const Loop& loop : synthesize_suite(config)) {
+    if (is_resource_constrained(loop)) ++constrained;
+  }
+  // Both classes must be represented in quantity.
+  EXPECT_GE(constrained, 20);
+  EXPECT_LE(constrained, 110);
+}
+
+}  // namespace
+}  // namespace qvliw
