@@ -4,7 +4,12 @@
 // cluster-selection heuristic (affinity vs load-balance vs first-fit) and
 // IMS's backtracking budget.  This bench quantifies both on the clustered
 // machines, using the same-II-as-single-cluster criterion of Fig. 6.
+//
+// This is the sweep the prefix cache was built for: every clustered point
+// of one cluster count shares the unrolled/copy-inserted loop, DDG and
+// MII bounds — only the partitioned scheduling differs per point.
 #include <iostream>
+#include <map>
 
 #include "bench_common.h"
 #include "support/stats.h"
@@ -43,6 +48,11 @@ Outcome compare(const std::vector<LoopResult>& rs, const std::vector<LoopResult>
   return out;
 }
 
+constexpr ClusterHeuristic kHeuristics[] = {ClusterHeuristic::kAffinity,
+                                            ClusterHeuristic::kLoadBalance,
+                                            ClusterHeuristic::kFirstFit};
+constexpr int kBudgets[] = {1, 2, 6, 12};
+
 int run() {
   print_banner(std::cout, "Ablation A2 — cluster heuristic and IMS budget",
                "affinity ordering and a budget ratio of ~6 carry the Fig. 6 result");
@@ -53,19 +63,50 @@ int run() {
   base.unroll = true;
   base.max_unroll = bench::max_unroll();
 
-  std::cout << "Cluster-selection heuristic (same-II fraction vs single cluster):\n";
-  TextTable heuristic_table({"clusters", "heuristic", "same II", "mean II ratio", "unschedulable"});
-  for (int clusters : {4, 6}) {
-    const MachineConfig single = MachineConfig::single_cluster_machine(3 * clusters);
-    const MachineConfig ring = MachineConfig::clustered_machine(clusters);
-    const auto rs = run_suite(suite.loops, single, base);
-    for (const auto heuristic : {ClusterHeuristic::kAffinity, ClusterHeuristic::kLoadBalance,
-                                 ClusterHeuristic::kFirstFit}) {
+  // One sweep: single-cluster baselines, the 3 heuristics per cluster
+  // count, and the budget ladder at 4 clusters.  Point indices are
+  // recorded at push time so the tables can never pair with the wrong
+  // point if the construction order changes.
+  const std::vector<int> cluster_sizes = {4, 6};
+  std::vector<SweepPoint> points;
+  std::map<int, std::size_t> single_index;                 // clusters -> baseline
+  std::vector<std::vector<std::size_t>> heuristic_index;   // [cluster][heuristic]
+  std::vector<std::size_t> budget_index;
+
+  for (int clusters : cluster_sizes) {
+    single_index[clusters] = points.size();
+    points.push_back({cat("single-", 3 * clusters, "fu"),
+                      MachineConfig::single_cluster_machine(3 * clusters), base});
+    heuristic_index.emplace_back();
+    for (const ClusterHeuristic heuristic : kHeuristics) {
       PipelineOptions options = base;
       options.scheduler = SchedulerKind::kClustered;
       options.heuristic = heuristic;
-      const Outcome out = compare(rs, run_suite(suite.loops, ring, options));
-      heuristic_table.add_row({cat(clusters), std::string(cluster_heuristic_name(heuristic)),
+      heuristic_index.back().push_back(points.size());
+      points.push_back({cat("ring-", clusters, "-", cluster_heuristic_name(heuristic)),
+                        MachineConfig::clustered_machine(clusters), options});
+    }
+  }
+  for (int budget : kBudgets) {
+    PipelineOptions options = base;
+    options.scheduler = SchedulerKind::kClustered;
+    options.ims.budget_ratio = budget;
+    budget_index.push_back(points.size());
+    points.push_back({cat("ring-4-budget-", budget, "x"), MachineConfig::clustered_machine(4),
+                      options});
+  }
+
+  const SweepResult sweep = SweepRunner().run(suite.loops, points);
+
+  std::cout << "Cluster-selection heuristic (same-II fraction vs single cluster):\n";
+  TextTable heuristic_table({"clusters", "heuristic", "same II", "mean II ratio", "unschedulable"});
+  for (std::size_t c = 0; c < cluster_sizes.size(); ++c) {
+    const int clusters = cluster_sizes[c];
+    const std::vector<LoopResult>& rs = sweep.by_point[single_index[clusters]];
+    for (std::size_t h = 0; h < std::size(kHeuristics); ++h) {
+      const Outcome out = compare(rs, sweep.by_point[heuristic_index[c][h]]);
+      heuristic_table.add_row({cat(clusters),
+                               std::string(cluster_heuristic_name(kHeuristics[h])),
                                percent(out.same_ii), out.mean_ratio, percent(out.failed)});
     }
   }
@@ -73,20 +114,13 @@ int run() {
 
   std::cout << "\nIMS backtracking budget (4 clusters, affinity):\n";
   TextTable budget_table({"budget ratio", "same II", "mean II ratio", "unschedulable"});
-  {
-    const MachineConfig single = MachineConfig::single_cluster_machine(12);
-    const MachineConfig ring = MachineConfig::clustered_machine(4);
-    const auto rs = run_suite(suite.loops, single, base);
-    for (int budget : {1, 2, 6, 12}) {
-      PipelineOptions options = base;
-      options.scheduler = SchedulerKind::kClustered;
-      options.ims.budget_ratio = budget;
-      const Outcome out = compare(rs, run_suite(suite.loops, ring, options));
-      budget_table.add_row(
-          {cat(budget, "x"), percent(out.same_ii), out.mean_ratio, percent(out.failed)});
-    }
+  for (std::size_t b = 0; b < std::size(kBudgets); ++b) {
+    const Outcome out = compare(sweep.by_point[single_index[4]], sweep.by_point[budget_index[b]]);
+    budget_table.add_row(
+        {cat(kBudgets[b], "x"), percent(out.same_ii), out.mean_ratio, percent(out.failed)});
   }
   budget_table.render(std::cout);
+  bench::print_sweep_footer(std::cout, sweep);
   return 0;
 }
 

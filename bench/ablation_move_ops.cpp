@@ -14,28 +14,46 @@
 namespace qvliw {
 namespace {
 
+constexpr SchedulerKind kSchemes[] = {SchedulerKind::kClustered, SchedulerKind::kClusteredMoves};
+
 int run() {
   print_banner(std::cout, "Ablation A1 — multi-hop routing via move ops (paper's future work)",
                "moves should recover the 5/6-cluster same-II loss of Fig. 6");
   const Suite suite = bench::make_suite();
   bench::print_suite_line(std::cout, suite);
 
-  TextTable table({"clusters", "scheme", "same II", "II +1", "II +2 or more", "unschedulable",
-                   "mean moves"});
-  for (int clusters : {4, 5, 6}) {
-    const MachineConfig single = MachineConfig::single_cluster_machine(3 * clusters);
-    const MachineConfig ring = MachineConfig::clustered_machine(clusters);
+  const std::vector<int> cluster_sizes = {4, 5, 6};
+  PipelineOptions base;
+  base.unroll = true;
+  base.max_unroll = bench::max_unroll();
 
-    PipelineOptions base;
-    base.unroll = true;
-    base.max_unroll = bench::max_unroll();
-    const auto rs = run_suite(suite.loops, single, base);
-
-    for (const SchedulerKind scheduler :
-         {SchedulerKind::kClustered, SchedulerKind::kClusteredMoves}) {
+  // Per cluster count: the single-cluster baseline plus both clustered
+  // schemes; the adjacent-only and moves points share one front end.
+  std::vector<SweepPoint> points;
+  std::vector<std::size_t> single_index;
+  std::vector<std::vector<std::size_t>> scheme_index;  // [cluster][scheme]
+  for (int clusters : cluster_sizes) {
+    single_index.push_back(points.size());
+    points.push_back({cat("single-", 3 * clusters, "fu"),
+                      MachineConfig::single_cluster_machine(3 * clusters), base});
+    scheme_index.emplace_back();
+    for (const SchedulerKind scheduler : kSchemes) {
       PipelineOptions ring_options = base;
       ring_options.scheduler = scheduler;
-      const auto rc = run_suite(suite.loops, ring, ring_options);
+      scheme_index.back().push_back(points.size());
+      points.push_back({cat("ring-", clusters,
+                            scheduler == SchedulerKind::kClustered ? "-adjacent" : "-moves"),
+                        MachineConfig::clustered_machine(clusters), ring_options});
+    }
+  }
+  const SweepResult sweep = SweepRunner().run(suite.loops, points);
+
+  TextTable table({"clusters", "scheme", "same II", "II +1", "II +2 or more", "unschedulable",
+                   "mean moves"});
+  for (std::size_t c = 0; c < cluster_sizes.size(); ++c) {
+    const std::vector<LoopResult>& rs = sweep.by_point[single_index[c]];
+    for (std::size_t s = 0; s < std::size(kSchemes); ++s) {
+      const std::vector<LoopResult>& rc = sweep.by_point[scheme_index[c][s]];
 
       int comparable = 0;
       int same = 0;
@@ -58,14 +76,15 @@ int run() {
       }
       const double n = comparable > 0 ? static_cast<double>(comparable) : 1.0;
       const double all = static_cast<double>(comparable + failed);
-      table.add_row({cat(clusters),
-                     scheduler == SchedulerKind::kClustered ? std::string("adjacent-only")
-                                                            : std::string("with moves"),
+      table.add_row({cat(cluster_sizes[c]),
+                     kSchemes[s] == SchedulerKind::kClustered ? std::string("adjacent-only")
+                                                              : std::string("with moves"),
                      percent(same / n), percent(plus_one / n), percent(plus_more / n),
                      percent(all > 0 ? failed / all : 0.0), moves.mean()});
     }
   }
   table.render(std::cout);
+  bench::print_sweep_footer(std::cout, sweep);
   return 0;
 }
 

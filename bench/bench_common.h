@@ -1,4 +1,9 @@
 // Shared plumbing for the figure-reproduction benches.
+//
+// Every bench assembles its experiment as a vector of SweepPoints and
+// hands the whole cross product to SweepRunner in one call, so points
+// sharing an options prefix (same invariants/unroll/copy choices) reuse
+// the cached front-end artifacts instead of recomputing them per point.
 #pragma once
 
 #include <cstdlib>
@@ -7,6 +12,8 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
+#include "support/strings.h"
 #include "workload/suite.h"
 
 namespace qvliw::bench {
@@ -40,6 +47,19 @@ inline void print_suite_line(std::ostream& os, const Suite& suite) {
   os << "suite: " << suite.loops.size() << " loops (" << suite.kernel_count
      << " hand-written kernels + " << suite.loops.size() - static_cast<std::size_t>(suite.kernel_count)
      << " calibrated synthetic); override size with QVLIW_LOOPS=<n>\n\n";
+}
+
+/// Instrumentation footer: sweep throughput, cache effectiveness and the
+/// per-stage wall-time split.
+inline void print_sweep_footer(std::ostream& os, const SweepResult& sweep) {
+  os << "\n[sweep] " << sweep.pipelines << " pipeline runs in " << fixed(sweep.wall_seconds, 2)
+     << " s (" << fixed(sweep.pipelines_per_second(), 1) << " pipelines/s); artifact cache hit rate "
+     << percent(sweep.cache.hit_rate()) << " (" << sweep.cache.hits() << "/"
+     << sweep.cache.probes() << " probes)\n[sweep] stage time:";
+  for (const StageTotal& total : sweep.stage_totals) {
+    os << " " << total.stage << " " << fixed(total.seconds, 2) << "s";
+  }
+  os << "\n";
 }
 
 }  // namespace qvliw::bench

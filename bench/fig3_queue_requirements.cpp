@@ -20,18 +20,45 @@ int run() {
   const Suite suite = make_suite();
   bench::print_suite_line(std::cout, suite);
 
+  // One sweep for the whole figure: the three machine sizes, the copy-op
+  // ablation at 12 FUs, and the finite-queue enforcement ladder.  None of
+  // the points unroll, so they all share one front end (and the MII
+  // bounds are cached per distinct machine).
+  const std::vector<int> fu_sizes = {4, 6, 12};
+  std::vector<SweepPoint> points;
+  std::vector<std::size_t> machine_index;
+  for (int fus : fu_sizes) {
+    machine_index.push_back(points.size());
+    points.push_back({cat(fus, "-fus"), MachineConfig::single_cluster_machine(fus),
+                      PipelineOptions{}});  // copies on (default), no unrolling (Sec. 2 setup)
+  }
+  const std::size_t no_copies_index = points.size();
+  {
+    PipelineOptions without;
+    without.insert_copies = false;
+    points.push_back({"12-fus-no-copies", MachineConfig::single_cluster_machine(12), without});
+  }
+  const std::vector<int> queue_budgets = {4, 8, 16, 32};
+  std::vector<std::size_t> fit_index;
+  for (int queues : queue_budgets) {
+    PipelineOptions options;
+    options.enforce_queue_limits = true;
+    fit_index.push_back(points.size());
+    points.push_back({cat("6-fus-", queues, "q"),
+                      MachineConfig::single_cluster_machine(6, queues), options});
+  }
+
+  const SweepResult sweep = SweepRunner().run(suite.loops, points);
+
   const std::vector<int> bounds = {4, 8, 16, 32};
   std::vector<std::string> labels;
   std::vector<std::vector<double>> series;
-
-  for (int fus : {4, 6, 12}) {
-    const MachineConfig machine = MachineConfig::single_cluster_machine(fus);
-    PipelineOptions options;  // copies on (default), no unrolling (Sec. 2 setup)
-    const auto results = run_suite(suite.loops, machine, options);
-    labels.push_back(std::to_string(fus) + " FUs");
+  for (std::size_t m = 0; m < fu_sizes.size(); ++m) {
+    const std::vector<LoopResult>& results = sweep.by_point[machine_index[m]];
+    labels.push_back(std::to_string(fu_sizes[m]) + " FUs");
     series.push_back(
         cumulative_fractions(results, bounds, [](const LoopResult& r) { return r.total_queues; }));
-    std::cout << "  " << fus << " FUs: scheduled " << percent(fraction_ok(results))
+    std::cout << "  " << fu_sizes[m] << " FUs: scheduled " << percent(fraction_ok(results))
               << " of loops\n";
   }
   std::cout << "\n% of scheduled loops fitting in <= Q queues (cumulative):\n";
@@ -39,12 +66,8 @@ int run() {
 
   // Copy-op effect on queue demand (the paper's side observation).
   std::cout << "\nCopy-op effect on queue demand (12 FUs):\n";
-  const MachineConfig machine = MachineConfig::single_cluster_machine(12);
-  PipelineOptions with;
-  PipelineOptions without;
-  without.insert_copies = false;
-  const auto rw = run_suite(suite.loops, machine, with);
-  const auto ro = run_suite(suite.loops, machine, without);
+  const std::vector<LoopResult>& rw = sweep.by_point[machine_index[2]];  // 12 FUs, copies on
+  const std::vector<LoopResult>& ro = sweep.by_point[no_copies_index];   // 12 FUs, copies off
   TextTable table({"variant", "mean queues", "p95 queues", "<=32 queues"});
   auto add = [&](const std::string& label, const std::vector<LoopResult>& results) {
     std::vector<double> queues;
@@ -63,11 +86,8 @@ int run() {
   // (the scheduling-side alternative to spill code for small files).
   std::cout << "\nII cost of enforcing a finite queue file (6 FUs):\n";
   TextTable fit_table({"queues", "loops fitting", "mean II inflation", "mean retries"});
-  for (int queues : {4, 8, 16, 32}) {
-    MachineConfig constrained = MachineConfig::single_cluster_machine(6, queues);
-    PipelineOptions options;
-    options.enforce_queue_limits = true;
-    const auto results = run_suite(suite.loops, constrained, options);
+  for (std::size_t q = 0; q < queue_budgets.size(); ++q) {
+    const std::vector<LoopResult>& results = sweep.by_point[fit_index[q]];
     OnlineStats inflation;
     OnlineStats retries;
     for (const LoopResult& r : results) {
@@ -75,10 +95,11 @@ int run() {
       inflation.add(static_cast<double>(r.ii) / r.mii);
       retries.add(r.queue_fit_retries);
     }
-    fit_table.add_row({static_cast<std::int64_t>(queues), percent(fraction_ok(results)),
+    fit_table.add_row({static_cast<std::int64_t>(queue_budgets[q]), percent(fraction_ok(results)),
                        inflation.mean(), retries.mean()});
   }
   fit_table.render(std::cout);
+  bench::print_sweep_footer(std::cout, sweep);
   return 0;
 }
 

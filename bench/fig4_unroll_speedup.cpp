@@ -19,16 +19,30 @@ int run() {
   const Suite suite = bench::make_suite();
   bench::print_suite_line(std::cout, suite);
 
-  TextTable table({"machine", "spd > 1", "spd >= 1.5", "spd >= 2", "geomean spd",
-                   "mean factor", "SC same or lower"});
-  for (int fus : {4, 6, 12}) {
+  // Point pairs (base, unrolled) per machine size; the three base points
+  // share a single cached front end (no unrolling is machine-agnostic).
+  const std::vector<int> fu_sizes = {4, 6, 12};
+  std::vector<SweepPoint> points;
+  std::vector<std::size_t> base_index;
+  std::vector<std::size_t> unrolled_index;
+  for (int fus : fu_sizes) {
     const MachineConfig machine = MachineConfig::single_cluster_machine(fus);
     PipelineOptions base;  // no unrolling
     PipelineOptions unrolled;
     unrolled.unroll = true;
     unrolled.max_unroll = bench::max_unroll();
-    const auto rb = run_suite(suite.loops, machine, base);
-    const auto ru = run_suite(suite.loops, machine, unrolled);
+    base_index.push_back(points.size());
+    points.push_back({cat(fus, "-fus-base"), machine, base});
+    unrolled_index.push_back(points.size());
+    points.push_back({cat(fus, "-fus-unrolled"), machine, unrolled});
+  }
+  const SweepResult sweep = SweepRunner().run(suite.loops, points);
+
+  TextTable table({"machine", "spd > 1", "spd >= 1.5", "spd >= 2", "geomean spd",
+                   "mean factor", "SC same or lower"});
+  for (std::size_t m = 0; m < fu_sizes.size(); ++m) {
+    const std::vector<LoopResult>& rb = sweep.by_point[base_index[m]];
+    const std::vector<LoopResult>& ru = sweep.by_point[unrolled_index[m]];
 
     int both = 0;
     int faster = 0;
@@ -49,7 +63,7 @@ int run() {
       factors.add(ru[i].unroll_factor);
     }
     const double n = both > 0 ? static_cast<double>(both) : 1.0;
-    table.add_row({cat(fus, " FUs"), percent(faster / n), percent(fast15 / n),
+    table.add_row({cat(fu_sizes[m], " FUs"), percent(faster / n), percent(fast15 / n),
                    percent(fast2 / n), geomean(speedups), factors.mean(), percent(sc_ok / n)});
   }
   table.render(std::cout);
@@ -57,6 +71,7 @@ int run() {
   std::cout << "\nNote: speedup = II_original / (II_unrolled / U); factors chosen by the\n"
                "Lavery/Hwu-style per-source-rate policy, bounded at "
             << bench::max_unroll() << " (QVLIW_MAX_UNROLL).\n";
+  bench::print_sweep_footer(std::cout, sweep);
   return 0;
 }
 

@@ -21,20 +21,31 @@ int run() {
   const Suite suite = bench::make_suite();
   bench::print_suite_line(std::cout, suite);
 
-  TextTable table({"clusters", "FUs", "same II", "II +1", "II +2 or more", "unschedulable",
-                   "mean II ratio", "same SC"});
-  for (int clusters : {4, 5, 6}) {
-    const MachineConfig single = MachineConfig::single_cluster_machine(3 * clusters);
-    const MachineConfig ring = MachineConfig::clustered_machine(clusters);
-
+  const std::vector<int> cluster_sizes = {4, 5, 6};
+  std::vector<SweepPoint> points;
+  std::vector<std::size_t> single_index;
+  std::vector<std::size_t> ring_index;
+  for (int clusters : cluster_sizes) {
     PipelineOptions single_options;
     single_options.unroll = true;
     single_options.max_unroll = bench::max_unroll();
     PipelineOptions ring_options = single_options;
     ring_options.scheduler = SchedulerKind::kClustered;
+    single_index.push_back(points.size());
+    points.push_back({cat("single-", 3 * clusters, "fu"),
+                      MachineConfig::single_cluster_machine(3 * clusters), single_options});
+    ring_index.push_back(points.size());
+    points.push_back({cat("ring-", clusters), MachineConfig::clustered_machine(clusters),
+                      ring_options});
+  }
+  const SweepResult sweep = SweepRunner().run(suite.loops, points);
 
-    const auto rs = run_suite(suite.loops, single, single_options);
-    const auto rc = run_suite(suite.loops, ring, ring_options);
+  TextTable table({"clusters", "FUs", "same II", "II +1", "II +2 or more", "unschedulable",
+                   "mean II ratio", "same SC"});
+  for (std::size_t c = 0; c < cluster_sizes.size(); ++c) {
+    const int clusters = cluster_sizes[c];
+    const std::vector<LoopResult>& rs = sweep.by_point[single_index[c]];
+    const std::vector<LoopResult>& rc = sweep.by_point[ring_index[c]];
 
     int comparable = 0;
     int same = 0;
@@ -67,6 +78,7 @@ int run() {
   std::cout << "\nBoth sides use identical FU totals, copy insertion and the same\n"
                "unroll-factor policy; the clustered side adds only the ring-adjacency\n"
                "communication constraint (the paper's base partitioning scheme).\n";
+  bench::print_sweep_footer(std::cout, sweep);
   return 0;
 }
 

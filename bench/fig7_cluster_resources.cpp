@@ -19,15 +19,22 @@ int run() {
   const Suite suite = bench::make_suite();
   bench::print_suite_line(std::cout, suite);
 
-  TextTable table({"clusters", "priv <= 8", "ring <= 8", "both <= 8", "p95 priv", "p95 ring",
-                   "p95 positions", "max positions"});
-  for (int clusters : {4, 5, 6}) {
-    const MachineConfig ring = MachineConfig::clustered_machine(clusters);
+  const std::vector<int> cluster_sizes = {4, 5, 6};
+  std::vector<SweepPoint> points;
+  for (int clusters : cluster_sizes) {
     PipelineOptions options;
     options.unroll = true;
     options.max_unroll = bench::max_unroll();
     options.scheduler = SchedulerKind::kClustered;
-    const auto results = run_suite(suite.loops, ring, options);
+    points.push_back({cat("ring-", clusters), MachineConfig::clustered_machine(clusters),
+                      options});
+  }
+  const SweepResult sweep = SweepRunner().run(suite.loops, points);
+
+  TextTable table({"clusters", "priv <= 8", "ring <= 8", "both <= 8", "p95 priv", "p95 ring",
+                   "p95 positions", "max positions"});
+  for (std::size_t c = 0; c < cluster_sizes.size(); ++c) {
+    const std::vector<LoopResult>& results = sweep.by_point[c];
 
     std::vector<double> priv;
     std::vector<double> ring_q;
@@ -49,13 +56,14 @@ int run() {
       if (p && g) ++ok_both;
     }
     const double n = scheduled > 0 ? static_cast<double>(scheduled) : 1.0;
-    table.add_row({cat(clusters), percent(ok_priv / n), percent(ok_ring / n),
+    table.add_row({cat(cluster_sizes[c]), percent(ok_priv / n), percent(ok_ring / n),
                    percent(ok_both / n), percentile(priv, 95), percentile(ring_q, 95),
                    percentile(positions, 95),
                    static_cast<std::int64_t>(positions.empty() ? 0 : static_cast<std::int64_t>(
                                                  percentile(positions, 100)))});
   }
   table.render(std::cout);
+  bench::print_sweep_footer(std::cout, sweep);
   return 0;
 }
 

@@ -6,6 +6,7 @@
 // the extra units; static > dynamic since the dynamic figure pays for
 // prologue/epilogue.
 #include <iostream>
+#include <map>
 
 #include "bench_common.h"
 #include "support/strings.h"
@@ -21,27 +22,38 @@ int run() {
   const Suite suite = bench::make_suite();
   bench::print_suite_line(std::cout, suite);
 
-  TextTable table({"FUs", "static single", "dyn single", "static clustered", "dyn clustered"});
-  table.set_real_digits(2);
+  // The whole figure as one sweep: 15 single-cluster sizes plus the three
+  // clustered machines.
+  PipelineOptions options;
+  options.unroll = true;
+  options.max_unroll = bench::max_unroll();
+  std::vector<SweepPoint> points;
+  std::map<int, std::size_t> single_index;
+  std::map<int, std::size_t> ring_index;
   for (int fus = 4; fus <= 18; ++fus) {
-    PipelineOptions options;
-    options.unroll = true;
-    options.max_unroll = bench::max_unroll();
-
-    const MachineConfig single = MachineConfig::single_cluster_machine(fus);
-    const auto rs = run_suite(suite.loops, single, options);
-    const double static_single =
-        mean_of_scheduled(rs, [](const LoopResult& r) { return r.ipc_static; });
-    const double dyn_single =
-        mean_of_scheduled(rs, [](const LoopResult& r) { return r.ipc_dynamic; });
-
-    std::vector<Cell> row{static_cast<std::int64_t>(fus), static_single, dyn_single,
-                          std::string("-"), std::string("-")};
+    single_index[fus] = points.size();
+    points.push_back({cat("single-", fus, "fu"), MachineConfig::single_cluster_machine(fus),
+                      options});
     if (const int clusters = clusters_for(fus); clusters >= 4) {
       PipelineOptions ring_options = options;
       ring_options.scheduler = SchedulerKind::kClustered;
-      const MachineConfig ring = MachineConfig::clustered_machine(clusters);
-      const auto rc = run_suite(suite.loops, ring, ring_options);
+      ring_index[fus] = points.size();
+      points.push_back({cat("ring-", clusters), MachineConfig::clustered_machine(clusters),
+                        ring_options});
+    }
+  }
+  const SweepResult sweep = SweepRunner().run(suite.loops, points);
+
+  TextTable table({"FUs", "static single", "dyn single", "static clustered", "dyn clustered"});
+  table.set_real_digits(2);
+  for (int fus = 4; fus <= 18; ++fus) {
+    const std::vector<LoopResult>& rs = sweep.by_point[single_index[fus]];
+    std::vector<Cell> row{static_cast<std::int64_t>(fus),
+                          mean_of_scheduled(rs, [](const LoopResult& r) { return r.ipc_static; }),
+                          mean_of_scheduled(rs, [](const LoopResult& r) { return r.ipc_dynamic; }),
+                          std::string("-"), std::string("-")};
+    if (auto it = ring_index.find(fus); it != ring_index.end()) {
+      const std::vector<LoopResult>& rc = sweep.by_point[it->second];
       row[3] = mean_of_scheduled(rc, [](const LoopResult& r) { return r.ipc_static; });
       row[4] = mean_of_scheduled(rc, [](const LoopResult& r) { return r.ipc_dynamic; });
     }
@@ -51,6 +63,7 @@ int run() {
   std::cout << "\nIPC counts useful (source) operations only; copies and moves are\n"
                "plumbing.  Dynamic IPC uses the paper's execution model\n"
                "(trip + SC - 1 kernel initiations, per-loop trip counts).\n";
+  bench::print_sweep_footer(std::cout, sweep);
   return 0;
 }
 

@@ -7,6 +7,7 @@
 // static one because a few large loops dominate execution time and
 // partition cleanly.
 #include <iostream>
+#include <map>
 
 #include "bench_common.h"
 #include "support/strings.h"
@@ -20,37 +21,46 @@ int run() {
   print_banner(std::cout, "Fig. 9 — IPC vs machine size, resource-constrained loops",
                "near-linear single-cluster scaling; clustered slightly lower at 15/18 FUs");
   const Suite full = bench::make_suite();
-  Suite suite;
-  suite.kernel_count = 0;
-  for (const Loop& loop : full.loops) {
-    if (is_resource_constrained(loop, bench::max_unroll())) suite.loops.push_back(loop);
-  }
+  const Suite suite = resource_constrained_subset(full, bench::max_unroll());
   std::cout << "resource-constrained subset: " << suite.loops.size() << " of "
             << full.loops.size() << " loops\n\n";
 
+  PipelineOptions options;
+  options.unroll = true;
+  options.max_unroll = bench::max_unroll();
+  std::vector<SweepPoint> points;
+  std::map<int, std::size_t> single_index;
+  std::map<int, std::size_t> ring_index;
+  for (int fus = 4; fus <= 18; ++fus) {
+    single_index[fus] = points.size();
+    points.push_back({cat("single-", fus, "fu"), MachineConfig::single_cluster_machine(fus),
+                      options});
+    if (const int clusters = clusters_for(fus); clusters >= 4) {
+      PipelineOptions ring_options = options;
+      ring_options.scheduler = SchedulerKind::kClustered;
+      ring_index[fus] = points.size();
+      points.push_back({cat("ring-", clusters), MachineConfig::clustered_machine(clusters),
+                        ring_options});
+    }
+  }
+  const SweepResult sweep = SweepRunner().run(suite.loops, points);
+
   TextTable table({"FUs", "static single", "dyn single", "static clustered", "dyn clustered"});
   for (int fus = 4; fus <= 18; ++fus) {
-    PipelineOptions options;
-    options.unroll = true;
-    options.max_unroll = bench::max_unroll();
-
-    const MachineConfig single = MachineConfig::single_cluster_machine(fus);
-    const auto rs = run_suite(suite.loops, single, options);
+    const std::vector<LoopResult>& rs = sweep.by_point[single_index[fus]];
     std::vector<Cell> row{static_cast<std::int64_t>(fus),
                           mean_of_scheduled(rs, [](const LoopResult& r) { return r.ipc_static; }),
                           mean_of_scheduled(rs, [](const LoopResult& r) { return r.ipc_dynamic; }),
                           std::string("-"), std::string("-")};
-    if (const int clusters = clusters_for(fus); clusters >= 4) {
-      PipelineOptions ring_options = options;
-      ring_options.scheduler = SchedulerKind::kClustered;
-      const MachineConfig ring = MachineConfig::clustered_machine(clusters);
-      const auto rc = run_suite(suite.loops, ring, ring_options);
+    if (auto it = ring_index.find(fus); it != ring_index.end()) {
+      const std::vector<LoopResult>& rc = sweep.by_point[it->second];
       row[3] = mean_of_scheduled(rc, [](const LoopResult& r) { return r.ipc_static; });
       row[4] = mean_of_scheduled(rc, [](const LoopResult& r) { return r.ipc_dynamic; });
     }
     table.add_row(std::move(row));
   }
   table.render(std::cout);
+  bench::print_sweep_footer(std::cout, sweep);
   return 0;
 }
 

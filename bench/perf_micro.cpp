@@ -1,109 +1,148 @@
-// Microbenchmarks (google-benchmark): throughput of the core algorithms.
-#include <benchmark/benchmark.h>
+// Pipeline performance microbenchmark.
+//
+// Times the multi-heuristic sweep that the prefix-artifact cache was
+// built for — every point shares the unrolled/copy-inserted loop, DDG and
+// MII bounds of the 4-cluster machine and differs only in back-end
+// scheduling options — once with the cache off and once with it on, and
+// verifies the results are identical.  Emits a machine-readable
+// BENCH_pipeline.json (override the path with QVLIW_BENCH_JSON or argv[1])
+// with per-stage wall times, the cache hit rate, sweep throughput and the
+// cache speedup, to track the perf trajectory across commits.
+//
+//   QVLIW_LOOPS=200 ./build/bench/perf_micro [out.json]
+#include <fstream>
+#include <iostream>
+#include <string>
 
-#include "cluster/partition.h"
-#include "ir/ddg.h"
-#include "qrf/qcompat.h"
-#include "qrf/queue_alloc.h"
-#include "sched/ims.h"
-#include "sim/vliwsim.h"
-#include "workload/kernels.h"
-#include "workload/synth.h"
-#include "xform/copy_insert.h"
-#include "xform/unroll.h"
+#include "bench_common.h"
+#include "support/parallel.h"
+#include "support/strings.h"
 
 namespace qvliw {
 namespace {
 
-Loop synth_of_size(int target_ops, std::uint64_t seed) {
-  SynthConfig config;
-  config.loops = 1;
-  config.seed = seed;
-  config.small_loop_prob = 0.0;  // force the log-normal mode so the clamp bites
-  config.min_ops = target_ops;
-  config.max_ops = target_ops;
-  return synthesize_suite(config)[0];
-}
+std::vector<SweepPoint> sweep_points() {
+  PipelineOptions base;
+  base.unroll = true;
+  base.max_unroll = bench::max_unroll();
 
-void BM_DdgBuild(benchmark::State& state) {
-  const Loop loop = insert_copies(synth_of_size(static_cast<int>(state.range(0)), 7)).loop;
-  const LatencyModel lat = LatencyModel::classic();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Ddg::build(loop, lat));
-  }
-  state.SetItemsProcessed(state.iterations() * loop.op_count());
-}
-BENCHMARK(BM_DdgBuild)->Arg(16)->Arg(64);
-
-void BM_Ims(benchmark::State& state) {
-  const Loop loop = insert_copies(synth_of_size(static_cast<int>(state.range(0)), 11)).loop;
-  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
-  const Ddg graph = Ddg::build(loop, machine.latency);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ims_schedule(loop, graph, machine));
-  }
-  state.SetItemsProcessed(state.iterations() * loop.op_count());
-}
-BENCHMARK(BM_Ims)->Arg(8)->Arg(24)->Arg(64);
-
-void BM_PartitionedIms(benchmark::State& state) {
-  const Loop loop = insert_copies(synth_of_size(static_cast<int>(state.range(0)), 13)).loop;
-  const MachineConfig machine = MachineConfig::clustered_machine(4);
-  const Ddg graph = Ddg::build(loop, machine.latency);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(partition_schedule(loop, graph, machine));
-  }
-  state.SetItemsProcessed(state.iterations() * loop.op_count());
-}
-BENCHMARK(BM_PartitionedIms)->Arg(24)->Arg(64);
-
-void BM_QCompat(benchmark::State& state) {
-  int x = 0;
-  for (auto _ : state) {
-    for (int p = 0; p < 16; ++p) {
-      benchmark::DoNotOptimize(q_compatible(3, 17, 3 + p, 9 + p, 8));
+  std::vector<SweepPoint> points;
+  const MachineConfig ring = MachineConfig::clustered_machine(4);
+  for (const ClusterHeuristic heuristic :
+       {ClusterHeuristic::kAffinity, ClusterHeuristic::kLoadBalance,
+        ClusterHeuristic::kFirstFit}) {
+    for (const int budget : {6, 12}) {
+      PipelineOptions options = base;
+      options.scheduler = SchedulerKind::kClustered;
+      options.heuristic = heuristic;
+      options.ims.budget_ratio = budget;
+      points.push_back({cat("ring-4-", cluster_heuristic_name(heuristic), "-", budget, "x"),
+                        ring, options});
     }
-    ++x;
   }
-  state.SetItemsProcessed(state.iterations() * 16);
+  return points;
 }
-BENCHMARK(BM_QCompat);
 
-void BM_QueueAllocation(benchmark::State& state) {
-  const Loop loop = insert_copies(kernel_by_name("fir8")).loop;
-  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
-  const Ddg graph = Ddg::build(loop, machine.latency);
-  const ImsResult sched = ims_schedule(loop, graph, machine);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(allocate_queues(loop, graph, machine, sched.schedule));
+bool results_identical(const SweepResult& a, const SweepResult& b) {
+  if (a.by_point.size() != b.by_point.size()) return false;
+  for (std::size_t p = 0; p < a.by_point.size(); ++p) {
+    if (a.by_point[p].size() != b.by_point[p].size()) return false;
+    for (std::size_t i = 0; i < a.by_point[p].size(); ++i) {
+      const LoopResult& x = a.by_point[p][i];
+      const LoopResult& y = b.by_point[p][i];
+      if (x.ok != y.ok || x.failure != y.failure || x.failed_stage != y.failed_stage ||
+          x.ii != y.ii || x.mii != y.mii || x.res_mii != y.res_mii || x.rec_mii != y.rec_mii ||
+          x.stage_count != y.stage_count || x.total_queues != y.total_queues ||
+          x.registers != y.registers || x.sched_ops != y.sched_ops ||
+          x.unroll_factor != y.unroll_factor || x.ipc_static != y.ipc_static ||
+          x.ipc_dynamic != y.ipc_dynamic || x.fits_machine_queues != y.fits_machine_queues ||
+          x.queue_fit_retries != y.queue_fit_retries) {
+        return false;
+      }
+    }
   }
+  return true;
 }
-BENCHMARK(BM_QueueAllocation);
 
-void BM_Unroll(benchmark::State& state) {
-  const Loop loop = kernel_by_name("lk1_hydro");
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(unroll(loop, static_cast<int>(state.range(0))));
+void write_stage_seconds(std::ostream& os, const SweepResult& sweep, const char* indent) {
+  os << "{";
+  bool first = true;
+  for (const StageTotal& total : sweep.stage_totals) {
+    os << (first ? "" : ",") << "\n" << indent << "  \"" << total.stage
+       << "\": " << fixed(total.seconds, 6);
+    first = false;
   }
+  os << "\n" << indent << "}";
 }
-BENCHMARK(BM_Unroll)->Arg(2)->Arg(8);
 
-void BM_Simulator(benchmark::State& state) {
-  const Loop loop = insert_copies(kernel_by_name("cmul_acc")).loop;
-  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
-  const Ddg graph = Ddg::build(loop, machine.latency);
-  const ImsResult sched = ims_schedule(loop, graph, machine);
-  const QueueAllocation allocation = allocate_queues(loop, graph, machine, sched.schedule);
-  const long long trip = state.range(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        simulate(loop, graph, machine, sched.schedule, allocation, trip));
-  }
-  state.SetItemsProcessed(state.iterations() * trip * loop.op_count());
+void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
+  os << "  \"" << name << "\": {\n"
+     << "    \"wall_seconds\": " << fixed(sweep.wall_seconds, 6) << ",\n"
+     << "    \"pipelines\": " << sweep.pipelines << ",\n"
+     << "    \"loops_per_second\": " << fixed(sweep.pipelines_per_second(), 2) << ",\n"
+     << "    \"cache_hit_rate\": " << fixed(sweep.cache.hit_rate(), 6) << ",\n"
+     << "    \"cache_probes\": " << sweep.cache.probes() << ",\n"
+     << "    \"cache_hits\": " << sweep.cache.hits() << ",\n"
+     << "    \"stage_seconds\": ";
+  write_stage_seconds(os, sweep, "    ");
+  os << "\n  }";
 }
-BENCHMARK(BM_Simulator)->Arg(64)->Arg(512);
+
+int run(int argc, char** argv) {
+  print_banner(std::cout, "perf — sweep throughput and prefix-cache speedup",
+               "shared front ends make multi-heuristic sweeps >= 1.5x faster");
+  const Suite suite = bench::make_suite();
+  bench::print_suite_line(std::cout, suite);
+
+  const std::vector<SweepPoint> points = sweep_points();
+  std::cout << "sweep: " << points.size() << " points (3 heuristics x 2 IMS budgets on the "
+            << "4-cluster ring), " << worker_count() << " worker(s)\n\n";
+
+  SweepOptions uncached_options;
+  uncached_options.use_cache = false;
+  std::cout << "running uncached (every point recomputes its front end)...\n";
+  const SweepResult uncached = SweepRunner(uncached_options).run(suite.loops, points);
+  std::cout << "running cached (prefix artifacts shared across points)...\n";
+  const SweepResult cached = SweepRunner().run(suite.loops, points);
+
+  const bool identical = results_identical(uncached, cached);
+  const double speedup =
+      cached.wall_seconds > 0.0 ? uncached.wall_seconds / cached.wall_seconds : 0.0;
+
+  TextTable table({"variant", "wall s", "loops/s", "cache hit rate"});
+  table.add_row({std::string("uncached"), uncached.wall_seconds,
+                 uncached.pipelines_per_second(), percent(uncached.cache.hit_rate())});
+  table.add_row({std::string("cached"), cached.wall_seconds, cached.pipelines_per_second(),
+                 percent(cached.cache.hit_rate())});
+  table.render(std::cout);
+  std::cout << "\ncache speedup: " << fixed(speedup, 2) << "x; results identical: "
+            << (identical ? "yes" : "NO — BUG") << "\n";
+  bench::print_sweep_footer(std::cout, cached);
+
+  const char* path = argc > 1 ? argv[1] : std::getenv("QVLIW_BENCH_JSON");
+  const std::string out_path = path != nullptr ? path : "BENCH_pipeline.json";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"pipeline_sweep\",\n"
+      << "  \"suite_loops\": " << suite.loops.size() << ",\n"
+      << "  \"sweep_points\": " << points.size() << ",\n"
+      << "  \"workers\": " << worker_count() << ",\n";
+  write_run(out, "uncached", uncached);
+  out << ",\n";
+  write_run(out, "cached", cached);
+  out << ",\n"
+      << "  \"cache_speedup\": " << fixed(speedup, 3) << ",\n"
+      << "  \"results_identical\": " << (identical ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return identical ? 0 : 1;
+}
 
 }  // namespace
 }  // namespace qvliw
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return qvliw::run(argc, argv); }

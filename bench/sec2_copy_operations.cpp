@@ -5,7 +5,6 @@
 // unchanged for most loops, and the most demanding loops even need
 // slightly fewer queues/positions.
 #include <iostream>
-#include <map>
 
 #include "bench_common.h"
 #include "support/stats.h"
@@ -20,14 +19,36 @@ int run() {
   const Suite suite = bench::make_suite();
   bench::print_suite_line(std::cout, suite);
 
-  TextTable table({"machine", "same II", "II +1", "II +2 or more", "same SC", "mean dQueues"});
-  for (int fus : {4, 6, 12}) {
+  // (with, without) pairs over the three machine sizes plus the chain
+  // copy-tree ablation at 12 FUs; the balanced point at 12 FUs doubles as
+  // the shape baseline.  Nothing unrolls, so each option prefix has a
+  // single front end shared by every machine.
+  const std::vector<int> fu_sizes = {4, 6, 12};
+  std::vector<SweepPoint> points;
+  std::vector<std::size_t> with_index;
+  std::vector<std::size_t> without_index;
+  for (int fus : fu_sizes) {
     const MachineConfig machine = MachineConfig::single_cluster_machine(fus);
     PipelineOptions with;     // copies on
     PipelineOptions without;  // the multi-write QRF baseline of [7]
     without.insert_copies = false;
-    const auto rw = run_suite(suite.loops, machine, with);
-    const auto ro = run_suite(suite.loops, machine, without);
+    with_index.push_back(points.size());
+    points.push_back({cat(fus, "-fus-copies"), machine, with});
+    without_index.push_back(points.size());
+    points.push_back({cat(fus, "-fus-plain"), machine, without});
+  }
+  const std::size_t chain_index = points.size();
+  {
+    PipelineOptions chain;
+    chain.copy_shape = CopyTreeShape::kChain;
+    points.push_back({"12-fus-chain", MachineConfig::single_cluster_machine(12), chain});
+  }
+  const SweepResult sweep = SweepRunner().run(suite.loops, points);
+
+  TextTable table({"machine", "same II", "II +1", "II +2 or more", "same SC", "mean dQueues"});
+  for (std::size_t m = 0; m < fu_sizes.size(); ++m) {
+    const std::vector<LoopResult>& rw = sweep.by_point[with_index[m]];
+    const std::vector<LoopResult>& ro = sweep.by_point[without_index[m]];
 
     int both = 0;
     int same_ii = 0;
@@ -46,20 +67,15 @@ int run() {
       dqueues.add(rw[i].total_queues - ro[i].total_queues);
     }
     const double n = both > 0 ? static_cast<double>(both) : 1.0;
-    table.add_row({cat(fus, " FUs"), percent(same_ii / n), percent(plus_one / n),
+    table.add_row({cat(fu_sizes[m], " FUs"), percent(same_ii / n), percent(plus_one / n),
                    percent(plus_more / n), percent(same_sc / n), dqueues.mean()});
   }
   table.render(std::cout);
 
   std::cout << "\nCopy tree shape (12 FUs): balanced vs chain fan-out\n";
   TextTable shape_table({"shape", "mean II", "mean SC", "same II as balanced"});
-  const MachineConfig machine = MachineConfig::single_cluster_machine(12);
-  PipelineOptions balanced;
-  balanced.copy_shape = CopyTreeShape::kBalanced;
-  PipelineOptions chain;
-  chain.copy_shape = CopyTreeShape::kChain;
-  const auto rb = run_suite(suite.loops, machine, balanced);
-  const auto rc = run_suite(suite.loops, machine, chain);
+  const std::vector<LoopResult>& rb = sweep.by_point[with_index[2]];  // 12 FUs, balanced
+  const std::vector<LoopResult>& rc = sweep.by_point[chain_index];    // 12 FUs, chain
   int both = 0;
   int same = 0;
   OnlineStats ii_b;
@@ -79,6 +95,7 @@ int run() {
   shape_table.add_row({std::string("chain"), ii_c.mean(), sc_c.mean(),
                        percent(both > 0 ? static_cast<double>(same) / both : 0.0)});
   shape_table.render(std::cout);
+  bench::print_sweep_footer(std::cout, sweep);
   return 0;
 }
 

@@ -1,19 +1,20 @@
 // Loop unrolling exploration (Section 3).
 //
-// Sweeps unroll factors for a tiny streaming loop on a 12-FU machine and
-// prints the paper's II-speedup metric for each factor, then the factor
-// the library's policy picks.  Small bodies cannot saturate a wide VLIW
-// at integer II; unrolling buys fractional per-iteration initiation.
+// Sweeps unroll factors for a tiny streaming loop on a 12-FU machine via
+// the SweepRunner (one forced-factor point per U, all sharing the
+// invariant-stage artifact) and prints the paper's II-speedup metric for
+// each factor, then the factor the library's policy picks.  Small bodies
+// cannot saturate a wide VLIW at integer II; unrolling buys fractional
+// per-iteration initiation.
 //
 //   ./build/examples/unroll_explorer
 #include <iostream>
 
+#include "harness/sweep.h"
 #include "ir/printer.h"
-#include "qrf/queue_alloc.h"
-#include "sched/ims.h"
+#include "support/strings.h"
 #include "support/table.h"
 #include "workload/kernels.h"
-#include "xform/copy_insert.h"
 #include "xform/unroll.h"
 
 using namespace qvliw;
@@ -21,36 +22,43 @@ using namespace qvliw;
 int main() {
   const Loop source = kernel_by_name("vtriad");  // a[i] = b[i] + q*c[i]
   const MachineConfig machine = MachineConfig::single_cluster_machine(12);
+  constexpr int kMaxFactor = 8;
 
   std::cout << "source loop:\n" << to_text(source) << "\n";
   std::cout << "machine: " << machine.name << "\n\n";
 
+  std::vector<SweepPoint> points;
+  for (int factor = 1; factor <= kMaxFactor; ++factor) {
+    PipelineOptions options;
+    options.unroll = true;
+    options.forced_unroll = factor;
+    points.push_back({cat("U=", factor), machine, options});
+  }
+  const SweepResult sweep = SweepRunner().run({source}, points);
+
   int base_ii = 0;
   TextTable table({"U", "ops", "MII", "II", "II per source iter", "speedup", "SC", "queues"});
-  for (int factor = 1; factor <= 8; ++factor) {
-    const Loop unrolled = insert_copies(unroll(source, factor)).loop;
-    const Ddg graph = Ddg::build(unrolled, machine.latency);
-    const ImsResult sched = ims_schedule(unrolled, graph, machine);
-    if (!sched.ok) {
-      std::cout << "U=" << factor << ": " << sched.failure << "\n";
+  for (int factor = 1; factor <= kMaxFactor; ++factor) {
+    const LoopResult& r = sweep.by_point[static_cast<std::size_t>(factor - 1)][0];
+    if (!r.ok) {
+      std::cout << "U=" << factor << ": " << r.failure << "\n";
       continue;
     }
-    if (factor == 1) base_ii = sched.ii;
-    const double per_source = static_cast<double>(sched.ii) / factor;
-    const QueueAllocation allocation =
-        allocate_queues(unrolled, graph, machine, sched.schedule);
+    if (factor == 1) base_ii = r.ii;
     table.add_row({static_cast<std::int64_t>(factor),
-                   static_cast<std::int64_t>(unrolled.op_count()),
-                   static_cast<std::int64_t>(sched.mii.mii),
-                   static_cast<std::int64_t>(sched.ii), per_source,
-                   static_cast<double>(base_ii) / per_source,
-                   static_cast<std::int64_t>(sched.schedule.stage_count()),
-                   static_cast<std::int64_t>(allocation.total_queues())});
+                   static_cast<std::int64_t>(r.sched_ops),
+                   static_cast<std::int64_t>(r.mii),
+                   static_cast<std::int64_t>(r.ii), r.ii_per_source,
+                   static_cast<double>(base_ii) / r.ii_per_source,
+                   static_cast<std::int64_t>(r.stage_count),
+                   static_cast<std::int64_t>(r.total_queues)});
   }
   table.render(std::cout);
 
   const UnrollChoice choice = select_unroll_factor(source, machine);
   std::cout << "\npolicy choice: U=" << choice.factor << " (estimated per-source interval "
             << choice.rate << ")\n";
+  std::cout << "\n[sweep] " << sweep.pipelines << " pipeline runs, cache hit rate "
+            << percent(sweep.cache.hit_rate()) << "\n";
   return 0;
 }

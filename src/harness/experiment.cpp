@@ -1,16 +1,16 @@
 #include "harness/experiment.h"
 
-#include "support/parallel.h"
+#include "harness/sweep.h"
 
 namespace qvliw {
 
 std::vector<LoopResult> run_suite(const std::vector<Loop>& loops, const MachineConfig& machine,
                                   const PipelineOptions& options) {
-  std::vector<LoopResult> results(loops.size());
-  parallel_for(loops.size(), [&](std::size_t i) {
-    results[i] = run_pipeline(loops[i], machine, options);
-  });
-  return results;
+  // One point: nothing for the prefix cache to share, so run it uncached.
+  SweepOptions sweep_options;
+  sweep_options.use_cache = false;
+  SweepResult sweep = SweepRunner(sweep_options).run(loops, machine, {options});
+  return std::move(sweep.by_point.front());
 }
 
 double fraction_ok(const std::vector<LoopResult>& results) {

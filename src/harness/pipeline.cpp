@@ -1,144 +1,14 @@
 #include "harness/pipeline.h"
 
-#include <algorithm>
-
-#include "cluster/route.h"
-#include "ir/ddg.h"
-#include "qrf/queue_alloc.h"
-#include "qrf/rf_alloc.h"
-#include "sim/vliwsim.h"
-#include "support/diagnostics.h"
-#include "support/strings.h"
-#include "xform/unroll.h"
+#include "harness/stage.h"
 
 namespace qvliw {
 
 LoopResult run_pipeline(const Loop& source, const MachineConfig& machine,
                         const PipelineOptions& options) {
-  LoopResult result;
-  result.name = source.name;
-  result.src_ops = source.op_count();
-
-  try {
-    Loop loop = materialize_invariants(source, options.invariants);
-
-    if (options.unroll) {
-      result.unroll_factor =
-          options.forced_unroll >= 1
-              ? options.forced_unroll
-              : select_unroll_factor(loop, machine, options.max_unroll).factor;
-      loop = unroll(loop, result.unroll_factor);
-    }
-
-    if (options.insert_copies) {
-      CopyInsertResult copies = insert_copies(loop, options.copy_shape);
-      result.copies = copies.copies_added;
-      loop = std::move(copies.loop);
-    }
-
-    Ddg graph = Ddg::build(loop, machine.latency);
-
-    // One scheduling attempt; kClusteredMoves may rewrite loop+graph.
-    auto schedule_once = [&](int start_ii) -> ImsResult {
-      ImsOptions ims = options.ims;
-      ims.start_ii = std::max(ims.start_ii, start_ii);
-      switch (options.scheduler) {
-        case SchedulerKind::kSingleCluster:
-          return ims_schedule(loop, graph, machine, ims);
-        case SchedulerKind::kClustered: {
-          PartitionOptions popts;
-          popts.heuristic = options.heuristic;
-          popts.ims = ims;
-          return partition_schedule(loop, graph, machine, popts);
-        }
-        case SchedulerKind::kClusteredMoves: {
-          PartitionOptions popts;
-          popts.heuristic = options.heuristic;
-          popts.ims = ims;
-          RouteResult routed = partition_with_moves(loop, machine, popts);
-          if (!routed.ok) {
-            ImsResult failed;
-            failed.failure = routed.failure;
-            return failed;
-          }
-          result.moves = routed.moves_added;
-          loop = std::move(routed.loop);
-          graph = Ddg::build(loop, machine.latency);
-          return std::move(routed.ims);
-        }
-      }
-      QVLIW_ASSERT(false, "bad SchedulerKind");
-      return ImsResult{};
-    };
-
-    ImsResult sched = schedule_once(0);
-    result.sched_ops = loop.op_count();
-    result.res_mii = sched.mii.res_mii;
-    result.rec_mii = sched.mii.rec_mii;
-    result.mii = sched.mii.mii;
-    result.sched_stats = sched.stats;
-    if (!sched.ok) {
-      result.failure = sched.failure;
-      return result;
-    }
-
-    QueueAllocation allocation = allocate_queues(loop, graph, machine, sched.schedule);
-    result.fits_machine_queues = allocation.capacity_violations(machine).empty();
-    if (options.enforce_queue_limits) {
-      // Escalate the II until the allocation fits the machine's queues.
-      while (!result.fits_machine_queues &&
-             result.queue_fit_retries < options.queue_fit_attempts) {
-        ++result.queue_fit_retries;
-        ImsResult retry = schedule_once(sched.ii + 1);
-        if (!retry.ok) {
-          result.failure = cat("queue-fit retry failed: ", retry.failure);
-          return result;
-        }
-        sched = std::move(retry);
-        allocation = allocate_queues(loop, graph, machine, sched.schedule);
-        result.fits_machine_queues = allocation.capacity_violations(machine).empty();
-      }
-      if (!result.fits_machine_queues) {
-        result.failure = cat("allocation does not fit machine queues after ",
-                             result.queue_fit_retries, " II escalations");
-        return result;
-      }
-      result.sched_stats = sched.stats;
-    }
-
-    result.sched_ops = loop.op_count();  // retries may have added moves
-    result.ii = sched.ii;
-    result.stage_count = sched.schedule.stage_count();
-    result.ii_per_source = static_cast<double>(sched.ii) / result.unroll_factor;
-    result.ipc_static = static_ipc(loop, sched.schedule);
-    const long long trip = std::max(1, loop.trip_hint);
-    result.ipc_dynamic = dynamic_ipc(loop, machine.latency, sched.schedule, trip);
-    result.total_queues = allocation.total_queues();
-    result.max_private_queues = allocation.max_private_queues();
-    result.max_ring_queues = allocation.max_ring_queues();
-    result.max_positions = allocation.max_positions();
-    result.registers = register_requirement(loop, graph, machine.latency, sched.schedule);
-
-    if (options.simulate) {
-      SimOptions sim_options;
-      sim_options.seed = options.seed;
-      const long long sim_trip = options.sim_trip > 0 ? options.sim_trip : trip;
-      const CheckedSim checked =
-          simulate_and_check(loop, graph, machine, sched.schedule, allocation, sim_trip,
-                             sim_options);
-      result.sim_ok = checked.ok;
-      result.sim_cycles = checked.sim.cycles;
-      if (!checked.ok) {
-        result.failure = checked.failure;
-        return result;
-      }
-    }
-
-    result.ok = true;
-  } catch (const Error& error) {
-    result.failure = cat("pipeline error: ", error.what());
-  }
-  return result;
+  PipelineContext ctx(source, machine, options);
+  run_stages(ctx, full_stage_plan());
+  return std::move(ctx.result);
 }
 
 }  // namespace qvliw

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cluster/partition.h"
 #include "ir/loop.h"
@@ -59,10 +60,20 @@ struct PipelineOptions {
   int queue_fit_attempts = 16;
 };
 
+/// Wall time spent in one pipeline stage (see harness/stage.h).
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
+};
+
 struct LoopResult {
   std::string name;
   bool ok = false;
   std::string failure;
+  /// Stage that reported the failure (empty when ok).  Stage names are the
+  /// canonical ones from harness/stage.h: "invariants", "unroll",
+  /// "copy_insert", "schedule", "queue_alloc", "sim".
+  std::string failed_stage;
 
   // Shape.
   int src_ops = 0;    // operations in the source loop
@@ -101,6 +112,12 @@ struct LoopResult {
   long long sim_cycles = 0;
 
   ImsStats sched_stats;
+
+  /// Per-stage wall time of this run, in execution order.  Stages skipped
+  /// via a SweepRunner cache hit do not appear (their cost was paid once by
+  /// the run that populated the cache).  Excluded from result-equivalence
+  /// comparisons: timing is measurement, not outcome.
+  std::vector<StageTiming> stage_times;
 };
 
 /// Runs the full pipeline on one loop.  Failures (loop does not fit the

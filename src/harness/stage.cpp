@@ -1,0 +1,212 @@
+#include "harness/stage.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cluster/route.h"
+#include "qrf/rf_alloc.h"
+#include "sim/vliwsim.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+#include "xform/unroll.h"
+
+namespace qvliw {
+
+PipelineContext::PipelineContext(const Loop& source_loop, const MachineConfig& machine_config,
+                                 const PipelineOptions& pipeline_options)
+    : source(&source_loop), machine(&machine_config), options(&pipeline_options) {
+  result.name = source_loop.name;
+  result.src_ops = source_loop.op_count();
+}
+
+// --- stages ----------------------------------------------------------------
+
+bool InvariantStage::run(PipelineContext& ctx) {
+  ctx.loop = materialize_invariants(*ctx.source, ctx.options->invariants);
+  return true;
+}
+
+bool UnrollStage::run(PipelineContext& ctx) {
+  if (!ctx.options->unroll) return true;
+  ctx.result.unroll_factor =
+      ctx.options->forced_unroll >= 1
+          ? ctx.options->forced_unroll
+          : select_unroll_factor(ctx.loop, *ctx.machine, ctx.options->max_unroll).factor;
+  ctx.loop = unroll(ctx.loop, ctx.result.unroll_factor);
+  return true;
+}
+
+bool CopyInsertStage::run(PipelineContext& ctx) {
+  if (ctx.options->insert_copies) {
+    CopyInsertResult copies = insert_copies(ctx.loop, ctx.options->copy_shape);
+    ctx.result.copies = copies.copies_added;
+    ctx.loop = std::move(copies.loop);
+  }
+  ctx.graph = std::make_shared<const Ddg>(Ddg::build(ctx.loop, ctx.machine->latency));
+  return true;
+}
+
+ImsResult schedule_attempt(PipelineContext& ctx, int start_ii) {
+  ImsOptions ims = ctx.options->ims;
+  ims.start_ii = std::max(ims.start_ii, start_ii);
+  switch (ctx.options->scheduler) {
+    case SchedulerKind::kSingleCluster:
+      ims.known_mii = ctx.known_mii;
+      return ims_schedule(ctx.loop, *ctx.graph, *ctx.machine, ims);
+    case SchedulerKind::kClustered: {
+      PartitionOptions popts;
+      popts.heuristic = ctx.options->heuristic;
+      popts.ims = ims;
+      popts.ims.known_mii = ctx.known_mii;
+      return partition_schedule(ctx.loop, *ctx.graph, *ctx.machine, popts);
+    }
+    case SchedulerKind::kClusteredMoves: {
+      // The router reschedules rewritten loops internally; cached MII
+      // bounds for the pre-routing loop must not leak into those runs.
+      PartitionOptions popts;
+      popts.heuristic = ctx.options->heuristic;
+      popts.ims = ims;
+      RouteResult routed = partition_with_moves(ctx.loop, *ctx.machine, popts);
+      if (!routed.ok) {
+        ImsResult failed;
+        failed.failure = routed.failure;
+        return failed;
+      }
+      ctx.result.moves = routed.moves_added;
+      ctx.loop = std::move(routed.loop);
+      ctx.graph = std::make_shared<const Ddg>(Ddg::build(ctx.loop, ctx.machine->latency));
+      ctx.known_mii = MiiInfo{};  // the cached bounds no longer apply
+      return std::move(routed.ims);
+    }
+  }
+  QVLIW_ASSERT(false, "bad SchedulerKind");
+  return ImsResult{};
+}
+
+bool ScheduleStage::run(PipelineContext& ctx) {
+  ctx.sched = schedule_attempt(ctx, 0);
+  ctx.result.sched_ops = ctx.loop.op_count();
+  ctx.result.res_mii = ctx.sched.mii.res_mii;
+  ctx.result.rec_mii = ctx.sched.mii.rec_mii;
+  ctx.result.mii = ctx.sched.mii.mii;
+  ctx.result.sched_stats = ctx.sched.stats;
+  if (!ctx.sched.ok) {
+    ctx.result.failure = ctx.sched.failure;
+    return false;
+  }
+  return true;
+}
+
+bool QueueAllocStage::run(PipelineContext& ctx) {
+  LoopResult& result = ctx.result;
+  ctx.allocation = allocate_queues(ctx.loop, *ctx.graph, *ctx.machine, ctx.sched.schedule);
+  result.fits_machine_queues = ctx.allocation.capacity_violations(*ctx.machine).empty();
+  if (ctx.options->enforce_queue_limits) {
+    // Escalate the II until the allocation fits the machine's queues.
+    while (!result.fits_machine_queues &&
+           result.queue_fit_retries < ctx.options->queue_fit_attempts) {
+      ++result.queue_fit_retries;
+      ImsResult retry = schedule_attempt(ctx, ctx.sched.ii + 1);
+      if (!retry.ok) {
+        result.failure = cat("queue-fit retry failed: ", retry.failure);
+        return false;
+      }
+      ctx.sched = std::move(retry);
+      ctx.allocation = allocate_queues(ctx.loop, *ctx.graph, *ctx.machine, ctx.sched.schedule);
+      result.fits_machine_queues = ctx.allocation.capacity_violations(*ctx.machine).empty();
+    }
+    if (!result.fits_machine_queues) {
+      result.failure = cat("allocation does not fit machine queues after ",
+                           result.queue_fit_retries, " II escalations");
+      return false;
+    }
+    result.sched_stats = ctx.sched.stats;
+  }
+
+  result.sched_ops = ctx.loop.op_count();  // retries may have added moves
+  result.ii = ctx.sched.ii;
+  result.stage_count = ctx.sched.schedule.stage_count();
+  result.ii_per_source = static_cast<double>(ctx.sched.ii) / result.unroll_factor;
+  result.ipc_static = static_ipc(ctx.loop, ctx.sched.schedule);
+  const long long trip = std::max(1, ctx.loop.trip_hint);
+  result.ipc_dynamic = dynamic_ipc(ctx.loop, ctx.machine->latency, ctx.sched.schedule, trip);
+  result.total_queues = ctx.allocation.total_queues();
+  result.max_private_queues = ctx.allocation.max_private_queues();
+  result.max_ring_queues = ctx.allocation.max_ring_queues();
+  result.max_positions = ctx.allocation.max_positions();
+  result.registers =
+      register_requirement(ctx.loop, *ctx.graph, ctx.machine->latency, ctx.sched.schedule);
+  return true;
+}
+
+bool SimStage::run(PipelineContext& ctx) {
+  if (!ctx.options->simulate) return true;
+  SimOptions sim_options;
+  sim_options.seed = ctx.options->seed;
+  const long long trip = std::max(1, ctx.loop.trip_hint);
+  const long long sim_trip = ctx.options->sim_trip > 0 ? ctx.options->sim_trip : trip;
+  const CheckedSim checked = simulate_and_check(ctx.loop, *ctx.graph, *ctx.machine,
+                                                ctx.sched.schedule, ctx.allocation, sim_trip,
+                                                sim_options);
+  ctx.result.sim_ok = checked.ok;
+  ctx.result.sim_cycles = checked.sim.cycles;
+  if (!checked.ok) {
+    ctx.result.failure = checked.failure;
+    return false;
+  }
+  return true;
+}
+
+// --- plans and the runner --------------------------------------------------
+
+namespace {
+
+InvariantStage invariant_stage;
+UnrollStage unroll_stage;
+CopyInsertStage copy_insert_stage;
+ScheduleStage schedule_stage;
+QueueAllocStage queue_alloc_stage;
+SimStage sim_stage;
+
+}  // namespace
+
+const std::vector<Stage*>& front_stage_plan() {
+  static const std::vector<Stage*> plan = {&invariant_stage, &unroll_stage, &copy_insert_stage};
+  return plan;
+}
+
+const std::vector<Stage*>& back_stage_plan() {
+  static const std::vector<Stage*> plan = {&schedule_stage, &queue_alloc_stage, &sim_stage};
+  return plan;
+}
+
+const std::vector<Stage*>& full_stage_plan() {
+  static const std::vector<Stage*> plan = [] {
+    std::vector<Stage*> all = front_stage_plan();
+    all.insert(all.end(), back_stage_plan().begin(), back_stage_plan().end());
+    return all;
+  }();
+  return plan;
+}
+
+void run_stages(PipelineContext& ctx, const std::vector<Stage*>& stages) {
+  using Clock = std::chrono::steady_clock;
+  for (Stage* stage : stages) {
+    const Clock::time_point start = Clock::now();
+    bool passed = false;
+    try {
+      passed = stage->run(ctx);
+    } catch (const Error& error) {
+      ctx.result.failure = cat("pipeline error: ", error.what());
+    }
+    ctx.result.stage_times.push_back(
+        {std::string(stage->name()), std::chrono::duration<double>(Clock::now() - start).count()});
+    if (!passed) {
+      ctx.result.failed_stage = stage->name();
+      return;
+    }
+  }
+  ctx.result.ok = true;
+}
+
+}  // namespace qvliw

@@ -1,0 +1,308 @@
+#include "harness/sweep.h"
+
+#include <array>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "harness/stage.h"
+#include "sched/mii.h"
+#include "support/diagnostics.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "xform/unroll.h"
+
+namespace qvliw {
+
+double SweepCacheStats::hit_rate() const {
+  const std::uint64_t p = probes();
+  return p == 0 ? 0.0 : static_cast<double>(hits()) / static_cast<double>(p);
+}
+
+SweepCacheStats& SweepCacheStats::operator+=(const SweepCacheStats& other) {
+  invariant_probes += other.invariant_probes;
+  invariant_hits += other.invariant_hits;
+  unroll_probes += other.unroll_probes;
+  unroll_hits += other.unroll_hits;
+  front_probes += other.front_probes;
+  front_hits += other.front_hits;
+  mii_probes += other.mii_probes;
+  mii_hits += other.mii_hits;
+  return *this;
+}
+
+double SweepResult::pipelines_per_second() const {
+  return wall_seconds > 0.0 ? static_cast<double>(pipelines) / wall_seconds : 0.0;
+}
+
+double SweepResult::stage_seconds(std::string_view stage) const {
+  for (const StageTotal& total : stage_totals) {
+    if (total.stage == stage) return total.seconds;
+  }
+  return 0.0;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// --- prefix keys -----------------------------------------------------------
+//
+// A sweep point's front-end artifacts are a pure function of the options
+// *prefix* (plus the machine where the prefix consults it), hashed level
+// by level so points sharing a shorter prefix still share the shallower
+// artifacts.
+
+std::uint64_t invariant_key(const PipelineOptions& options) {
+  return hash_combine(hash64(0x11u), hash64(static_cast<std::uint64_t>(options.invariants)));
+}
+
+std::uint64_t unroll_key(std::uint64_t k1, const PipelineOptions& options,
+                         const MachineConfig& machine) {
+  if (!options.unroll) return hash_combine(k1, hash64(0x22u));
+  if (options.forced_unroll >= 1) {
+    return hash_combine(k1, hash64(0x3300u + static_cast<std::uint64_t>(options.forced_unroll)));
+  }
+  // The policy factor (select_unroll_factor) consults the machine.
+  return hash_combine(
+      hash_combine(k1, hash64(0x4400u + static_cast<std::uint64_t>(options.max_unroll))),
+      machine.signature());
+}
+
+std::uint64_t front_key(std::uint64_t k2, const PipelineOptions& options,
+                        const MachineConfig& machine) {
+  const std::uint64_t copies =
+      options.insert_copies ? 1 + static_cast<std::uint64_t>(options.copy_shape) : 0;
+  // The DDG (built with the copy-inserted loop) depends on latencies only.
+  return hash_combine(hash_combine(k2, hash64(0x5500u + copies)),
+                      latency_signature(machine.latency));
+}
+
+struct PointKeys {
+  std::uint64_t invariant = 0;
+  std::uint64_t unroll = 0;
+  std::uint64_t front = 0;
+  std::uint64_t machine_sig = 0;
+  bool wants_mii = false;  // the moves router cannot reuse cached bounds
+};
+
+// --- per-loop artifact cache ----------------------------------------------
+
+struct UnrollEntry {
+  std::shared_ptr<const Loop> loop;
+  int factor = 1;
+};
+
+struct FrontEntry {
+  bool ok = false;  // false: a transform failed; points fall back to the
+                    // uncached pipeline for exact failure parity
+  Loop loop;        // copy-inserted scheduler input
+  int copies = 0;
+  int factor = 1;
+  std::shared_ptr<const Ddg> graph;
+  std::map<std::uint64_t, MiiInfo> mii;  // machine signature -> bounds
+};
+
+struct LoopCache {
+  std::map<std::uint64_t, std::shared_ptr<const Loop>> invariant;
+  std::map<std::uint64_t, UnrollEntry> unrolled;
+  std::map<std::uint64_t, FrontEntry> front;
+};
+
+// Front-end wall time indexed as: invariants, unroll, copy_insert, mii.
+using FrontSeconds = std::array<double, 4>;
+
+FrontEntry& front_for(const Loop& source, const SweepPoint& point, const PointKeys& keys,
+                      LoopCache& cache, SweepCacheStats& stats, FrontSeconds& seconds) {
+  ++stats.front_probes;
+  if (auto it = cache.front.find(keys.front); it != cache.front.end()) {
+    ++stats.front_hits;
+    return it->second;
+  }
+
+  FrontEntry entry;
+  try {
+    // Invariants.
+    std::shared_ptr<const Loop> after_invariants;
+    ++stats.invariant_probes;
+    if (auto it = cache.invariant.find(keys.invariant); it != cache.invariant.end()) {
+      ++stats.invariant_hits;
+      after_invariants = it->second;
+    } else {
+      const Clock::time_point start = Clock::now();
+      after_invariants = std::make_shared<const Loop>(
+          materialize_invariants(source, point.options.invariants));
+      seconds[0] += seconds_since(start);
+      cache.invariant.emplace(keys.invariant, after_invariants);
+    }
+
+    // Unroll.
+    UnrollEntry unrolled;
+    ++stats.unroll_probes;
+    if (auto it = cache.unrolled.find(keys.unroll); it != cache.unrolled.end()) {
+      ++stats.unroll_hits;
+      unrolled = it->second;
+    } else {
+      const Clock::time_point start = Clock::now();
+      unrolled.loop = after_invariants;
+      if (point.options.unroll) {
+        unrolled.factor =
+            point.options.forced_unroll >= 1
+                ? point.options.forced_unroll
+                : select_unroll_factor(*after_invariants, point.machine, point.options.max_unroll)
+                      .factor;
+        unrolled.loop = std::make_shared<const Loop>(unroll(*after_invariants, unrolled.factor));
+      }
+      seconds[1] += seconds_since(start);
+      cache.unrolled.emplace(keys.unroll, unrolled);
+    }
+
+    // Copy insertion + the DDG.
+    const Clock::time_point start = Clock::now();
+    entry.factor = unrolled.factor;
+    if (point.options.insert_copies) {
+      CopyInsertResult copies = insert_copies(*unrolled.loop, point.options.copy_shape);
+      entry.copies = copies.copies_added;
+      entry.loop = std::move(copies.loop);
+    } else {
+      entry.loop = *unrolled.loop;
+    }
+    entry.graph = std::make_shared<const Ddg>(Ddg::build(entry.loop, point.machine.latency));
+    entry.ok = true;
+    seconds[2] += seconds_since(start);
+  } catch (const Error&) {
+    entry = FrontEntry{};
+  }
+  return cache.front.emplace(keys.front, std::move(entry)).first->second;
+}
+
+MiiInfo mii_for(FrontEntry& front, const SweepPoint& point, const PointKeys& keys,
+                SweepCacheStats& stats, FrontSeconds& seconds) {
+  ++stats.mii_probes;
+  if (auto it = front.mii.find(keys.machine_sig); it != front.mii.end()) {
+    ++stats.mii_hits;
+    return it->second;
+  }
+  const Clock::time_point start = Clock::now();
+  const MiiInfo mii = compute_mii(front.loop, *front.graph, point.machine);
+  seconds[3] += seconds_since(start);
+  front.mii.emplace(keys.machine_sig, mii);
+  return mii;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+SweepResult SweepRunner::run(const std::vector<Loop>& loops,
+                             const std::vector<SweepPoint>& points) const {
+  const Clock::time_point sweep_start = Clock::now();
+
+  SweepResult sweep;
+  sweep.by_point.assign(points.size(), std::vector<LoopResult>(loops.size()));
+  sweep.pipelines = static_cast<std::uint64_t>(loops.size()) * points.size();
+
+  std::vector<PointKeys> keys(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    keys[p].invariant = invariant_key(points[p].options);
+    keys[p].unroll = unroll_key(keys[p].invariant, points[p].options, points[p].machine);
+    keys[p].front = front_key(keys[p].unroll, points[p].options, points[p].machine);
+    keys[p].machine_sig = points[p].machine.signature();
+    keys[p].wants_mii = points[p].options.scheduler != SchedulerKind::kClusteredMoves;
+  }
+
+  std::mutex merge_mutex;
+  FrontSeconds front_seconds{};
+
+  auto run_loop = [&](std::size_t i) {
+    LoopCache cache;
+    SweepCacheStats local_stats;
+    FrontSeconds local_seconds{};
+
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const SweepPoint& point = points[p];
+      LoopResult out;
+      bool produced = false;
+      if (options_.use_cache) {
+        try {
+          FrontEntry& front =
+              front_for(loops[i], point, keys[p], cache, local_stats, local_seconds);
+          if (front.ok) {
+            PipelineContext ctx(loops[i], point.machine, point.options);
+            ctx.loop = front.loop;
+            ctx.graph = front.graph;
+            ctx.result.unroll_factor = front.factor;
+            ctx.result.copies = front.copies;
+            if (keys[p].wants_mii) {
+              ctx.known_mii = mii_for(front, point, keys[p], local_stats, local_seconds);
+            }
+            run_stages(ctx, back_stage_plan());
+            out = std::move(ctx.result);
+            produced = true;
+          }
+        } catch (const Error&) {
+          // Fall through to the uncached path for exact failure parity.
+        }
+      }
+      if (!produced) out = run_pipeline(loops[i], point.machine, point.options);
+      sweep.by_point[p][i] = std::move(out);
+    }
+
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    sweep.cache += local_stats;
+    for (std::size_t k = 0; k < front_seconds.size(); ++k) front_seconds[k] += local_seconds[k];
+  };
+
+  if (!points.empty()) {
+    if (options_.parallel) {
+      parallel_for(loops.size(), run_loop);
+    } else {
+      for (std::size_t i = 0; i < loops.size(); ++i) run_loop(i);
+    }
+  }
+
+  // Aggregate per-stage wall time: per-run stage_times plus the front-end
+  // work the cache performed outside any single run.
+  std::map<std::string, double, std::less<>> totals;
+  for (const std::vector<LoopResult>& results : sweep.by_point) {
+    for (const LoopResult& result : results) {
+      for (const StageTiming& timing : result.stage_times) totals[timing.stage] += timing.seconds;
+    }
+  }
+  totals[std::string(kStageInvariants)] += front_seconds[0];
+  totals[std::string(kStageUnroll)] += front_seconds[1];
+  totals[std::string(kStageCopyInsert)] += front_seconds[2];
+  if (front_seconds[3] > 0.0) totals["mii"] += front_seconds[3];
+  static constexpr std::string_view kOrder[] = {kStageInvariants, kStageUnroll, kStageCopyInsert,
+                                                "mii",            kStageSchedule, kStageQueueAlloc,
+                                                kStageSim};
+  for (std::string_view stage : kOrder) {
+    if (auto it = totals.find(stage); it != totals.end()) {
+      sweep.stage_totals.push_back({it->first, it->second});
+      totals.erase(it);
+    }
+  }
+  for (const auto& [stage, seconds] : totals) sweep.stage_totals.push_back({stage, seconds});
+
+  sweep.wall_seconds = seconds_since(sweep_start);
+  return sweep;
+}
+
+SweepResult SweepRunner::run(const std::vector<Loop>& loops, const MachineConfig& machine,
+                             const std::vector<PipelineOptions>& options_points) const {
+  std::vector<SweepPoint> points;
+  points.reserve(options_points.size());
+  for (std::size_t p = 0; p < options_points.size(); ++p) {
+    points.push_back({cat("point-", p), machine, options_points[p]});
+  }
+  return run(loops, points);
+}
+
+}  // namespace qvliw

@@ -1,0 +1,98 @@
+// Sweep-level execution with prefix-artifact caching.
+//
+// Every figure of the paper is the same pipeline swept over ~1258 loops
+// under varying options/machines.  `SweepRunner` executes the full
+// (loop x sweep point) cross product, fanning loops across the worker
+// pool, and exploits the stage graph's front/back split (harness/stage.h):
+// sweep points that share an options *prefix* — same invariant strategy,
+// same unroll choice, same copy insertion — reuse the cached
+// post-transform loop, its DDG, and the MII bounds instead of recomputing
+// them, and only the back end (schedule, queue allocation, simulation)
+// runs per point.
+//
+// Caching is per loop and lives on the worker that owns the loop, so it
+// needs no locks; results are bit-identical with the cache on or off (a
+// golden-equivalence test enforces this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/pipeline.h"
+
+namespace qvliw {
+
+/// One point of a sweep: a machine plus pipeline options, with a label
+/// for reporting.
+struct SweepPoint {
+  std::string label;
+  MachineConfig machine;
+  PipelineOptions options;
+};
+
+/// Hit accounting per cached prefix level.  A "probe" is one lookup by
+/// one (loop, point) pair; misses (probes - hits) are the computations
+/// actually performed.
+struct SweepCacheStats {
+  std::uint64_t invariant_probes = 0, invariant_hits = 0;
+  std::uint64_t unroll_probes = 0, unroll_hits = 0;
+  std::uint64_t front_probes = 0, front_hits = 0;  // copy-inserted loop + DDG
+  std::uint64_t mii_probes = 0, mii_hits = 0;
+
+  [[nodiscard]] std::uint64_t probes() const {
+    return invariant_probes + unroll_probes + front_probes + mii_probes;
+  }
+  [[nodiscard]] std::uint64_t hits() const {
+    return invariant_hits + unroll_hits + front_hits + mii_hits;
+  }
+  [[nodiscard]] double hit_rate() const;  // hits/probes; 0 when no probes
+
+  SweepCacheStats& operator+=(const SweepCacheStats& other);
+};
+
+/// Wall time summed over every pipeline run of the sweep, per stage.
+/// Front-end stages computed once per cache miss are charged once; "mii"
+/// appears as its own entry when the runner pre-computes bounds for the
+/// back end.
+struct StageTotal {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+struct SweepOptions {
+  bool use_cache = true;  // prefix-artifact caching across points
+  bool parallel = true;   // fan loops across the worker pool
+};
+
+struct SweepResult {
+  /// results[point][loop], index-aligned with the inputs.
+  std::vector<std::vector<LoopResult>> by_point;
+  SweepCacheStats cache;
+  std::vector<StageTotal> stage_totals;
+  double wall_seconds = 0.0;
+  std::uint64_t pipelines = 0;  // loops x points executed
+
+  [[nodiscard]] double pipelines_per_second() const;
+  [[nodiscard]] double stage_seconds(std::string_view stage) const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Executes the cross product of `loops` and `points`.
+  [[nodiscard]] SweepResult run(const std::vector<Loop>& loops,
+                                const std::vector<SweepPoint>& points) const;
+
+  /// Cross product of `loops` with several options on one machine
+  /// (labels are the point indices).
+  [[nodiscard]] SweepResult run(const std::vector<Loop>& loops, const MachineConfig& machine,
+                                const std::vector<PipelineOptions>& options_points) const;
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace qvliw

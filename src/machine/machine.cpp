@@ -1,8 +1,10 @@
 #include "machine/machine.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "support/diagnostics.h"
+#include "support/rng.h"
 #include "support/strings.h"
 
 namespace qvliw {
@@ -95,6 +97,25 @@ MachineConfig MachineConfig::clustered_machine(int n_clusters) {
   machine.ring.queue_depth = 16;
   machine.validate();
   return machine;
+}
+
+std::uint64_t latency_signature(const LatencyModel& latency) {
+  std::uint64_t sig = hash64(0x1a7e9cULL);
+  for (int l : latency.latency) sig = hash_combine(sig, hash64(static_cast<std::uint64_t>(l)));
+  return sig;
+}
+
+std::uint64_t MachineConfig::signature() const {
+  std::uint64_t sig = latency_signature(latency);
+  sig = hash_combine(sig, hash64(static_cast<std::uint64_t>(clusters.size())));
+  for (const ClusterConfig& cc : clusters) {
+    for (int n : cc.fu_count) sig = hash_combine(sig, hash64(static_cast<std::uint64_t>(n)));
+    sig = hash_combine(sig, hash64(static_cast<std::uint64_t>(cc.private_queues)));
+    sig = hash_combine(sig, hash64(static_cast<std::uint64_t>(cc.queue_depth)));
+  }
+  sig = hash_combine(sig, hash64(static_cast<std::uint64_t>(ring.queues_per_direction)));
+  sig = hash_combine(sig, hash64(static_cast<std::uint64_t>(ring.queue_depth)));
+  return sig;
 }
 
 }  // namespace qvliw

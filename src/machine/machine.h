@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,16 @@ class MachineConfig {
   /// (Fig. 5b): 3 compute FUs + 1 copy FU per cluster, 8 private queues,
   /// 8 ring queues per direction per segment.
   [[nodiscard]] static MachineConfig clustered_machine(int n_clusters);
+
+  /// Structural hash of everything that affects compilation results:
+  /// cluster FU mix, queue counts/depths, ring config and latency model
+  /// (the `name` is ignored).  Equal signatures mean interchangeable
+  /// machines for the sweep runner's artifact cache.
+  [[nodiscard]] std::uint64_t signature() const;
 };
+
+/// Hash of a latency model alone — the only machine input Ddg::build
+/// consumes, so DDGs are shareable across machines with equal values.
+[[nodiscard]] std::uint64_t latency_signature(const LatencyModel& latency);
 
 }  // namespace qvliw

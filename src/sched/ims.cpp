@@ -190,7 +190,8 @@ ImsResult ims_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& 
   ClusterAssigner& strategy = assigner != nullptr ? *assigner : single;
 
   ImsResult result;
-  result.mii = compute_mii(loop, graph, machine);
+  result.mii = options.known_mii.feasible ? options.known_mii
+                                          : compute_mii(loop, graph, machine);
   if (!result.mii.feasible) {
     result.failure = "machine lacks an FU class required by the loop";
     return result;

@@ -80,6 +80,12 @@ struct ImsOptions {
   /// When >= 0, try only IIs up to this value (fail beyond); used to ask
   /// "does it fit at the single-cluster II?".
   int ii_limit = -1;
+
+  /// Precomputed MII bounds for exactly this (loop, graph, machine).
+  /// When `known_mii.feasible` is true the scheduler trusts the bounds and
+  /// skips compute_mii — the sweep runner's prefix cache supplies them so
+  /// points sharing a front end don't recompute RecMII per point.
+  MiiInfo known_mii{};
 };
 
 struct ImsStats {

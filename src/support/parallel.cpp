@@ -1,5 +1,6 @@
 #include "support/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -13,37 +14,78 @@ std::size_t worker_count() {
   return hw == 0 ? 1 : hw;
 }
 
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
+namespace detail {
+
+std::size_t rng_grain(std::size_t count) {
+  // Fixed blocks: a pure function of the item count so chunk seeds do not
+  // depend on the machine's core count.
+  (void)count;
+  return 16;
+}
+
+namespace {
+
+std::size_t default_grain(std::size_t count, std::size_t workers) {
+  // ~8 claims per worker amortises the atomic while still load-balancing
+  // variable-cost items; heavy small batches degrade to grain 1.
+  return std::clamp<std::size_t>(count / (workers * 8), 1, 256);
+}
+
+}  // namespace
+
+void parallel_chunks(std::size_t count, std::size_t grain, ChunkFn invoke, void* body_ptr) {
   if (count == 0) return;
-  const std::size_t workers = std::min(worker_count(), count);
+  std::size_t workers = worker_count();
+  if (grain == 0) grain = default_grain(count, workers);
+  const std::size_t chunk_count = (count + grain - 1) / grain;
+  workers = std::min(workers, chunk_count);
+
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    // Same contract as the threaded path: every chunk is attempted, the
+    // first captured exception is rethrown at the end.
+    std::exception_ptr first_error;
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      try {
+        invoke(body_ptr, 0, c * grain, std::min(count, (c + 1) * grain));
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::vector<std::exception_ptr> errors;
 
-  auto work = [&] {
+  // Runs on every worker (including the caller, as worker 0).  All
+  // exceptions are captured here — never thrown across the join.
+  auto work = [&](std::size_t worker) noexcept {
     while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunk_count) return;
       try {
-        body(i);
+        invoke(body_ptr, worker, c * grain, std::min(count, (c + 1) * grain));
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        errors.push_back(std::current_exception());
       }
     }
   };
 
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
-  work();
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  try {
+    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
+  } catch (...) {
+    // Thread exhaustion: the chunks drain on whatever pool exists + the
+    // caller below; creation failure is not a work failure.
+  }
+  work(0);
+  for (std::thread& t : pool) t.join();
+  if (!errors.empty()) std::rethrow_exception(errors.front());
 }
 
+}  // namespace detail
 }  // namespace qvliw

@@ -1,22 +1,98 @@
 // Minimal fork-join parallelism for experiment sweeps.
 //
-// The harness evaluates ~1258 independent loops per machine configuration;
-// `parallel_for` fans the index range out over a worker pool.  Work items
-// must be independent; results are written to caller-owned slots indexed by
-// the loop index, so no synchronisation is needed beyond the join.
+// The harness evaluates ~1258 independent loops per sweep point;
+// `parallel_for` fans the index range out over a worker pool in *chunks*:
+// workers claim contiguous index ranges from an atomic cursor, so there is
+// one synchronisation per chunk instead of one per index, and the body is
+// dispatched through a statically-typed trampoline — no per-index (or even
+// per-call) std::function allocation.
+//
+// Exception contract: every worker exception is captured; after all
+// threads have joined, the first captured exception is rethrown on the
+// caller thread.  The caller participates in the chunk loop itself, and
+// its exceptions go through the same capture path, so a throwing body can
+// never bypass (or deadlock) the join.
+//
+// `parallel_for_rng` supplies the body with a private RNG stream per
+// chunk, seeded from (seed, chunk start) with a grain that depends only on
+// the item count — results are bit-identical no matter how many workers
+// run or which worker executes which chunk.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "support/rng.h"
 
 namespace qvliw {
 
 /// Number of workers used by parallel_for (>= 1).
 [[nodiscard]] std::size_t worker_count();
 
+namespace detail {
+
+/// Trampoline invoked once per claimed chunk: body_ptr is the address of
+/// the caller's body object; worker ids are dense in [0, workers).
+using ChunkFn = void (*)(void* body_ptr, std::size_t worker, std::size_t begin, std::size_t end);
+
+/// Chunked dispatch core (non-template; lives in parallel.cpp).
+/// grain == 0 selects a load-balancing default from count and the pool
+/// size; otherwise chunks are [k*grain, (k+1)*grain) intersected with
+/// [0, count).
+void parallel_chunks(std::size_t count, std::size_t grain, ChunkFn invoke, void* body_ptr);
+
+/// Deterministic grain for the RNG overload: a function of `count` only,
+/// never of the worker count, so chunk -> seed assignment is stable.
+[[nodiscard]] std::size_t rng_grain(std::size_t count);
+
+}  // namespace detail
+
 /// Invokes body(i) for every i in [0, count) across the worker pool.
-/// Exceptions thrown by `body` are captured and rethrown on the caller
-/// thread after the join (first one wins).
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+template <typename Body>
+void parallel_for(std::size_t count, Body&& body) {
+  using Stored = std::remove_reference_t<Body>;
+  detail::parallel_chunks(
+      count, 0,
+      [](void* body_ptr, std::size_t, std::size_t begin, std::size_t end) {
+        Stored& b = *static_cast<Stored*>(body_ptr);
+        for (std::size_t i = begin; i < end; ++i) b(i);
+      },
+      const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+}
+
+/// parallel_for with an explicit chunk grain (indices per claim).
+template <typename Body>
+void parallel_for_grained(std::size_t count, std::size_t grain, Body&& body) {
+  using Stored = std::remove_reference_t<Body>;
+  detail::parallel_chunks(
+      count, grain == 0 ? 1 : grain,
+      [](void* body_ptr, std::size_t, std::size_t begin, std::size_t end) {
+        Stored& b = *static_cast<Stored*>(body_ptr);
+        for (std::size_t i = begin; i < end; ++i) b(i);
+      },
+      const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+}
+
+/// Invokes body(i, rng) with a per-chunk RNG stream: rng is freshly seeded
+/// from (seed, first index of the chunk).  Deterministic for any worker
+/// count.
+template <typename Body>
+void parallel_for_rng(std::size_t count, std::uint64_t seed, Body&& body) {
+  using Stored = std::remove_reference_t<Body>;
+  struct Bound {
+    Stored* body;
+    std::uint64_t seed;
+  } bound{std::addressof(body), seed};
+  detail::parallel_chunks(
+      count, detail::rng_grain(count),
+      [](void* body_ptr, std::size_t, std::size_t begin, std::size_t end) {
+        Bound& b = *static_cast<Bound*>(body_ptr);
+        Rng rng(hash_combine(b.seed, begin));
+        for (std::size_t i = begin; i < end; ++i) (*b.body)(i, rng);
+      },
+      &bound);
+}
 
 }  // namespace qvliw

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "harness/stage.h"
+#include "workload/kernels.h"
+
+namespace qvliw {
+namespace {
+
+TEST(StageGraph, PlansComposeFrontAndBack) {
+  const auto& front = front_stage_plan();
+  const auto& back = back_stage_plan();
+  const auto& full = full_stage_plan();
+  ASSERT_EQ(front.size(), 3u);
+  ASSERT_EQ(back.size(), 3u);
+  ASSERT_EQ(full.size(), 6u);
+  EXPECT_EQ(front[0]->name(), kStageInvariants);
+  EXPECT_EQ(front[1]->name(), kStageUnroll);
+  EXPECT_EQ(front[2]->name(), kStageCopyInsert);
+  EXPECT_EQ(back[0]->name(), kStageSchedule);
+  EXPECT_EQ(back[1]->name(), kStageQueueAlloc);
+  EXPECT_EQ(back[2]->name(), kStageSim);
+  for (std::size_t s = 0; s < full.size(); ++s) {
+    EXPECT_EQ(full[s], s < 3 ? front[s] : back[s - 3]);
+  }
+}
+
+TEST(StageGraph, StageTimesRecordedInOrder) {
+  const LoopResult r =
+      run_pipeline(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_TRUE(r.failed_stage.empty());
+  ASSERT_EQ(r.stage_times.size(), full_stage_plan().size());
+  for (std::size_t s = 0; s < r.stage_times.size(); ++s) {
+    EXPECT_EQ(r.stage_times[s].stage, full_stage_plan()[s]->name());
+    EXPECT_GE(r.stage_times[s].seconds, 0.0);
+  }
+}
+
+TEST(StageGraph, ScheduleFailureProvenance) {
+  PipelineOptions options;
+  options.ims.ii_limit = 1;  // geo_decay's recurrence cannot fit II=1
+  const LoopResult r = run_pipeline(kernel_by_name("geo_decay"),
+                                    MachineConfig::single_cluster_machine(6), options);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_stage, kStageSchedule);
+  // The pipeline stopped at the failing stage: front end + schedule only.
+  ASSERT_EQ(r.stage_times.size(), 4u);
+  EXPECT_EQ(r.stage_times.back().stage, kStageSchedule);
+}
+
+TEST(StageGraph, QueueAllocFailureProvenance) {
+  PipelineOptions options;
+  options.enforce_queue_limits = true;
+  options.queue_fit_attempts = 0;  // no escalation allowed
+  const LoopResult r = run_pipeline(kernel_by_name("fir8"),
+                                    MachineConfig::single_cluster_machine(6, 1), options);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_stage, kStageQueueAlloc);
+  EXPECT_NE(r.failure.find("does not fit machine queues"), std::string::npos) << r.failure;
+}
+
+TEST(StageGraph, ContextSeedsResultIdentity) {
+  const Loop loop = kernel_by_name("daxpy");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  const PipelineOptions options;
+  PipelineContext ctx(loop, machine, options);
+  EXPECT_EQ(ctx.result.name, "daxpy");
+  EXPECT_EQ(ctx.result.src_ops, loop.op_count());
+  EXPECT_FALSE(ctx.result.ok);
+}
+
+}  // namespace
+}  // namespace qvliw

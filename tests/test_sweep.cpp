@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "workload/suite.h"
+#include "workload/synth.h"
+
+namespace qvliw {
+namespace {
+
+// A sweep mixing shared and distinct prefixes: plain single-cluster,
+// queue-limit enforcement (same prefix), policy unrolling, the three
+// clustered heuristics over one unrolled front end, the moves router, and
+// a simulated point.
+std::vector<SweepPoint> demo_points() {
+  std::vector<SweepPoint> points;
+
+  points.push_back({"single-6fu", MachineConfig::single_cluster_machine(6), {}});
+
+  SweepPoint limits{"single-6fu-limits", MachineConfig::single_cluster_machine(6), {}};
+  limits.options.enforce_queue_limits = true;
+  points.push_back(limits);
+
+  SweepPoint unrolled{"single-12fu-unroll", MachineConfig::single_cluster_machine(12), {}};
+  unrolled.options.unroll = true;
+  points.push_back(unrolled);
+
+  SweepPoint ring{"ring4-affinity", MachineConfig::clustered_machine(4), {}};
+  ring.options.unroll = true;
+  ring.options.scheduler = SchedulerKind::kClustered;
+  points.push_back(ring);
+
+  SweepPoint ring_lb = ring;
+  ring_lb.label = "ring4-loadbalance";
+  ring_lb.options.heuristic = ClusterHeuristic::kLoadBalance;
+  points.push_back(ring_lb);
+
+  SweepPoint moves = ring;
+  moves.label = "ring4-moves";
+  moves.options.scheduler = SchedulerKind::kClusteredMoves;
+  points.push_back(moves);
+
+  SweepPoint sim{"single-6fu-sim", MachineConfig::single_cluster_machine(6), {}};
+  sim.options.simulate = true;
+  sim.options.sim_trip = 8;
+  points.push_back(sim);
+
+  return points;
+}
+
+// Every semantic field of LoopResult.  stage_times is deliberately
+// excluded: wall time is measurement, not outcome.
+void expect_identical(const LoopResult& a, const LoopResult& b, const std::string& where) {
+  EXPECT_EQ(a.name, b.name) << where;
+  EXPECT_EQ(a.ok, b.ok) << where;
+  EXPECT_EQ(a.failure, b.failure) << where;
+  EXPECT_EQ(a.failed_stage, b.failed_stage) << where;
+  EXPECT_EQ(a.src_ops, b.src_ops) << where;
+  EXPECT_EQ(a.sched_ops, b.sched_ops) << where;
+  EXPECT_EQ(a.copies, b.copies) << where;
+  EXPECT_EQ(a.moves, b.moves) << where;
+  EXPECT_EQ(a.unroll_factor, b.unroll_factor) << where;
+  EXPECT_EQ(a.res_mii, b.res_mii) << where;
+  EXPECT_EQ(a.rec_mii, b.rec_mii) << where;
+  EXPECT_EQ(a.mii, b.mii) << where;
+  EXPECT_EQ(a.ii, b.ii) << where;
+  EXPECT_EQ(a.stage_count, b.stage_count) << where;
+  EXPECT_EQ(a.ii_per_source, b.ii_per_source) << where;
+  EXPECT_EQ(a.ipc_static, b.ipc_static) << where;
+  EXPECT_EQ(a.ipc_dynamic, b.ipc_dynamic) << where;
+  EXPECT_EQ(a.total_queues, b.total_queues) << where;
+  EXPECT_EQ(a.max_private_queues, b.max_private_queues) << where;
+  EXPECT_EQ(a.max_ring_queues, b.max_ring_queues) << where;
+  EXPECT_EQ(a.max_positions, b.max_positions) << where;
+  EXPECT_EQ(a.registers, b.registers) << where;
+  EXPECT_EQ(a.fits_machine_queues, b.fits_machine_queues) << where;
+  EXPECT_EQ(a.queue_fit_retries, b.queue_fit_retries) << where;
+  EXPECT_EQ(a.sim_ok, b.sim_ok) << where;
+  EXPECT_EQ(a.sim_cycles, b.sim_cycles) << where;
+  EXPECT_EQ(a.sched_stats.placements, b.sched_stats.placements) << where;
+  EXPECT_EQ(a.sched_stats.evictions, b.sched_stats.evictions) << where;
+  EXPECT_EQ(a.sched_stats.ii_attempts, b.sched_stats.ii_attempts) << where;
+}
+
+TEST(Sweep, GoldenEquivalenceWithDirectPipeline) {
+  const Suite suite = small_suite(8, 7);
+  const std::vector<SweepPoint> points = demo_points();
+
+  SweepOptions uncached_options;
+  uncached_options.use_cache = false;
+  const SweepResult cached = SweepRunner().run(suite.loops, points);
+  const SweepResult uncached = SweepRunner(uncached_options).run(suite.loops, points);
+
+  ASSERT_EQ(cached.by_point.size(), points.size());
+  ASSERT_EQ(uncached.by_point.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    ASSERT_EQ(cached.by_point[p].size(), suite.loops.size());
+    for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+      const LoopResult direct =
+          run_pipeline(suite.loops[i], points[p].machine, points[p].options);
+      const std::string where = points[p].label + " / " + suite.loops[i].name;
+      expect_identical(cached.by_point[p][i], direct, "cached: " + where);
+      expect_identical(uncached.by_point[p][i], direct, "uncached: " + where);
+    }
+  }
+
+  EXPECT_GT(cached.cache.hits(), 0u);
+  EXPECT_EQ(uncached.cache.probes(), 0u);
+  EXPECT_EQ(cached.pipelines, points.size() * suite.loops.size());
+}
+
+TEST(Sweep, CacheHitMissAccounting) {
+  SynthConfig config;
+  config.loops = 10;
+  config.seed = 21;
+  const std::vector<Loop> loops = synthesize_suite(config);
+  const std::uint64_t n = loops.size();
+
+  const MachineConfig machine = MachineConfig::clustered_machine(4);
+  PipelineOptions affinity;
+  affinity.scheduler = SchedulerKind::kClustered;
+  PipelineOptions balance = affinity;
+  balance.heuristic = ClusterHeuristic::kLoadBalance;
+  PipelineOptions first_fit = affinity;
+  first_fit.heuristic = ClusterHeuristic::kFirstFit;
+  PipelineOptions no_copies = affinity;  // distinct front prefix
+  no_copies.insert_copies = false;
+
+  const SweepResult sweep =
+      SweepRunner().run(loops, machine, {affinity, balance, first_fit, no_copies});
+
+  // Front level: four probes per loop; the 2nd and 3rd point hit the 1st
+  // point's entry, the no-copies point misses.
+  EXPECT_EQ(sweep.cache.front_probes, 4 * n);
+  EXPECT_EQ(sweep.cache.front_hits, 2 * n);
+  // Shallower levels are consulted only on a front miss (two per loop);
+  // the no-copies point reuses the cached invariant/unroll artifacts.
+  EXPECT_EQ(sweep.cache.invariant_probes, 2 * n);
+  EXPECT_EQ(sweep.cache.invariant_hits, n);
+  EXPECT_EQ(sweep.cache.unroll_probes, 2 * n);
+  EXPECT_EQ(sweep.cache.unroll_hits, n);
+  // MII bounds: one computation per distinct front entry and machine.
+  EXPECT_EQ(sweep.cache.mii_probes, 4 * n);
+  EXPECT_EQ(sweep.cache.mii_hits, 2 * n);
+  EXPECT_GT(sweep.cache.hit_rate(), 0.0);
+}
+
+TEST(Sweep, SerialMatchesParallel) {
+  const Suite suite = small_suite(6, 11);
+  SweepPoint point{"single-6fu", MachineConfig::single_cluster_machine(6), {}};
+  SweepOptions serial_options;
+  serial_options.parallel = false;
+  const SweepResult parallel = SweepRunner().run(suite.loops, {point});
+  const SweepResult serial = SweepRunner(serial_options).run(suite.loops, {point});
+  ASSERT_EQ(parallel.by_point[0].size(), serial.by_point[0].size());
+  for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+    expect_identical(parallel.by_point[0][i], serial.by_point[0][i], suite.loops[i].name);
+  }
+}
+
+TEST(Sweep, StageTotalsCoverBackEnd) {
+  const Suite suite = small_suite(4, 13);
+  SweepPoint point{"single-6fu", MachineConfig::single_cluster_machine(6), {}};
+  const SweepResult sweep = SweepRunner().run(suite.loops, {point});
+  EXPECT_GT(sweep.stage_seconds("schedule"), 0.0);
+  EXPECT_GT(sweep.stage_seconds("queue_alloc"), 0.0);
+  EXPECT_GT(sweep.wall_seconds, 0.0);
+  EXPECT_GT(sweep.pipelines_per_second(), 0.0);
+  EXPECT_EQ(sweep.stage_seconds("no-such-stage"), 0.0);
+}
+
+TEST(Sweep, RunSuiteWrapperMatchesSweep) {
+  SynthConfig config;
+  config.loops = 8;
+  config.seed = 5;
+  const std::vector<Loop> loops = synthesize_suite(config);
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  const std::vector<LoopResult> via_suite = run_suite(loops, machine);
+  const SweepResult via_sweep = SweepRunner().run(loops, machine, {PipelineOptions{}});
+  ASSERT_EQ(via_suite.size(), via_sweep.by_point[0].size());
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    expect_identical(via_suite[i], via_sweep.by_point[0][i], loops[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace qvliw
