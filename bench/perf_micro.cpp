@@ -4,10 +4,15 @@
 // built for — every point shares the unrolled/copy-inserted loop, DDG and
 // MII bounds of the 4-cluster machine and differs only in back-end
 // scheduling options — once with the cache off and once with it on, and
-// verifies the results are identical.  Emits a machine-readable
-// BENCH_pipeline.json (override the path with QVLIW_BENCH_JSON or argv[1])
-// with per-stage wall times, the cache hit rate, sweep throughput and the
-// cache speedup, to track the perf trajectory across commits.
+// verifies the results are identical.  The cached run also persists its
+// front-end artifacts to the content-addressed on-disk store
+// (QVLIW_STORE_DIR, default .qvliw-store), so a second invocation of this
+// bench warm-starts from disk and reports a nonzero disk hit rate.  Emits
+// a machine-readable BENCH_pipeline.json (override the path with
+// QVLIW_BENCH_JSON or argv[1]) with per-stage wall times, cache and disk
+// hit rates, unroll-probe counts, sweep throughput and the cache speedup,
+// to track the perf trajectory across commits
+// (tools/check_bench_regression.py gates CI on it).
 //
 //   QVLIW_LOOPS=200 ./build/bench/perf_micro [out.json]
 #include <fstream>
@@ -15,6 +20,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "support/artifact_store.h"
 #include "support/parallel.h"
 #include "support/strings.h"
 
@@ -83,6 +89,11 @@ void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
      << "    \"cache_hit_rate\": " << fixed(sweep.cache.hit_rate(), 6) << ",\n"
      << "    \"cache_probes\": " << sweep.cache.probes() << ",\n"
      << "    \"cache_hits\": " << sweep.cache.hits() << ",\n"
+     << "    \"disk_hit_rate\": " << fixed(sweep.cache.disk_hit_rate(), 6) << ",\n"
+     << "    \"disk_probes\": " << sweep.cache.disk_probes << ",\n"
+     << "    \"disk_hits\": " << sweep.cache.disk_hits << ",\n"
+     << "    \"unroll_probe_factors\": " << sweep.cache.probe_factors << ",\n"
+     << "    \"unroll_probe_naive_fallbacks\": " << sweep.cache.probe_fallbacks << ",\n"
      << "    \"stage_seconds\": ";
   write_stage_seconds(os, sweep, "    ");
   os << "\n  }";
@@ -102,21 +113,28 @@ int run(int argc, char** argv) {
   uncached_options.use_cache = false;
   std::cout << "running uncached (every point recomputes its front end)...\n";
   const SweepResult uncached = SweepRunner(uncached_options).run(suite.loops, points);
-  std::cout << "running cached (prefix artifacts shared across points)...\n";
-  const SweepResult cached = SweepRunner().run(suite.loops, points);
+
+  SweepOptions cached_options;
+  cached_options.store_dir = ArtifactStore::default_dir();
+  std::cout << "running cached (prefix artifacts shared across points; persisted to "
+            << cached_options.store_dir << ")...\n";
+  const SweepResult cached = SweepRunner(cached_options).run(suite.loops, points);
 
   const bool identical = results_identical(uncached, cached);
   const double speedup =
       cached.wall_seconds > 0.0 ? uncached.wall_seconds / cached.wall_seconds : 0.0;
 
-  TextTable table({"variant", "wall s", "loops/s", "cache hit rate"});
+  TextTable table({"variant", "wall s", "loops/s", "cache hit rate", "disk hit rate"});
   table.add_row({std::string("uncached"), uncached.wall_seconds,
-                 uncached.pipelines_per_second(), percent(uncached.cache.hit_rate())});
+                 uncached.pipelines_per_second(), percent(uncached.cache.hit_rate()),
+                 percent(uncached.cache.disk_hit_rate())});
   table.add_row({std::string("cached"), cached.wall_seconds, cached.pipelines_per_second(),
-                 percent(cached.cache.hit_rate())});
+                 percent(cached.cache.hit_rate()), percent(cached.cache.disk_hit_rate())});
   table.render(std::cout);
   std::cout << "\ncache speedup: " << fixed(speedup, 2) << "x; results identical: "
-            << (identical ? "yes" : "NO — BUG") << "\n";
+            << (identical ? "yes" : "NO — BUG") << "\n"
+            << "disk store: " << cached.cache.disk_hits << "/" << cached.cache.disk_probes
+            << " front entries warm (rerun the bench for a fully warm start)\n";
   bench::print_sweep_footer(std::cout, cached);
 
   const char* path = argc > 1 ? argv[1] : std::getenv("QVLIW_BENCH_JSON");
@@ -130,7 +148,8 @@ int run(int argc, char** argv) {
       << "  \"bench\": \"pipeline_sweep\",\n"
       << "  \"suite_loops\": " << suite.loops.size() << ",\n"
       << "  \"sweep_points\": " << points.size() << ",\n"
-      << "  \"workers\": " << worker_count() << ",\n";
+      << "  \"workers\": " << worker_count() << ",\n"
+      << "  \"store_dir\": \"" << cached_options.store_dir << "\",\n";
   write_run(out, "uncached", uncached);
   out << ",\n";
   write_run(out, "cached", cached);

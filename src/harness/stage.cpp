@@ -28,11 +28,16 @@ bool InvariantStage::run(PipelineContext& ctx) {
 
 bool UnrollStage::run(PipelineContext& ctx) {
   if (!ctx.options->unroll) return true;
-  ctx.result.unroll_factor =
-      ctx.options->forced_unroll >= 1
-          ? ctx.options->forced_unroll
-          : select_unroll_factor(ctx.loop, *ctx.machine, ctx.options->max_unroll).factor;
-  ctx.loop = unroll(ctx.loop, ctx.result.unroll_factor);
+  if (ctx.options->forced_unroll >= 1) {
+    ctx.result.unroll_factor = ctx.options->forced_unroll;
+    ctx.loop = unroll(ctx.loop, ctx.result.unroll_factor);
+    return true;
+  }
+  // The probe already materialised the winning factor's loop; a null loop
+  // means factor 1 (the working loop is the winner as-is).
+  UnrollProbe probe = probe_unroll_factor(ctx.loop, *ctx.machine, ctx.options->max_unroll);
+  ctx.result.unroll_factor = probe.choice.factor;
+  if (probe.loop != nullptr) ctx.loop = *probe.loop;
   return true;
 }
 

@@ -9,6 +9,7 @@
 
 #include "harness/stage.h"
 #include "sched/mii.h"
+#include "support/artifact_store.h"
 #include "support/diagnostics.h"
 #include "support/parallel.h"
 #include "support/rng.h"
@@ -22,6 +23,11 @@ double SweepCacheStats::hit_rate() const {
   return p == 0 ? 0.0 : static_cast<double>(hits()) / static_cast<double>(p);
 }
 
+double SweepCacheStats::disk_hit_rate() const {
+  return disk_probes == 0 ? 0.0
+                          : static_cast<double>(disk_hits) / static_cast<double>(disk_probes);
+}
+
 SweepCacheStats& SweepCacheStats::operator+=(const SweepCacheStats& other) {
   invariant_probes += other.invariant_probes;
   invariant_hits += other.invariant_hits;
@@ -31,6 +37,11 @@ SweepCacheStats& SweepCacheStats::operator+=(const SweepCacheStats& other) {
   front_hits += other.front_hits;
   mii_probes += other.mii_probes;
   mii_hits += other.mii_hits;
+  disk_probes += other.disk_probes;
+  disk_hits += other.disk_hits;
+  probe_factors += other.probe_factors;
+  probe_fallbacks += other.probe_fallbacks;
+  fallback_runs += other.fallback_runs;
   return *this;
 }
 
@@ -59,6 +70,12 @@ double seconds_since(Clock::time_point start) {
 // *prefix* (plus the machine where the prefix consults it), hashed level
 // by level so points sharing a shorter prefix still share the shallower
 // artifacts.
+//
+// Every branch hashes its tag and its parameters as *separate* combine
+// steps.  Additive salts (e.g. 0x3300 + factor vs 0x4400 + max_unroll)
+// let one branch's parameter walk into another branch's tag range, so two
+// structurally different prefixes could share one cache slot; a
+// regression test drives the old aliasing pair through these keys.
 
 std::uint64_t invariant_key(const PipelineOptions& options) {
   return hash_combine(hash64(0x11u), hash64(static_cast<std::uint64_t>(options.invariants)));
@@ -68,12 +85,13 @@ std::uint64_t unroll_key(std::uint64_t k1, const PipelineOptions& options,
                          const MachineConfig& machine) {
   if (!options.unroll) return hash_combine(k1, hash64(0x22u));
   if (options.forced_unroll >= 1) {
-    return hash_combine(k1, hash64(0x3300u + static_cast<std::uint64_t>(options.forced_unroll)));
+    return hash_combine(hash_combine(k1, hash64(0x33u)),
+                        hash64(static_cast<std::uint64_t>(options.forced_unroll)));
   }
   // The policy factor (select_unroll_factor) consults the machine.
-  return hash_combine(
-      hash_combine(k1, hash64(0x4400u + static_cast<std::uint64_t>(options.max_unroll))),
-      machine.signature());
+  return hash_combine(hash_combine(hash_combine(k1, hash64(0x44u)),
+                                   hash64(static_cast<std::uint64_t>(options.max_unroll))),
+                      machine.signature());
 }
 
 std::uint64_t front_key(std::uint64_t k2, const PipelineOptions& options,
@@ -81,33 +99,30 @@ std::uint64_t front_key(std::uint64_t k2, const PipelineOptions& options,
   const std::uint64_t copies =
       options.insert_copies ? 1 + static_cast<std::uint64_t>(options.copy_shape) : 0;
   // The DDG (built with the copy-inserted loop) depends on latencies only.
-  return hash_combine(hash_combine(k2, hash64(0x5500u + copies)),
+  return hash_combine(hash_combine(hash_combine(k2, hash64(0x55u)), hash64(copies)),
                       latency_signature(machine.latency));
 }
-
-struct PointKeys {
-  std::uint64_t invariant = 0;
-  std::uint64_t unroll = 0;
-  std::uint64_t front = 0;
-  std::uint64_t machine_sig = 0;
-  bool wants_mii = false;  // the moves router cannot reuse cached bounds
-};
 
 // --- per-loop artifact cache ----------------------------------------------
 
 struct UnrollEntry {
   std::shared_ptr<const Loop> loop;
   int factor = 1;
+  std::shared_ptr<const Ddg> graph;  // the unrolled loop's DDG, when the
+                                     // factor probe already built it
 };
 
 struct FrontEntry {
-  bool ok = false;  // false: a transform failed; points fall back to the
-                    // uncached pipeline for exact failure parity
-  Loop loop;        // copy-inserted scheduler input
+  bool ok = false;   // false: a transform failed; `failed_result` replays
+                     // the canonical failing LoopResult for every point
+  Loop loop;         // copy-inserted scheduler input
   int copies = 0;
   int factor = 1;
   std::shared_ptr<const Ddg> graph;
   std::map<std::uint64_t, MiiInfo> mii;  // machine signature -> bounds
+  LoopResult failed_result;  // when !ok: bit-identical to what the
+                             // monolithic pipeline reports (stage_times
+                             // cleared; its cost is charged once)
 };
 
 struct LoopCache {
@@ -119,12 +134,96 @@ struct LoopCache {
 // Front-end wall time indexed as: invariants, unroll, copy_insert, mii.
 using FrontSeconds = std::array<double, 4>;
 
-FrontEntry& front_for(const Loop& source, const SweepPoint& point, const PointKeys& keys,
-                      LoopCache& cache, SweepCacheStats& stats, FrontSeconds& seconds) {
+// --- on-disk persistence ---------------------------------------------------
+//
+// A FrontEntry is a pure function of (source loop contents, front prefix
+// key); the prefix key already folds in every machine input the front end
+// consults.  Entries are serialised with the portable blob format; the
+// MII map is not persisted (machine-specific and trivially cheap to
+// recompute).
+//
+// Bump the version whenever a warm store could replay entries the current
+// code would not reproduce: blob-layout changes AND any behavioral change
+// to a front-end transform (invariant materialisation, unroll's rewrite
+// or factor policy, copy insertion) or to memory-dependence derivation.
+// The key changes with the version, so stale entries are simply never
+// read again.  (Loop-serialization layout changes are self-invalidating:
+// Loop::content_hash is derived from the serialized bytes.)
+
+constexpr std::uint64_t kStoreFormatVersion = 1;
+
+std::uint64_t store_key(std::uint64_t loop_content_hash, std::uint64_t front_key_value) {
+  return hash_combine(hash_combine(hash64(kStoreFormatVersion), loop_content_hash),
+                      front_key_value);
+}
+
+std::string encode_front_entry(const FrontEntry& entry) {
+  BlobWriter out;
+  out.put_bool(entry.ok);
+  if (entry.ok) {
+    serialize_loop(out, entry.loop);
+    out.put_i32(entry.copies);
+    out.put_i32(entry.factor);
+  } else {
+    const LoopResult& r = entry.failed_result;
+    out.put_string(r.failure);
+    out.put_string(r.failed_stage);
+    out.put_i32(r.unroll_factor);
+    out.put_i32(r.copies);
+  }
+  return out.take();
+}
+
+/// Reconstructs a FrontEntry from `blob`; throws Error on any truncation
+/// or structural problem (the caller treats that as a store miss).  The
+/// DDG is rebuilt from the decoded loop — Ddg::build is deterministic and
+/// validates the loop, so a corrupt blob cannot smuggle in a bad input.
+FrontEntry decode_front_entry(const std::string& blob, const Loop& source,
+                              const MachineConfig& machine) {
+  BlobReader in(blob);
+  FrontEntry entry;
+  entry.ok = in.get_bool();
+  if (entry.ok) {
+    entry.loop = deserialize_loop(in);
+    entry.copies = in.get_i32();
+    entry.factor = in.get_i32();
+    entry.graph = std::make_shared<const Ddg>(Ddg::build(entry.loop, machine.latency));
+  } else {
+    LoopResult& r = entry.failed_result;
+    r.name = source.name;
+    r.src_ops = source.op_count();
+    r.failure = in.get_string();
+    r.failed_stage = in.get_string();
+    r.unroll_factor = in.get_i32();
+    r.copies = in.get_i32();
+  }
+  check(in.exhausted(), "front entry blob: trailing bytes");
+  return entry;
+}
+
+FrontEntry& front_for(const Loop& source, const SweepPoint& point, const SweepPrefixKeys& keys,
+                      LoopCache& cache, const ArtifactStore* store, std::uint64_t disk_key,
+                      SweepCacheStats& stats, FrontSeconds& seconds) {
   ++stats.front_probes;
   if (auto it = cache.front.find(keys.front); it != cache.front.end()) {
     ++stats.front_hits;
     return it->second;
+  }
+
+  // Second-level cache: the persistent store.
+  if (store != nullptr) {
+    ++stats.disk_probes;
+    std::string blob;
+    if (store->load(disk_key, blob)) {
+      try {
+        FrontEntry entry = decode_front_entry(blob, source, point.machine);
+        ++stats.disk_hits;
+        return cache.front.emplace(keys.front, std::move(entry)).first->second;
+      } catch (const Error&) {
+        // Corrupt or stale entry: fall through and recompute (the save
+        // below overwrites it).
+      }
+    }
   }
 
   FrontEntry entry;
@@ -153,12 +252,20 @@ FrontEntry& front_for(const Loop& source, const SweepPoint& point, const PointKe
       const Clock::time_point start = Clock::now();
       unrolled.loop = after_invariants;
       if (point.options.unroll) {
-        unrolled.factor =
-            point.options.forced_unroll >= 1
-                ? point.options.forced_unroll
-                : select_unroll_factor(*after_invariants, point.machine, point.options.max_unroll)
-                      .factor;
-        unrolled.loop = std::make_shared<const Loop>(unroll(*after_invariants, unrolled.factor));
+        if (point.options.forced_unroll >= 1) {
+          unrolled.factor = point.options.forced_unroll;
+          unrolled.loop = std::make_shared<const Loop>(unroll(*after_invariants, unrolled.factor));
+        } else {
+          // The probe hands back the winner it already materialised (and
+          // its DDG on the naive path) — nothing is unrolled twice.
+          UnrollProbe probe =
+              probe_unroll_factor(*after_invariants, point.machine, point.options.max_unroll);
+          stats.probe_factors += static_cast<std::uint64_t>(probe.factors_probed);
+          if (!probe.incremental) ++stats.probe_fallbacks;
+          unrolled.factor = probe.choice.factor;
+          if (probe.loop != nullptr) unrolled.loop = std::move(probe.loop);
+          unrolled.graph = std::move(probe.graph);
+        }
       }
       seconds[1] += seconds_since(start);
       cache.unrolled.emplace(keys.unroll, unrolled);
@@ -171,33 +278,66 @@ FrontEntry& front_for(const Loop& source, const SweepPoint& point, const PointKe
       CopyInsertResult copies = insert_copies(*unrolled.loop, point.options.copy_shape);
       entry.copies = copies.copies_added;
       entry.loop = std::move(copies.loop);
+      entry.graph = std::make_shared<const Ddg>(Ddg::build(entry.loop, point.machine.latency));
     } else {
       entry.loop = *unrolled.loop;
+      // No copies inserted: the probe's DDG (same loop, same latencies) is
+      // the scheduler's graph already.
+      entry.graph = unrolled.graph != nullptr
+                        ? unrolled.graph
+                        : std::make_shared<const Ddg>(Ddg::build(entry.loop, point.machine.latency));
     }
-    entry.graph = std::make_shared<const Ddg>(Ddg::build(entry.loop, point.machine.latency));
     entry.ok = true;
     seconds[2] += seconds_since(start);
   } catch (const Error&) {
+    // Canonicalise the failure once by replaying the front stage plan —
+    // the exact code path the monolithic pipeline takes — so every point
+    // sharing this prefix replays a bit-identical LoopResult instead of
+    // re-running the whole uncached pipeline.  The replay genuinely
+    // re-executes the front stages (including ones the try block above
+    // already ran and charged), so folding its stage times below reports
+    // real CPU spent, paid once per failing prefix.
+    PipelineContext failed(source, point.machine, point.options);
+    run_stages(failed, front_stage_plan());
+    QVLIW_ASSERT(!failed.result.ok, "front prefix failed outside the stage plan");
+    for (const StageTiming& timing : failed.result.stage_times) {
+      if (timing.stage == kStageInvariants) seconds[0] += timing.seconds;
+      if (timing.stage == kStageUnroll) seconds[1] += timing.seconds;
+      if (timing.stage == kStageCopyInsert) seconds[2] += timing.seconds;
+    }
+    failed.result.stage_times.clear();  // charged once via FrontSeconds
     entry = FrontEntry{};
+    entry.failed_result = std::move(failed.result);
   }
+  if (store != nullptr) store->save(disk_key, encode_front_entry(entry));
   return cache.front.emplace(keys.front, std::move(entry)).first->second;
 }
 
-MiiInfo mii_for(FrontEntry& front, const SweepPoint& point, const PointKeys& keys,
+MiiInfo mii_for(FrontEntry& front, const SweepPoint& point, const SweepPrefixKeys& keys,
                 SweepCacheStats& stats, FrontSeconds& seconds) {
   ++stats.mii_probes;
-  if (auto it = front.mii.find(keys.machine_sig); it != front.mii.end()) {
+  if (auto it = front.mii.find(keys.machine); it != front.mii.end()) {
     ++stats.mii_hits;
     return it->second;
   }
   const Clock::time_point start = Clock::now();
   const MiiInfo mii = compute_mii(front.loop, *front.graph, point.machine);
   seconds[3] += seconds_since(start);
-  front.mii.emplace(keys.machine_sig, mii);
+  front.mii.emplace(keys.machine, mii);
   return mii;
 }
 
 }  // namespace
+
+SweepPrefixKeys sweep_prefix_keys(const SweepPoint& point) {
+  SweepPrefixKeys keys;
+  keys.invariant = invariant_key(point.options);
+  keys.unroll = unroll_key(keys.invariant, point.options, point.machine);
+  keys.front = front_key(keys.unroll, point.options, point.machine);
+  keys.machine = point.machine.signature();
+  keys.wants_mii = point.options.scheduler != SchedulerKind::kClusteredMoves;
+  return keys;
+}
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
 
@@ -209,14 +349,12 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
   sweep.by_point.assign(points.size(), std::vector<LoopResult>(loops.size()));
   sweep.pipelines = static_cast<std::uint64_t>(loops.size()) * points.size();
 
-  std::vector<PointKeys> keys(points.size());
-  for (std::size_t p = 0; p < points.size(); ++p) {
-    keys[p].invariant = invariant_key(points[p].options);
-    keys[p].unroll = unroll_key(keys[p].invariant, points[p].options, points[p].machine);
-    keys[p].front = front_key(keys[p].unroll, points[p].options, points[p].machine);
-    keys[p].machine_sig = points[p].machine.signature();
-    keys[p].wants_mii = points[p].options.scheduler != SchedulerKind::kClusteredMoves;
-  }
+  std::vector<SweepPrefixKeys> keys(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) keys[p] = sweep_prefix_keys(points[p]);
+
+  const bool persist = options_.use_cache && !options_.store_dir.empty();
+  const ArtifactStore disk_store(options_.store_dir);
+  const ArtifactStore* store = persist ? &disk_store : nullptr;
 
   std::mutex merge_mutex;
   FrontSeconds front_seconds{};
@@ -225,6 +363,7 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
     LoopCache cache;
     SweepCacheStats local_stats;
     FrontSeconds local_seconds{};
+    const std::uint64_t loop_hash = persist ? loops[i].content_hash() : 0;
 
     for (std::size_t p = 0; p < points.size(); ++p) {
       const SweepPoint& point = points[p];
@@ -232,8 +371,9 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
       bool produced = false;
       if (options_.use_cache) {
         try {
-          FrontEntry& front =
-              front_for(loops[i], point, keys[p], cache, local_stats, local_seconds);
+          const std::uint64_t disk_key = persist ? store_key(loop_hash, keys[p].front) : 0;
+          FrontEntry& front = front_for(loops[i], point, keys[p], cache, store, disk_key,
+                                        local_stats, local_seconds);
           if (front.ok) {
             PipelineContext ctx(loops[i], point.machine, point.options);
             ctx.loop = front.loop;
@@ -245,11 +385,15 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
             }
             run_stages(ctx, back_stage_plan());
             out = std::move(ctx.result);
-            produced = true;
+          } else {
+            // The canonical failing result, computed once for the prefix.
+            out = front.failed_result;
           }
+          produced = true;
         } catch (const Error&) {
           // Fall through to the uncached path for exact failure parity.
         }
+        if (!produced) ++local_stats.fallback_runs;
       }
       if (!produced) out = run_pipeline(loops[i], point.machine, point.options);
       sweep.by_point[p][i] = std::move(out);

@@ -41,13 +41,30 @@ struct SweepCacheStats {
   std::uint64_t front_probes = 0, front_hits = 0;  // copy-inserted loop + DDG
   std::uint64_t mii_probes = 0, mii_hits = 0;
 
+  /// On-disk artifact store tier (consulted on an in-memory front miss
+  /// when SweepOptions::store_dir is set).  Kept out of probes()/hits():
+  /// the store is a second-level cache, and folding it in would make the
+  /// in-memory hit rate incomparable across runs with and without a store.
+  std::uint64_t disk_probes = 0, disk_hits = 0;
+
+  /// Unroll-policy prober accounting: candidate factors examined, and how
+  /// many probes had to fall back to the naive materialise-and-measure
+  /// path because the incremental fast path could not be exact.
+  std::uint64_t probe_factors = 0, probe_fallbacks = 0;
+
+  /// Cached runs that abandoned the cached path entirely and re-ran the
+  /// monolithic pipeline (exception escape hatch; 0 in normal operation —
+  /// cached front-end *failures* are replayed from the cache, not re-run).
+  std::uint64_t fallback_runs = 0;
+
   [[nodiscard]] std::uint64_t probes() const {
     return invariant_probes + unroll_probes + front_probes + mii_probes;
   }
   [[nodiscard]] std::uint64_t hits() const {
     return invariant_hits + unroll_hits + front_hits + mii_hits;
   }
-  [[nodiscard]] double hit_rate() const;  // hits/probes; 0 when no probes
+  [[nodiscard]] double hit_rate() const;       // hits/probes; 0 when no probes
+  [[nodiscard]] double disk_hit_rate() const;  // disk_hits/disk_probes; 0 when no probes
 
   SweepCacheStats& operator+=(const SweepCacheStats& other);
 };
@@ -64,7 +81,27 @@ struct StageTotal {
 struct SweepOptions {
   bool use_cache = true;  // prefix-artifact caching across points
   bool parallel = true;   // fan loops across the worker pool
+
+  /// Root directory of the persistent content-addressed artifact store
+  /// (support/artifact_store.h); empty disables persistence.  Keyed by
+  /// Loop::content_hash plus the front prefix key, so repeated invocations
+  /// — including across processes and bench runs — warm-start the front
+  /// end instead of recomputing it.  Requires use_cache.
+  std::string store_dir;
 };
+
+/// Level-by-level option-prefix hashes of one sweep point.  Derived once
+/// per point by the runner; exposed so tests can assert key-domain
+/// separation (distinct option prefixes must never share a key).
+struct SweepPrefixKeys {
+  std::uint64_t invariant = 0;
+  std::uint64_t unroll = 0;
+  std::uint64_t front = 0;
+  std::uint64_t machine = 0;   // machine signature (MII cache key)
+  bool wants_mii = false;      // the moves router cannot reuse cached bounds
+};
+
+[[nodiscard]] SweepPrefixKeys sweep_prefix_keys(const SweepPoint& point);
 
 struct SweepResult {
   /// results[point][loop], index-aligned with the inputs.

@@ -107,7 +107,12 @@ int scc_count(const Ddg& graph) {
 }
 
 bool has_positive_cycle(const Ddg& graph, int ii) {
+  return has_positive_cycle_scaled(graph, ii, 1);
+}
+
+bool has_positive_cycle_scaled(const Ddg& graph, int ii, int latency_scale) {
   check(ii >= 1, "has_positive_cycle: ii must be >= 1");
+  check(latency_scale >= 1, "has_positive_cycle: latency_scale must be >= 1");
   const auto n = static_cast<std::size_t>(graph.node_count());
   if (n == 0) return false;
   // Longest-path potentials from a virtual source connected to every node
@@ -116,7 +121,7 @@ bool has_positive_cycle(const Ddg& graph, int ii) {
   for (std::size_t round = 0; round <= n; ++round) {
     bool changed = false;
     for (const DepEdge& e : graph.edges()) {
-      const long long w = static_cast<long long>(e.latency) -
+      const long long w = static_cast<long long>(latency_scale) * e.latency -
                           static_cast<long long>(ii) * static_cast<long long>(e.distance);
       const long long candidate = pot[static_cast<std::size_t>(e.src)] + w;
       if (candidate > pot[static_cast<std::size_t>(e.dst)]) {

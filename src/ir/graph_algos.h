@@ -19,6 +19,15 @@ namespace qvliw {
 /// Bellman-Ford-style longest-path relaxation; O(V * E).
 [[nodiscard]] bool has_positive_cycle(const Ddg& graph, int ii);
 
+/// Generalisation under weights (latency_scale*lat - ii*dist).  With
+/// latency_scale = U this decides RecMII feasibility of the U-fold
+/// replica lift of `graph` (the DDG of the loop unrolled by U) without
+/// materialising it: every circuit of the lifted graph projects to a
+/// closed walk of the base graph whose distance sum is U times the lifted
+/// one, so lifted feasibility at II is exactly "no base circuit with
+/// U*latency > II*distance".
+[[nodiscard]] bool has_positive_cycle_scaled(const Ddg& graph, int ii, int latency_scale);
+
 /// An elementary circuit with its latency/distance totals.
 struct Circuit {
   std::vector<int> nodes;  // in traversal order

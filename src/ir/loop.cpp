@@ -2,7 +2,9 @@
 
 #include <unordered_set>
 
+#include "support/artifact_store.h"
 #include "support/diagnostics.h"
+#include "support/rng.h"
 #include "support/strings.h"
 
 namespace qvliw {
@@ -95,6 +97,72 @@ int Loop::use_count(int def) const {
     }
   }
   return uses;
+}
+
+void serialize_loop(BlobWriter& out, const Loop& loop) {
+  out.put_string(loop.name);
+  out.put_i32(loop.stride);
+  out.put_i32(loop.trip_hint);
+  out.put_u64(loop.invariants.size());
+  for (const std::string& inv : loop.invariants) out.put_string(inv);
+  out.put_u64(loop.arrays.size());
+  for (const std::string& arr : loop.arrays) out.put_string(arr);
+  out.put_u64(static_cast<std::uint64_t>(loop.op_count()));
+  for (const Op& op : loop.ops) {
+    out.put_i32(static_cast<std::int32_t>(op.opcode));
+    out.put_string(op.name);
+    out.put_i32(op.array);
+    out.put_i32(op.mem_offset);
+    out.put_i32(op.init_invariant);
+    out.put_u64(op.args.size());
+    for (const Operand& arg : op.args) {
+      out.put_i32(static_cast<std::int32_t>(arg.kind));
+      out.put_i32(arg.value_op);
+      out.put_i32(arg.distance);
+      out.put_i32(arg.invariant);
+      out.put_i64(arg.imm);
+      out.put_i32(arg.index_offset);
+    }
+  }
+}
+
+Loop deserialize_loop(BlobReader& in) {
+  Loop loop;
+  loop.name = in.get_string();
+  loop.stride = in.get_i32();
+  loop.trip_hint = in.get_i32();
+  const std::uint64_t invariants = in.get_u64();
+  for (std::uint64_t i = 0; i < invariants; ++i) loop.invariants.push_back(in.get_string());
+  const std::uint64_t arrays = in.get_u64();
+  for (std::uint64_t i = 0; i < arrays; ++i) loop.arrays.push_back(in.get_string());
+  const std::uint64_t op_count = in.get_u64();
+  for (std::uint64_t i = 0; i < op_count; ++i) {
+    Op op;
+    op.opcode = static_cast<Opcode>(in.get_i32());
+    op.name = in.get_string();
+    op.array = in.get_i32();
+    op.mem_offset = in.get_i32();
+    op.init_invariant = in.get_i32();
+    const std::uint64_t args = in.get_u64();
+    for (std::uint64_t a = 0; a < args; ++a) {
+      Operand arg;
+      arg.kind = static_cast<Operand::Kind>(in.get_i32());
+      arg.value_op = in.get_i32();
+      arg.distance = in.get_i32();
+      arg.invariant = in.get_i32();
+      arg.imm = in.get_i64();
+      arg.index_offset = in.get_i32();
+      op.args.push_back(arg);
+    }
+    loop.ops.push_back(std::move(op));
+  }
+  return loop;
+}
+
+std::uint64_t Loop::content_hash() const {
+  BlobWriter out;
+  serialize_loop(out, *this);
+  return hash_combine(hash64(0x100bULL), hash_bytes(out.take()));  // domain-tagged
 }
 
 void Loop::validate() const {

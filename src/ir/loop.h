@@ -97,6 +97,14 @@ class Loop {
   /// Number of uses of the value defined by op `def` (operand instances).
   [[nodiscard]] int use_count(int def) const;
 
+  /// Deterministic structural hash of the whole loop: hash_bytes over
+  /// serialize_loop's blob, so the hash and the serialization share one
+  /// schema walker (a field added to Op/Operand is either in both or in
+  /// neither).  Stable across processes and platforms, so it can key
+  /// persistent content-addressed artifact stores; equal hashes mean the
+  /// loops are interchangeable inputs for the compilation pipeline.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
   /// Structural validation; throws Error with a description on violation.
   ///
   /// Rules: unique non-empty names for value-defining ops; stores unnamed;
@@ -106,5 +114,18 @@ class Loop {
   /// stride >= 1.
   void validate() const;
 };
+
+class BlobReader;
+class BlobWriter;
+
+/// Serialises `loop` into the portable blob format
+/// (support/artifact_store.h) — the single schema walker shared by
+/// content_hash and the persistent artifact store.
+void serialize_loop(BlobWriter& out, const Loop& loop);
+
+/// Inverse of serialize_loop; throws Error on truncation.  The result is
+/// *not* validated — run Loop::validate (or Ddg::build, which does) before
+/// trusting a deserialised loop.
+[[nodiscard]] Loop deserialize_loop(BlobReader& in);
 
 }  // namespace qvliw

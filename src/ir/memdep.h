@@ -32,6 +32,11 @@ struct MemDep {
   friend bool operator==(const MemDep&, const MemDep&) = default;
 };
 
+/// Default dependence-distance cutoff (see memory_dependences).  Named so
+/// clients reasoning about the cutoff — the incremental unroll prober's
+/// exactness gate in xform/unroll.h — share one value with the analysis.
+inline constexpr int kMemDepMaxDistance = 64;
+
 /// Computes all pairwise memory dependences of `loop`.
 ///
 /// Distances larger than `max_distance` are dropped: a dependence spanning
@@ -39,6 +44,7 @@ struct MemDep {
 /// far smaller, and dropping the bound keeps edge counts quadratic-free for
 /// wide unrolled loops.  The default keeps everything relevant for the
 /// paper's workloads.
-[[nodiscard]] std::vector<MemDep> memory_dependences(const Loop& loop, int max_distance = 64);
+[[nodiscard]] std::vector<MemDep> memory_dependences(const Loop& loop,
+                                                     int max_distance = kMemDepMaxDistance);
 
 }  // namespace qvliw

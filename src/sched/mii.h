@@ -30,4 +30,21 @@ struct MiiInfo {
 /// RecMII alone: binary search over II with positive-cycle detection.
 [[nodiscard]] int rec_mii(const Ddg& graph);
 
+/// MII bounds of unroll(loop, factor) computed on the *base* loop and DDG,
+/// without materialising the unrolled loop:
+///   - ResMII scales analytically (factor*ops per FU class, ceil-divided
+///     by machine-wide instances);
+///   - RecMII is the smallest II admitting no positive cycle in the base
+///     graph under weights (factor*latency - II*distance), which equals
+///     RecMII of the replica-lifted (unrolled) DDG exactly — see
+///     has_positive_cycle_scaled.
+/// `rec_floor` (>= 1) is an optional known lower bound on the answer's
+/// RecMII component (RecMII is nondecreasing in the factor, so the
+/// previous factor's value is a valid floor for an incremental sweep).
+/// Exact versus compute_mii on the materialised unrolled loop whenever the
+/// unrolled DDG is the replica lift of `graph`; unroll_probe_is_exact
+/// (xform/unroll.h) decides that precondition.
+[[nodiscard]] MiiInfo unrolled_mii(const Loop& loop, const Ddg& graph,
+                                   const MachineConfig& machine, int factor, int rec_floor = 1);
+
 }  // namespace qvliw

@@ -20,6 +20,16 @@ std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
   return hash64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+std::uint64_t hash_bytes(std::string_view bytes) {
+  // FNV-1a over the bytes, then one splitmix64 round for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return hash64(h);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "support/diagnostics.h"
@@ -21,6 +22,11 @@ namespace qvliw {
 
 /// Combines two 64-bit values into one hash.
 [[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// Deterministic 64-bit hash of a byte string (FNV-1a folded through
+/// hash64).  Platform- and process-independent, unlike std::hash — safe to
+/// use in persistent content-addressed keys.
+[[nodiscard]] std::uint64_t hash_bytes(std::string_view bytes);
 
 /// xoshiro256** PRNG. Not a std-style engine on purpose: the interface is
 /// the handful of draws the library needs, each bias-free.

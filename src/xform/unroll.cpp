@@ -1,7 +1,9 @@
 #include "xform/unroll.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "ir/memdep.h"
 #include "sched/mii.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
@@ -16,7 +18,9 @@ Loop unroll(const Loop& src, int factor) {
   Loop out;
   out.name = cat(src.name, "_x", factor);
   out.stride = src.stride * factor;
-  out.trip_hint = std::max(1, src.trip_hint / factor);
+  // Ceiling division: a partial trailing group of source iterations still
+  // costs one full kernel iteration (trip_hint 7 at factor 4 -> 2, not 1).
+  out.trip_hint = std::max(1, (src.trip_hint + factor - 1) / factor);
   out.invariants = src.invariants;
   out.arrays = src.arrays;
 
@@ -58,30 +62,122 @@ Loop unroll(const Loop& src, int factor) {
   return out;
 }
 
-UnrollChoice select_unroll_factor(const Loop& loop, const MachineConfig& machine, int max_factor,
-                                  int max_ops) {
-  check(max_factor >= 1, "select_unroll_factor: max_factor must be >= 1");
-  UnrollChoice best;
-  best.factor = 1;
+bool unroll_probe_is_exact(const Loop& loop) {
+  const int n = loop.op_count();
+  for (int a = 0; a < n; ++a) {
+    const Op& op_a = loop.ops[static_cast<std::size_t>(a)];
+    if (!is_memory(op_a.opcode)) continue;
+    for (int b = a + 1; b < n; ++b) {
+      const Op& op_b = loop.ops[static_cast<std::size_t>(b)];
+      if (!is_memory(op_b.opcode)) continue;
+      if (op_a.array != op_b.array) continue;
+      if (op_a.opcode != Opcode::kStore && op_b.opcode != Opcode::kStore) continue;
+      const int delta = op_a.mem_offset - op_b.mem_offset;
+      if (delta % loop.stride != 0) continue;
+      // A pair past the cutoff is invisible to the base DDG but lifts to a
+      // distance <= ceil(d/factor) that the unrolled DDG may keep.
+      if (std::abs(delta / loop.stride) > kMemDepMaxDistance) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Shared candidate walk: `measure(factor)` returns the (exact) bounds of
+/// unroll(loop, factor); `adopted()` fires whenever the factor just
+/// measured becomes the best so far (letting the naive path pin that
+/// candidate's artifacts).  Selection is the smallest factor strictly
+/// improving the per-source-iteration rate, identical on both paths.
+template <typename Measure, typename Adopted>
+UnrollProbe probe_with(const Loop& loop, int max_factor, int max_ops, Measure measure,
+                       Adopted adopted) {
+  UnrollProbe probe;
   {
-    const Ddg graph = Ddg::build(loop, machine.latency);
-    const MiiInfo mii = compute_mii(loop, graph, machine);
-    check(mii.feasible, "select_unroll_factor: loop infeasible on machine");
-    best.rate = static_cast<double>(mii.mii);
+    const MiiInfo base = measure(1);
+    check(base.feasible, "select_unroll_factor: loop infeasible on machine");
+    probe.choice.factor = 1;
+    probe.choice.rate = static_cast<double>(base.mii);
+    probe.mii = base;
+    probe.factors_probed = 1;
+    adopted();
   }
   for (int factor = 2; factor <= max_factor; ++factor) {
     if (loop.op_count() * factor > max_ops) break;
-    const Loop unrolled = unroll(loop, factor);
-    const Ddg graph = Ddg::build(unrolled, machine.latency);
-    const MiiInfo mii = compute_mii(unrolled, graph, machine);
+    const MiiInfo mii = measure(factor);
+    ++probe.factors_probed;
     if (!mii.feasible) continue;
     const double rate = static_cast<double>(mii.mii) / static_cast<double>(factor);
-    if (rate < best.rate - 1e-9) {
-      best.factor = factor;
-      best.rate = rate;
+    if (rate < probe.choice.rate - 1e-9) {
+      probe.choice.factor = factor;
+      probe.choice.rate = rate;
+      probe.mii = mii;
+      adopted();
     }
   }
-  return best;
+  return probe;
+}
+
+}  // namespace
+
+UnrollProbe probe_unroll_factor_naive(const Loop& loop, const MachineConfig& machine,
+                                      int max_factor, int max_ops) {
+  check(max_factor >= 1, "select_unroll_factor: max_factor must be >= 1");
+
+  // The current candidate's artifacts; pinned as the winner's whenever the
+  // walk adopts the candidate, so nothing is ever materialised twice.
+  std::shared_ptr<const Loop> candidate_loop;
+  std::shared_ptr<const Ddg> candidate_graph;
+  std::shared_ptr<const Loop> best_loop;
+  std::shared_ptr<const Ddg> best_graph;
+
+  auto measure = [&](int factor) {
+    candidate_loop = factor == 1 ? nullptr : std::make_shared<const Loop>(unroll(loop, factor));
+    const Loop& body = factor == 1 ? loop : *candidate_loop;
+    candidate_graph = std::make_shared<const Ddg>(Ddg::build(body, machine.latency));
+    return compute_mii(body, *candidate_graph, machine);
+  };
+  auto adopted = [&] {
+    best_loop = candidate_loop;
+    best_graph = candidate_graph;
+  };
+
+  UnrollProbe probe = probe_with(loop, max_factor, max_ops, measure, adopted);
+  probe.loop = std::move(best_loop);
+  probe.graph = std::move(best_graph);
+  return probe;
+}
+
+UnrollProbe probe_unroll_factor(const Loop& loop, const MachineConfig& machine, int max_factor,
+                                int max_ops) {
+  check(max_factor >= 1, "select_unroll_factor: max_factor must be >= 1");
+  if (!unroll_probe_is_exact(loop)) return probe_unroll_factor_naive(loop, machine, max_factor, max_ops);
+
+  const auto base_graph = std::make_shared<const Ddg>(Ddg::build(loop, machine.latency));
+  int rec_floor = 1;
+  UnrollProbe probe = probe_with(
+      loop, max_factor, max_ops,
+      [&](int factor) {
+        const MiiInfo mii = factor == 1
+                                ? compute_mii(loop, *base_graph, machine)
+                                : unrolled_mii(loop, *base_graph, machine, factor, rec_floor);
+        if (mii.feasible) rec_floor = std::max(rec_floor, mii.rec_mii);
+        return mii;
+      },
+      [] {});
+  probe.incremental = true;
+  if (probe.choice.factor == 1) {
+    probe.graph = base_graph;
+  } else {
+    // The one materialisation of the winner; callers reuse it directly.
+    probe.loop = std::make_shared<const Loop>(unroll(loop, probe.choice.factor));
+  }
+  return probe;
+}
+
+UnrollChoice select_unroll_factor(const Loop& loop, const MachineConfig& machine, int max_factor,
+                                  int max_ops) {
+  return probe_unroll_factor(loop, machine, max_factor, max_ops).choice;
 }
 
 }  // namespace qvliw

@@ -11,17 +11,33 @@
 // (k-d mod U) of ceil((d-k)/U) unrolled iterations earlier.  Memory
 // offsets and index operands shift by stride*k, and the unrolled stride is
 // stride*U, which keeps the memory-dependence algebra exact.
+//
+// Factor selection probes MII(factor)/factor over candidate factors.  The
+// incremental prober (probe_unroll_factor) does this without materialising
+// any candidate: the DDG of the unrolled loop is the U-fold *replica lift*
+// of the base DDG (value edges by the operand rewrite above, memory edges
+// because affine dependences scale with the stride), so per-factor RecMII
+// is decidable on the base graph under scaled weights and per-factor
+// ResMII follows from FU-class counts.  The one place the lift argument
+// breaks is memdep's distance cutoff — loops carrying a same-array offset
+// pair further than kMemDepMaxDistance iterations apart fall back to the
+// naive materialise-and-measure probe so the chosen factor stays
+// bit-identical (the golden-equivalence tests enforce this).
 #pragma once
+
+#include <memory>
 
 #include "ir/ddg.h"
 #include "ir/loop.h"
 #include "machine/machine.h"
+#include "sched/mii.h"
 
 namespace qvliw {
 
 /// Unrolls `loop` by `factor` (>= 1; factor 1 returns a copy).
-/// The result's trip_hint is trip_hint/factor (>= 1): one unrolled
-/// iteration performs `factor` source iterations.
+/// The result's trip_hint is ceil(trip_hint/factor) (>= 1): one unrolled
+/// iteration performs `factor` source iterations, and a partial trailing
+/// group still costs a full kernel iteration.
 [[nodiscard]] Loop unroll(const Loop& loop, int factor);
 
 struct UnrollChoice {
@@ -30,10 +46,51 @@ struct UnrollChoice {
   double rate = 0.0;
 };
 
+/// Everything a factor probe learned, so callers compute nothing twice.
+struct UnrollProbe {
+  UnrollChoice choice;
+
+  /// MII bounds of the winning factor's (pre-copy-insertion) loop.
+  MiiInfo mii;
+
+  /// The materialised winner, null iff choice.factor == 1 (the caller's
+  /// loop already is the winner).
+  std::shared_ptr<const Loop> loop;
+
+  /// The winner's DDG when the probe built one: always for factor 1 (the
+  /// base graph), and for any factor on the naive path.  Null on the
+  /// incremental fast path for factors > 1 — callers that need the graph
+  /// build it from `loop`.
+  std::shared_ptr<const Ddg> graph;
+
+  int factors_probed = 0;     // candidate factors examined, incl. factor 1
+  bool incremental = false;   // fast path used (no per-factor materialisation)
+};
+
 /// Lavery/Hwu-style selection: the smallest factor in [1, max_factor]
 /// minimising the estimated per-source-iteration MII.  Factors whose
 /// unrolled body exceeds `max_ops` are skipped (they cannot pay off on the
-/// machines considered and blow up scheduling time).
+/// machines considered and blow up scheduling time).  Uses the incremental
+/// prober when unroll_probe_is_exact(loop), the naive one otherwise; the
+/// chosen factor and bounds are bit-identical either way.
+[[nodiscard]] UnrollProbe probe_unroll_factor(const Loop& loop, const MachineConfig& machine,
+                                              int max_factor = 8, int max_ops = 512);
+
+/// Reference brute-force probe: materialises every candidate factor and
+/// measures compute_mii on its DDG.  Kept as the golden-equivalence oracle
+/// for probe_unroll_factor and as its fallback when the fast path cannot
+/// be exact.
+[[nodiscard]] UnrollProbe probe_unroll_factor_naive(const Loop& loop, const MachineConfig& machine,
+                                                    int max_factor = 8, int max_ops = 512);
+
+/// True when the incremental prober is provably exact for `loop`: no
+/// same-array reference pair (at least one store) aliases at a dependence
+/// distance beyond kMemDepMaxDistance.  Such a pair is dropped from the
+/// base DDG by the cutoff yet can re-enter the unrolled DDG at a shorter
+/// distance, which only the naive probe observes.
+[[nodiscard]] bool unroll_probe_is_exact(const Loop& loop);
+
+/// Convenience wrapper over probe_unroll_factor returning the choice only.
 [[nodiscard]] UnrollChoice select_unroll_factor(const Loop& loop, const MachineConfig& machine,
                                                 int max_factor = 8, int max_ops = 512);
 

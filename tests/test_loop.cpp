@@ -232,5 +232,26 @@ TEST(LoopValidate, RejectsBadTrip) {
   EXPECT_THROW(loop.validate(), Error);
 }
 
+TEST(LoopContentHash, StableAndStructureSensitive) {
+  const Loop loop = minimal_loop();
+  Loop copy = loop;
+  EXPECT_EQ(loop.content_hash(), copy.content_hash());
+
+  copy.trip_hint += 1;
+  EXPECT_NE(loop.content_hash(), copy.content_hash());
+
+  copy = loop;
+  copy.name = "other";
+  EXPECT_NE(loop.content_hash(), copy.content_hash());
+
+  copy = loop;
+  copy.ops[0].mem_offset += 1;
+  EXPECT_NE(loop.content_hash(), copy.content_hash());
+
+  copy = loop;
+  copy.ops.push_back(copy.ops.back());
+  EXPECT_NE(loop.content_hash(), copy.content_hash());
+}
+
 }  // namespace
 }  // namespace qvliw

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <set>
 #include <sstream>
 
+#include "support/artifact_store.h"
 #include "support/diagnostics.h"
 #include "support/parallel.h"
 #include "support/rng.h"
@@ -330,6 +332,85 @@ TEST(Parallel, RngZeroCountIsNoop) {
   bool ran = false;
   parallel_for_rng(0, 1, [&](std::size_t, Rng&) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(Rng, HashBytesStableAndSensitive) {
+  const std::uint64_t empty = hash_bytes("");
+  EXPECT_EQ(empty, hash_bytes(""));  // deterministic
+  EXPECT_EQ(hash_bytes("daxpy"), hash_bytes("daxpy"));
+  EXPECT_NE(hash_bytes("daxpy"), hash_bytes("daxpz"));
+  EXPECT_NE(hash_bytes("ab"), hash_bytes("ba"));
+  EXPECT_NE(hash_bytes(""), hash_bytes(std::string_view("\0", 1)));
+}
+
+TEST(ArtifactStore, RoundTripAndMiss) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "qvliw_test_artifacts";
+  std::filesystem::remove_all(root);
+  const ArtifactStore store(root.string());
+
+  std::string blob;
+  EXPECT_FALSE(store.load(42, blob));
+
+  store.save(42, "hello artifacts");
+  ASSERT_TRUE(store.load(42, blob));
+  EXPECT_EQ(blob, "hello artifacts");
+
+  // Overwrite is atomic-rename install of the new bytes.
+  store.save(42, "v2");
+  ASSERT_TRUE(store.load(42, blob));
+  EXPECT_EQ(blob, "v2");
+
+  // Distinct keys land in distinct files, including across the top-byte
+  // fan-out directories.
+  store.save(0xaa00000000000001ULL, "high");
+  ASSERT_TRUE(store.load(0xaa00000000000001ULL, blob));
+  EXPECT_EQ(blob, "high");
+  ASSERT_TRUE(store.load(42, blob));
+  EXPECT_EQ(blob, "v2");
+  std::filesystem::remove_all(root);
+}
+
+TEST(ArtifactStore, BinaryBlobSurvives) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "qvliw_test_artifacts_bin";
+  std::filesystem::remove_all(root);
+  const ArtifactStore store(root.string());
+
+  BlobWriter writer;
+  writer.put_u64(0x0123456789abcdefULL);
+  writer.put_i64(-7);
+  writer.put_i32(-123456);
+  writer.put_bool(true);
+  writer.put_string(std::string("nul\0inside", 10));
+  store.save(7, writer.take());
+
+  std::string blob;
+  ASSERT_TRUE(store.load(7, blob));
+  BlobReader reader(blob);
+  EXPECT_EQ(reader.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.get_i64(), -7);
+  EXPECT_EQ(reader.get_i32(), -123456);
+  EXPECT_TRUE(reader.get_bool());
+  EXPECT_EQ(reader.get_string(), std::string("nul\0inside", 10));
+  EXPECT_TRUE(reader.exhausted());
+  std::filesystem::remove_all(root);
+}
+
+TEST(ArtifactStore, TruncatedBlobThrows) {
+  BlobWriter writer;
+  writer.put_u64(99);
+  const std::string bytes = writer.take();
+
+  BlobReader truncated(std::string_view(bytes).substr(0, 4));
+  EXPECT_THROW((void)truncated.get_u64(), Error);
+
+  // A string whose declared length exceeds the remaining bytes.
+  BlobWriter lying;
+  lying.put_u64(1000);  // length prefix with no payload
+  const std::string lie = lying.take();
+  BlobReader reader(lie);
+  EXPECT_THROW((void)reader.get_string(), Error);
 }
 
 }  // namespace

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "harness/experiment.h"
 #include "harness/sweep.h"
+#include "support/strings.h"
+#include "workload/kernels.h"
 #include "workload/suite.h"
 #include "workload/synth.h"
 
@@ -167,6 +172,171 @@ TEST(Sweep, StageTotalsCoverBackEnd) {
   EXPECT_GT(sweep.wall_seconds, 0.0);
   EXPECT_GT(sweep.pipelines_per_second(), 0.0);
   EXPECT_EQ(sweep.stage_seconds("no-such-stage"), 0.0);
+}
+
+TEST(Sweep, PrefixKeyDomainsAreDisjoint) {
+  // Regression for the additive-salt aliasing: a forced factor of
+  // 0x1100 + m used to land in the policy branch's salt range for
+  // max_unroll m, letting two structurally different prefixes share one
+  // cache slot.
+  const MachineConfig machine = MachineConfig::clustered_machine(4);
+  for (const int m : {1, 4, 8, 16}) {
+    SweepPoint forced{"forced", machine, {}};
+    forced.options.unroll = true;
+    forced.options.forced_unroll = 0x1100 + m;
+    SweepPoint policy{"policy", machine, {}};
+    policy.options.unroll = true;
+    policy.options.max_unroll = m;
+    const SweepPrefixKeys fk = sweep_prefix_keys(forced);
+    const SweepPrefixKeys pk = sweep_prefix_keys(policy);
+    EXPECT_NE(fk.unroll, pk.unroll) << m;
+    EXPECT_NE(fk.front, pk.front) << m;
+  }
+
+  // The three unroll branches are pairwise distinct for ordinary options.
+  SweepPoint off{"off", machine, {}};
+  SweepPoint forced2{"forced2", machine, {}};
+  forced2.options.unroll = true;
+  forced2.options.forced_unroll = 2;
+  SweepPoint policy8{"policy8", machine, {}};
+  policy8.options.unroll = true;
+  const SweepPrefixKeys off_keys = sweep_prefix_keys(off);
+  const SweepPrefixKeys forced_keys = sweep_prefix_keys(forced2);
+  const SweepPrefixKeys policy_keys = sweep_prefix_keys(policy8);
+  EXPECT_NE(off_keys.unroll, forced_keys.unroll);
+  EXPECT_NE(off_keys.unroll, policy_keys.unroll);
+  EXPECT_NE(forced_keys.unroll, policy_keys.unroll);
+}
+
+TEST(Sweep, FailingPrefixComputedOnceWithExactParity) {
+  // A machine with no multiplier: loops using kMul fail in the unroll
+  // stage (the factor policy's feasibility check), which is a front-end
+  // failure shared by every point of the prefix.
+  MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  for (ClusterConfig& cluster : machine.clusters) cluster.fus(FuKind::kMul) = 0;
+  machine.name = "no-mul";
+
+  std::vector<Loop> loops;
+  for (const Loop& loop : kernel_corpus()) loops.push_back(loop);
+
+  std::vector<SweepPoint> points;
+  for (const int budget : {4, 6, 12}) {
+    SweepPoint point{"nm", machine, {}};
+    point.options.unroll = true;
+    point.options.ims.budget_ratio = budget;
+    points.push_back(point);
+  }
+
+  SweepOptions uncached_options;
+  uncached_options.use_cache = false;
+  const SweepResult cached = SweepRunner().run(loops, points);
+  const SweepResult uncached = SweepRunner(uncached_options).run(loops, points);
+
+  bool saw_failure = false;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      const LoopResult direct = run_pipeline(loops[i], points[p].machine, points[p].options);
+      const std::string where = cat("point ", p, " / ", loops[i].name);
+      expect_identical(cached.by_point[p][i], direct, "cached: " + where);
+      expect_identical(uncached.by_point[p][i], direct, "uncached: " + where);
+      // Loops using the missing FU class fail in the unroll stage (the
+      // factor policy's feasibility check) — a front-end failure; mul-free
+      // kernels only fail later, in the back end, when IMS validates the
+      // machine.  Only the former exercises failure-provenance caching.
+      if (direct.failed_stage == "unroll") saw_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+
+  // The failing prefix is computed once per loop and *replayed*; nothing
+  // falls back to the monolithic pipeline per point any more.
+  EXPECT_EQ(cached.cache.fallback_runs, 0u);
+  EXPECT_EQ(cached.cache.front_probes, points.size() * loops.size());
+  EXPECT_EQ(cached.cache.front_hits, (points.size() - 1) * loops.size());
+}
+
+TEST(Sweep, DiskStoreWarmStartIsBitIdentical) {
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() / "qvliw_test_store";
+  std::filesystem::remove_all(store_dir);
+
+  const Suite suite = small_suite(6, 19);
+  const std::vector<SweepPoint> points = demo_points();
+
+  SweepOptions disk_options;
+  disk_options.store_dir = store_dir.string();
+  const SweepResult cold = SweepRunner(disk_options).run(suite.loops, points);
+  const SweepResult warm = SweepRunner(disk_options).run(suite.loops, points);
+  const SweepResult oracle = SweepRunner().run(suite.loops, points);
+
+  EXPECT_EQ(cold.cache.disk_hits, 0u);
+  EXPECT_GT(cold.cache.disk_probes, 0u);
+  EXPECT_GT(warm.cache.disk_hits, 0u);
+  EXPECT_EQ(warm.cache.disk_hits, warm.cache.disk_probes);  // fully warm
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+      const std::string where = points[p].label + " / " + suite.loops[i].name;
+      expect_identical(warm.by_point[p][i], oracle.by_point[p][i], "warm: " + where);
+      expect_identical(cold.by_point[p][i], oracle.by_point[p][i], "cold: " + where);
+    }
+  }
+  std::filesystem::remove_all(store_dir);
+}
+
+TEST(Sweep, DiskStorePersistsFailingPrefixes) {
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() / "qvliw_test_store_fail";
+  std::filesystem::remove_all(store_dir);
+
+  MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  for (ClusterConfig& cluster : machine.clusters) cluster.fus(FuKind::kMul) = 0;
+
+  std::vector<Loop> loops = {kernel_by_name("dot"), kernel_by_name("daxpy")};
+  SweepPoint point{"nm", machine, {}};
+  point.options.unroll = true;
+
+  SweepOptions disk_options;
+  disk_options.store_dir = store_dir.string();
+  const SweepResult cold = SweepRunner(disk_options).run(loops, {point});
+  const SweepResult warm = SweepRunner(disk_options).run(loops, {point});
+
+  EXPECT_GT(warm.cache.disk_hits, 0u);
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const LoopResult direct = run_pipeline(loops[i], machine, point.options);
+    EXPECT_FALSE(direct.ok) << loops[i].name;
+    expect_identical(warm.by_point[0][i], direct, "warm: " + loops[i].name);
+  }
+  std::filesystem::remove_all(store_dir);
+}
+
+TEST(Sweep, DiskStoreToleratesCorruptEntries) {
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() / "qvliw_test_store_corrupt";
+  std::filesystem::remove_all(store_dir);
+
+  const Suite suite = small_suite(4, 23);
+  SweepPoint point{"single-6fu", MachineConfig::single_cluster_machine(6), {}};
+  point.options.unroll = true;
+
+  SweepOptions disk_options;
+  disk_options.store_dir = store_dir.string();
+  const SweepResult cold = SweepRunner(disk_options).run(suite.loops, {point});
+  ASSERT_GT(cold.cache.disk_probes, 0u);
+
+  // Truncate every stored blob; the warm run must fall back to computing.
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(store_dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "xx";
+  }
+  const SweepResult warm = SweepRunner(disk_options).run(suite.loops, {point});
+  EXPECT_EQ(warm.cache.disk_hits, 0u);
+  const SweepResult oracle = SweepRunner().run(suite.loops, {point});
+  for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+    expect_identical(warm.by_point[0][i], oracle.by_point[0][i], suite.loops[i].name);
+  }
+  std::filesystem::remove_all(store_dir);
 }
 
 TEST(Sweep, RunSuiteWrapperMatchesSweep) {

@@ -4,7 +4,10 @@
 #include "sched/mii.h"
 #include "sim/interp.h"
 #include "support/diagnostics.h"
+#include "support/rng.h"
+#include "support/strings.h"
 #include "workload/kernels.h"
+#include "workload/suite.h"
 #include "workload/synth.h"
 #include "xform/unroll.h"
 
@@ -155,6 +158,141 @@ TEST(Unroll, MemoryCarriedRecurrencePreserved) {
   const InterpResult original = interpret(loop, 24, 3);
   const InterpResult unrolled = interpret(u, 12, 3);
   EXPECT_TRUE(original.memory == unrolled.memory);
+}
+
+TEST(Unroll, TripHintRoundsUp) {
+  // A partial trailing group of source iterations still costs one full
+  // kernel iteration: trip 7 at factor 4 is 2 unrolled iterations, not 1.
+  Loop loop = kernel_by_name("daxpy");
+  loop.trip_hint = 7;
+  EXPECT_EQ(unroll(loop, 4).trip_hint, 2);
+  EXPECT_EQ(unroll(loop, 7).trip_hint, 1);
+  EXPECT_EQ(unroll(loop, 2).trip_hint, 4);
+  loop.trip_hint = 100;
+  EXPECT_EQ(unroll(loop, 4).trip_hint, 25);
+  EXPECT_EQ(unroll(loop, 8).trip_hint, 13);
+  loop.trip_hint = 3;
+  EXPECT_EQ(unroll(loop, 8).trip_hint, 1);
+}
+
+// --- incremental prober golden equivalence ---------------------------------
+
+void expect_probe_identical(const UnrollProbe& fast, const UnrollProbe& naive,
+                            const std::string& where) {
+  EXPECT_EQ(fast.choice.factor, naive.choice.factor) << where;
+  EXPECT_EQ(fast.choice.rate, naive.choice.rate) << where;
+  EXPECT_EQ(fast.mii.feasible, naive.mii.feasible) << where;
+  EXPECT_EQ(fast.mii.res_mii, naive.mii.res_mii) << where;
+  EXPECT_EQ(fast.mii.rec_mii, naive.mii.rec_mii) << where;
+  EXPECT_EQ(fast.mii.mii, naive.mii.mii) << where;
+  EXPECT_EQ(fast.factors_probed, naive.factors_probed) << where;
+}
+
+TEST(SelectUnroll, IncrementalMatchesNaiveOnFullSuite) {
+  const Suite suite = full_suite();
+  const std::vector<MachineConfig> machines = {
+      MachineConfig::single_cluster_machine(6),
+      MachineConfig::single_cluster_machine(12),
+      MachineConfig::clustered_machine(4),
+  };
+  for (const MachineConfig& machine : machines) {
+    for (const Loop& loop : suite.loops) {
+      const UnrollProbe fast = probe_unroll_factor(loop, machine);
+      const UnrollProbe naive = probe_unroll_factor_naive(loop, machine);
+      expect_probe_identical(fast, naive, machine.name + " / " + loop.name);
+    }
+  }
+}
+
+TEST(SelectUnroll, IncrementalMatchesNaiveOnRandomMachines) {
+  SynthConfig config;
+  config.loops = 40;
+  config.seed = 2024;
+  const std::vector<Loop> loops = synthesize_suite(config);
+
+  Rng rng(0xfadedULL);
+  for (int trial = 0; trial < 12; ++trial) {
+    MachineConfig machine;
+    machine.name = "random";
+    const int clusters = rng.uniform_int(1, 4);
+    for (int c = 0; c < clusters; ++c) {
+      ClusterConfig cc;
+      cc.fus(FuKind::kLS) = rng.uniform_int(1, 3);
+      cc.fus(FuKind::kAdd) = rng.uniform_int(1, 3);
+      cc.fus(FuKind::kMul) = rng.uniform_int(1, 3);
+      cc.fus(FuKind::kCopy) = rng.uniform_int(1, 2);
+      machine.clusters.push_back(cc);
+    }
+    for (int& latency : machine.latency.latency) latency = rng.uniform_int(1, 8);
+    const int max_factor = rng.uniform_int(2, 11);
+    const int max_ops = rng.uniform_int(40, 200);
+
+    for (const Loop& loop : loops) {
+      const UnrollProbe fast = probe_unroll_factor(loop, machine, max_factor, max_ops);
+      const UnrollProbe naive = probe_unroll_factor_naive(loop, machine, max_factor, max_ops);
+      expect_probe_identical(
+          fast, naive, cat("trial ", trial, " max_factor ", max_factor, " / ", loop.name));
+    }
+  }
+}
+
+TEST(SelectUnroll, PerFactorBoundsMatchNaive) {
+  const MachineConfig machine = MachineConfig::single_cluster_machine(12);
+  for (const Loop& loop : kernel_corpus()) {
+    ASSERT_TRUE(unroll_probe_is_exact(loop)) << loop.name;
+    const Ddg base = Ddg::build(loop, machine.latency);
+    int rec_floor = 1;
+    for (int factor = 1; factor <= 6; ++factor) {
+      const Loop materialized = unroll(loop, factor);
+      const Ddg graph = Ddg::build(materialized, machine.latency);
+      const MiiInfo oracle = compute_mii(materialized, graph, machine);
+      const MiiInfo fast = unrolled_mii(loop, base, machine, factor, rec_floor);
+      const std::string where = cat(loop.name, " x", factor);
+      EXPECT_EQ(fast.feasible, oracle.feasible) << where;
+      EXPECT_EQ(fast.res_mii, oracle.res_mii) << where;
+      EXPECT_EQ(fast.rec_mii, oracle.rec_mii) << where;
+      EXPECT_EQ(fast.mii, oracle.mii) << where;
+      rec_floor = fast.rec_mii;
+    }
+  }
+}
+
+TEST(SelectUnroll, LongMemoryDistanceFallsBackToNaive) {
+  // X[i] vs X[i+100] alias at distance 100 > kMemDepMaxDistance: the base
+  // DDG drops the dependence but the unrolled DDG re-admits it at a
+  // shorter distance, so only the naive probe is exact.
+  const Loop loop = parse_loop("loop far { x = load X[i]; y = fadd x, x; store X[i+100], y; }");
+  EXPECT_FALSE(unroll_probe_is_exact(loop));
+
+  const MachineConfig machine = MachineConfig::single_cluster_machine(12);
+  const UnrollProbe fast = probe_unroll_factor(loop, machine);
+  EXPECT_FALSE(fast.incremental);
+  expect_probe_identical(fast, probe_unroll_factor_naive(loop, machine), loop.name);
+
+  // Nearby references stay on the fast path.
+  const Loop near = parse_loop("loop near { x = load X[i]; y = fadd x, x; store X[i+3], y; }");
+  EXPECT_TRUE(unroll_probe_is_exact(near));
+  EXPECT_TRUE(probe_unroll_factor(near, machine).incremental);
+}
+
+TEST(SelectUnroll, ProbeHandsBackWinnerArtifacts) {
+  const MachineConfig machine = MachineConfig::single_cluster_machine(12);
+
+  // offset_add wants unrolling on a wide machine: the winner is prebuilt.
+  const Loop tiny = kernel_by_name("offset_add");
+  const UnrollProbe unrolled = probe_unroll_factor(tiny, machine);
+  ASSERT_GT(unrolled.choice.factor, 1);
+  ASSERT_NE(unrolled.loop, nullptr);
+  EXPECT_EQ(unrolled.loop->op_count(), tiny.op_count() * unrolled.choice.factor);
+  EXPECT_EQ(unrolled.loop->stride, tiny.stride * unrolled.choice.factor);
+
+  // geo_decay stays at factor 1: no loop to hand back, but the base graph.
+  const Loop put = kernel_by_name("geo_decay");
+  const UnrollProbe kept = probe_unroll_factor(put, machine);
+  ASSERT_EQ(kept.choice.factor, 1);
+  EXPECT_EQ(kept.loop, nullptr);
+  ASSERT_NE(kept.graph, nullptr);
+  EXPECT_EQ(kept.graph->node_count(), put.op_count());
 }
 
 }  // namespace

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Gate CI on BENCH_pipeline.json throughput regressions.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.30]
+
+Compares the cached sweep's loops_per_second of a fresh perf_micro run
+against the committed baseline and fails (exit 1) when the fresh run is
+more than `tolerance` slower.  Also fails when the fresh run reports
+results_identical: false — a correctness signal, never tolerable.
+
+The tolerance (default 0.30, override with --tolerance or the
+QVLIW_BENCH_TOLERANCE environment variable) absorbs runner jitter; when
+the baseline hardware changes materially, regenerate the committed
+BENCH_pipeline.json rather than widening the tolerance.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("QVLIW_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional slowdown of cached loops/sec (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(args.fresh, encoding="utf-8") as f:
+        fresh = json.load(f)
+
+    if not fresh.get("results_identical", False):
+        print("FAIL: fresh run reports results_identical: false (cache correctness bug)")
+        return 1
+
+    if baseline["cached"].get("disk_hits", 0) > 0:
+        print(
+            "FAIL: committed baseline was generated with a warm artifact store "
+            f"(disk_hits {baseline['cached']['disk_hits']}); its throughput is inflated. "
+            "Regenerate it from a cold store (delete .qvliw-store first)."
+        )
+        return 1
+
+    base_lps = baseline["cached"]["loops_per_second"]
+    fresh_lps = fresh["cached"]["loops_per_second"]
+    floor = base_lps * (1.0 - args.tolerance)
+    verdict = "OK" if fresh_lps >= floor else "FAIL"
+    print(
+        f"{verdict}: cached loops/sec {fresh_lps:.1f} vs baseline {base_lps:.1f} "
+        f"(floor {floor:.1f} at tolerance {args.tolerance:.0%})"
+    )
+    if fresh_lps < floor:
+        print("throughput regressed beyond tolerance; investigate or regenerate the baseline")
+        return 1
+
+    speedup = fresh.get("cache_speedup", 0.0)
+    print(f"info: cache speedup {speedup:.2f}x, "
+          f"disk hit rate {fresh['cached'].get('disk_hit_rate', 0.0):.1%}, "
+          f"naive probe fallbacks {fresh['cached'].get('unroll_probe_naive_fallbacks', 0)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
