@@ -12,6 +12,7 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/stage.h"
 #include "harness/sweep.h"
 #include "support/strings.h"
 #include "workload/suite.h"
@@ -60,6 +61,17 @@ inline void print_sweep_footer(std::ostream& os, const SweepResult& sweep) {
     os << " " << total.stage << " " << fixed(total.seconds, 2) << "s";
   }
   os << "\n";
+  if (sweep.cache.warm_probes > 0) {
+    os << "[sweep] warm-start: " << sweep.cache.warm_hits << "/" << sweep.cache.warm_probes
+       << " seeded points installed their seed (" << percent(sweep.cache.warm_hit_rate())
+       << ")\n";
+  }
+}
+
+/// Sum of the back-end stages' wall time (the part warm starts shrink).
+inline double backend_seconds(const SweepResult& sweep) {
+  return sweep.stage_seconds(kStageSchedule) + sweep.stage_seconds(kStageQueueAlloc) +
+         sweep.stage_seconds(kStageSim);
 }
 
 }  // namespace qvliw::bench

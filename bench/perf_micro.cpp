@@ -3,23 +3,30 @@
 // Times the multi-heuristic sweep that the prefix-artifact cache was
 // built for — every point shares the unrolled/copy-inserted loop, DDG and
 // MII bounds of the 4-cluster machine and differs only in back-end
-// scheduling options — once with the cache off and once with it on, and
-// verifies the results are identical.  The cached run also persists its
-// front-end artifacts to the content-addressed on-disk store
-// (QVLIW_STORE_DIR, default .qvliw-store), so a second invocation of this
-// bench warm-starts from disk and reports a nonzero disk hit rate.  Emits
-// a machine-readable BENCH_pipeline.json (override the path with
-// QVLIW_BENCH_JSON or argv[1]) with per-stage wall times, cache and disk
-// hit rates, unroll-probe counts, sweep throughput and the cache speedup,
-// to track the perf trajectory across commits
+// scheduling options — once with the cache off, once with it on, and once
+// more with back-end warm starting on top: the points form ascending-
+// budget ladders per heuristic, so each larger-budget point is seeded
+// with its predecessor's accepted schedule and the II search collapses
+// into a verification pass.  Results of all three runs are verified
+// identical (the warm run may differ only in scheduling-effort stats).
+// The cached runs also persist their front-end artifacts and per-machine
+// MII maps to the content-addressed on-disk store (QVLIW_STORE_DIR,
+// default .qvliw-store), so a second invocation of this bench warm-starts
+// from disk and reports nonzero disk hit rates.  Emits a machine-readable
+// BENCH_pipeline.json (override the path with QVLIW_BENCH_JSON or
+// argv[1]) with per-stage wall times, cache/disk/warm-start hit rates,
+// per-point backend labels, back-end throughput, and the cache and
+// warm-start speedups, to track the perf trajectory across commits
 // (tools/check_bench_regression.py gates CI on it).
 //
 //   QVLIW_LOOPS=200 ./build/bench/perf_micro [out.json]
+//   ./build/bench/perf_micro --list-backends   # registry contents only
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "bench_common.h"
+#include "sched/backend.h"
 #include "support/artifact_store.h"
 #include "support/parallel.h"
 #include "support/strings.h"
@@ -70,6 +77,24 @@ bool results_identical(const SweepResult& a, const SweepResult& b) {
   return true;
 }
 
+/// Warm-started final IIs must never exceed the cold run's.
+bool iis_never_worse(const SweepResult& cold, const SweepResult& warm) {
+  for (std::size_t p = 0; p < cold.by_point.size(); ++p) {
+    for (std::size_t i = 0; i < cold.by_point[p].size(); ++i) {
+      const LoopResult& c = cold.by_point[p][i];
+      const LoopResult& w = warm.by_point[p][i];
+      if (c.ok && (!w.ok || w.ii > c.ii)) return false;
+    }
+  }
+  return true;
+}
+
+void print_backends(std::ostream& os) {
+  os << "registered scheduler backends:";
+  for (const std::string& name : SchedulerRegistry::instance().names()) os << " " << name;
+  os << "\n";
+}
+
 void write_stage_seconds(std::ostream& os, const SweepResult& sweep, const char* indent) {
   os << "{";
   bool first = true;
@@ -82,16 +107,26 @@ void write_stage_seconds(std::ostream& os, const SweepResult& sweep, const char*
 }
 
 void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
+  const double backend_s = bench::backend_seconds(sweep);
+  const double backend_lps =
+      backend_s > 0.0 ? static_cast<double>(sweep.pipelines) / backend_s : 0.0;
   os << "  \"" << name << "\": {\n"
      << "    \"wall_seconds\": " << fixed(sweep.wall_seconds, 6) << ",\n"
      << "    \"pipelines\": " << sweep.pipelines << ",\n"
      << "    \"loops_per_second\": " << fixed(sweep.pipelines_per_second(), 2) << ",\n"
+     << "    \"backend_seconds\": " << fixed(backend_s, 6) << ",\n"
+     << "    \"backend_loops_per_second\": " << fixed(backend_lps, 2) << ",\n"
      << "    \"cache_hit_rate\": " << fixed(sweep.cache.hit_rate(), 6) << ",\n"
      << "    \"cache_probes\": " << sweep.cache.probes() << ",\n"
      << "    \"cache_hits\": " << sweep.cache.hits() << ",\n"
      << "    \"disk_hit_rate\": " << fixed(sweep.cache.disk_hit_rate(), 6) << ",\n"
      << "    \"disk_probes\": " << sweep.cache.disk_probes << ",\n"
      << "    \"disk_hits\": " << sweep.cache.disk_hits << ",\n"
+     << "    \"mii_disk_probes\": " << sweep.cache.mii_disk_probes << ",\n"
+     << "    \"mii_disk_hits\": " << sweep.cache.mii_disk_hits << ",\n"
+     << "    \"warm_start_hit_rate\": " << fixed(sweep.cache.warm_hit_rate(), 6) << ",\n"
+     << "    \"warm_probes\": " << sweep.cache.warm_probes << ",\n"
+     << "    \"warm_hits\": " << sweep.cache.warm_hits << ",\n"
      << "    \"unroll_probe_factors\": " << sweep.cache.probe_factors << ",\n"
      << "    \"unroll_probe_naive_fallbacks\": " << sweep.cache.probe_fallbacks << ",\n"
      << "    \"stage_seconds\": ";
@@ -99,9 +134,27 @@ void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
   os << "\n  }";
 }
 
+void write_points(std::ostream& os, const std::vector<SweepPoint>& points) {
+  os << "  \"points\": [";
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const SchedulerBackend* backend =
+        find_scheduler_backend(points[p].options.scheduler, points[p].options.backend);
+    os << (p == 0 ? "" : ",") << "\n    {\"label\": \"" << points[p].label << "\", \"backend\": \""
+       << (backend != nullptr ? backend->name() : std::string_view("<unknown>"))
+       << "\", \"budget_ratio\": " << points[p].options.ims.budget_ratio << "}";
+  }
+  os << "\n  ]";
+}
+
 int run(int argc, char** argv) {
-  print_banner(std::cout, "perf — sweep throughput and prefix-cache speedup",
-               "shared front ends make multi-heuristic sweeps >= 1.5x faster");
+  if (argc > 1 && std::string(argv[1]) == "--list-backends") {
+    print_backends(std::cout);
+    return 0;
+  }
+
+  print_banner(std::cout, "perf — sweep throughput, prefix-cache and warm-start speedups",
+               "shared front ends + seeded budget ladders shrink sweeps to their novel work");
+  print_backends(std::cout);
   const Suite suite = bench::make_suite();
   bench::print_suite_line(std::cout, suite);
 
@@ -120,22 +173,42 @@ int run(int argc, char** argv) {
             << cached_options.store_dir << ")...\n";
   const SweepResult cached = SweepRunner(cached_options).run(suite.loops, points);
 
+  SweepOptions warm_options = cached_options;
+  warm_options.warm_start = true;
+  std::cout << "running warm (budget ladders seed the scheduler with the previous "
+            << "point's schedule)...\n";
+  const SweepResult warm = SweepRunner(warm_options).run(suite.loops, points);
+
   const bool identical = results_identical(uncached, cached);
+  const bool warm_identical = results_identical(uncached, warm);
+  const bool never_worse = iis_never_worse(cached, warm);
   const double speedup =
       cached.wall_seconds > 0.0 ? uncached.wall_seconds / cached.wall_seconds : 0.0;
+  const double warm_backend_speedup = bench::backend_seconds(warm) > 0.0
+                                          ? bench::backend_seconds(cached) /
+                                                bench::backend_seconds(warm)
+                                          : 0.0;
 
-  TextTable table({"variant", "wall s", "loops/s", "cache hit rate", "disk hit rate"});
+  TextTable table({"variant", "wall s", "backend s", "loops/s", "cache hit", "warm hit"});
   table.add_row({std::string("uncached"), uncached.wall_seconds,
-                 uncached.pipelines_per_second(), percent(uncached.cache.hit_rate()),
-                 percent(uncached.cache.disk_hit_rate())});
-  table.add_row({std::string("cached"), cached.wall_seconds, cached.pipelines_per_second(),
-                 percent(cached.cache.hit_rate()), percent(cached.cache.disk_hit_rate())});
+                 bench::backend_seconds(uncached), uncached.pipelines_per_second(),
+                 percent(uncached.cache.hit_rate()), percent(uncached.cache.warm_hit_rate())});
+  table.add_row({std::string("cached"), cached.wall_seconds, bench::backend_seconds(cached),
+                 cached.pipelines_per_second(), percent(cached.cache.hit_rate()),
+                 percent(cached.cache.warm_hit_rate())});
+  table.add_row({std::string("warm"), warm.wall_seconds, bench::backend_seconds(warm),
+                 warm.pipelines_per_second(), percent(warm.cache.hit_rate()),
+                 percent(warm.cache.warm_hit_rate())});
   table.render(std::cout);
-  std::cout << "\ncache speedup: " << fixed(speedup, 2) << "x; results identical: "
-            << (identical ? "yes" : "NO — BUG") << "\n"
+  std::cout << "\ncache speedup: " << fixed(speedup, 2) << "x; warm back-end speedup: "
+            << fixed(warm_backend_speedup, 2) << "x; results identical: "
+            << (identical && warm_identical ? "yes" : "NO — BUG")
+            << "; warm IIs never worse: " << (never_worse ? "yes" : "NO — BUG") << "\n"
             << "disk store: " << cached.cache.disk_hits << "/" << cached.cache.disk_probes
-            << " front entries warm (rerun the bench for a fully warm start)\n";
-  bench::print_sweep_footer(std::cout, cached);
+            << " front entries + " << cached.cache.mii_disk_hits << "/"
+            << cached.cache.mii_disk_probes
+            << " MII maps warm (rerun the bench for a fully warm start)\n";
+  bench::print_sweep_footer(std::cout, warm);
 
   const char* path = argc > 1 ? argv[1] : std::getenv("QVLIW_BENCH_JSON");
   const std::string out_path = path != nullptr ? path : "BENCH_pipeline.json";
@@ -149,16 +222,30 @@ int run(int argc, char** argv) {
       << "  \"suite_loops\": " << suite.loops.size() << ",\n"
       << "  \"sweep_points\": " << points.size() << ",\n"
       << "  \"workers\": " << worker_count() << ",\n"
-      << "  \"store_dir\": \"" << cached_options.store_dir << "\",\n";
+      << "  \"store_dir\": \"" << cached_options.store_dir << "\",\n"
+      << "  \"backends\": [";
+  {
+    const std::vector<std::string> names = SchedulerRegistry::instance().names();
+    for (std::size_t b = 0; b < names.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << "\"" << names[b] << "\"";
+    }
+  }
+  out << "],\n";
+  write_points(out, points);
+  out << ",\n";
   write_run(out, "uncached", uncached);
   out << ",\n";
   write_run(out, "cached", cached);
+  out << ",\n";
+  write_run(out, "warm", warm);
   out << ",\n"
       << "  \"cache_speedup\": " << fixed(speedup, 3) << ",\n"
-      << "  \"results_identical\": " << (identical ? "true" : "false") << "\n"
+      << "  \"warm_backend_speedup\": " << fixed(warm_backend_speedup, 3) << ",\n"
+      << "  \"warm_iis_never_worse\": " << (never_worse ? "true" : "false") << ",\n"
+      << "  \"results_identical\": " << (identical && warm_identical ? "true" : "false") << "\n"
       << "}\n";
   std::cout << "\nwrote " << out_path << "\n";
-  return identical ? 0 : 1;
+  return identical && warm_identical && never_worse ? 0 : 1;
 }
 
 }  // namespace

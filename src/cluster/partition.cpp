@@ -142,9 +142,14 @@ void RingClusterAssigner::on_remove(int op) {
 }
 
 ImsResult partition_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
-                             const PartitionOptions& options) {
+                             const PartitionOptions& options, const WarmStartSeed* seed) {
   RingClusterAssigner assigner(loop, graph, machine, options.heuristic, options.strict);
-  ImsResult result = ims_schedule(loop, graph, machine, options.ims, &assigner);
+  if (seed != nullptr && options.strict &&
+      (seed->schedule.op_count() != graph.node_count() ||
+       !find_comm_violations(graph, machine, seed->schedule).empty())) {
+    seed = nullptr;
+  }
+  ImsResult result = ims_schedule(loop, graph, machine, options.ims, &assigner, seed);
   if (result.ok && options.strict) {
     const auto comm_errors = communication_violations(graph, machine, result.schedule);
     QVLIW_ASSERT(comm_errors.empty(),

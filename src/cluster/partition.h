@@ -65,10 +65,13 @@ struct PartitionOptions {
 };
 
 /// Partitioned IMS over the ring machine.  On success the schedule is
-/// additionally checked for communication legality (strict mode).
+/// additionally checked for communication legality (strict mode).  A warm
+/// seed is forwarded to IMS only after passing the same communication
+/// check, so an adjacency-violating seed is ignored rather than adopted.
 [[nodiscard]] ImsResult partition_schedule(const Loop& loop, const Ddg& graph,
                                            const MachineConfig& machine,
-                                           const PartitionOptions& options = {});
+                                           const PartitionOptions& options = {},
+                                           const WarmStartSeed* seed = nullptr);
 
 /// Flow edges whose endpoint clusters are not ring-adjacent (empty ==
 /// communication-legal for the base scheme).

@@ -20,17 +20,12 @@
 #include "cluster/partition.h"
 #include "ir/loop.h"
 #include "machine/machine.h"
+#include "sched/backend.h"
 #include "sched/ims.h"
 #include "xform/copy_insert.h"
 #include "xform/invariants.h"
 
 namespace qvliw {
-
-enum class SchedulerKind {
-  kSingleCluster,    // classic IMS, machine treated as one cluster
-  kClustered,        // the paper's partitioned IMS (adjacent-only comm)
-  kClusteredMoves,   // extension: multi-hop routing via move ops
-};
 
 struct PipelineOptions {
   InvariantStrategy invariants = InvariantStrategy::kImmediate;
@@ -43,6 +38,12 @@ struct PipelineOptions {
   CopyTreeShape copy_shape = CopyTreeShape::kBalanced;
 
   SchedulerKind scheduler = SchedulerKind::kSingleCluster;
+
+  /// Registry name of the scheduler backend (sched/backend.h); empty
+  /// selects the built-in backend of `scheduler`.  Unknown names fail the
+  /// schedule stage with a diagnostic listing the registered backends.
+  std::string backend;
+
   ClusterHeuristic heuristic = ClusterHeuristic::kAffinity;
   ImsOptions ims;
 
@@ -112,6 +113,16 @@ struct LoopResult {
   long long sim_cycles = 0;
 
   ImsStats sched_stats;
+
+  /// Registry name of the backend that scheduled this loop (empty when
+  /// the run failed before the schedule stage).
+  std::string backend;
+
+  /// True when the accepted schedule came from a warm-start seed instead
+  /// of a search (see sched/ims.h).  Like stage_times, this records how
+  /// the result was obtained, not what it is, and is excluded from
+  /// result-equivalence comparisons.
+  bool warm_started = false;
 
   /// Per-stage wall time of this run, in execution order.  Stages skipped
   /// via a SweepRunner cache hit do not appear (their cost was paid once by

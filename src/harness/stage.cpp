@@ -52,44 +52,37 @@ bool CopyInsertStage::run(PipelineContext& ctx) {
 }
 
 ImsResult schedule_attempt(PipelineContext& ctx, int start_ii) {
-  ImsOptions ims = ctx.options->ims;
-  ims.start_ii = std::max(ims.start_ii, start_ii);
-  switch (ctx.options->scheduler) {
-    case SchedulerKind::kSingleCluster:
-      ims.known_mii = ctx.known_mii;
-      return ims_schedule(ctx.loop, *ctx.graph, *ctx.machine, ims);
-    case SchedulerKind::kClustered: {
-      PartitionOptions popts;
-      popts.heuristic = ctx.options->heuristic;
-      popts.ims = ims;
-      popts.ims.known_mii = ctx.known_mii;
-      return partition_schedule(ctx.loop, *ctx.graph, *ctx.machine, popts);
-    }
-    case SchedulerKind::kClusteredMoves: {
-      // The router reschedules rewritten loops internally; cached MII
-      // bounds for the pre-routing loop must not leak into those runs.
-      PartitionOptions popts;
-      popts.heuristic = ctx.options->heuristic;
-      popts.ims = ims;
-      RouteResult routed = partition_with_moves(ctx.loop, *ctx.machine, popts);
-      if (!routed.ok) {
-        ImsResult failed;
-        failed.failure = routed.failure;
-        return failed;
-      }
-      ctx.result.moves = routed.moves_added;
-      ctx.loop = std::move(routed.loop);
-      ctx.graph = std::make_shared<const Ddg>(Ddg::build(ctx.loop, ctx.machine->latency));
-      ctx.known_mii = MiiInfo{};  // the cached bounds no longer apply
-      return std::move(routed.ims);
-    }
+  // Unknown backend names throw Error here; run_stages converts that into
+  // the canonical "pipeline error: ..." failure with the registry's
+  // known-names diagnostic.
+  const SchedulerBackend& backend =
+      ctx.options->backend.empty() ? scheduler_backend(ctx.options->scheduler)
+                                   : SchedulerRegistry::instance().require(ctx.options->backend);
+
+  ScheduleRequest request;
+  request.loop = &ctx.loop;
+  request.graph = ctx.graph.get();
+  request.machine = ctx.machine;
+  request.ims = ctx.options->ims;
+  request.ims.start_ii = std::max(request.ims.start_ii, start_ii);
+  if (backend.consumes_cached_mii()) request.ims.known_mii = ctx.known_mii;
+  request.heuristic = ctx.options->heuristic;
+  if (backend.supports_warm_start()) request.seed = ctx.seed;
+
+  ScheduleOutcome outcome = backend.schedule(request);
+  ctx.result.backend = backend.name();
+  if (outcome.rewrote) {
+    ctx.result.moves = outcome.moves_added;
+    ctx.loop = std::move(outcome.rewritten_loop);
+    ctx.graph = std::move(outcome.rewritten_graph);
+    ctx.known_mii = MiiInfo{};  // cached bounds no longer apply to the rewrite
   }
-  QVLIW_ASSERT(false, "bad SchedulerKind");
-  return ImsResult{};
+  return std::move(outcome.ims);
 }
 
 bool ScheduleStage::run(PipelineContext& ctx) {
   ctx.sched = schedule_attempt(ctx, 0);
+  ctx.result.warm_started = ctx.sched.warm_started;
   ctx.result.sched_ops = ctx.loop.op_count();
   ctx.result.res_mii = ctx.sched.mii.res_mii;
   ctx.result.rec_mii = ctx.sched.mii.rec_mii;
@@ -117,6 +110,9 @@ bool QueueAllocStage::run(PipelineContext& ctx) {
         return false;
       }
       ctx.sched = std::move(retry);
+      // Provenance tracks the accepted schedule: a retry that searched
+      // replaces a warm install (and vice versa).
+      ctx.result.warm_started = ctx.sched.warm_started;
       ctx.allocation = allocate_queues(ctx.loop, *ctx.graph, *ctx.machine, ctx.sched.schedule);
       result.fits_machine_queues = ctx.allocation.capacity_violations(*ctx.machine).empty();
     }

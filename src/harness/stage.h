@@ -43,6 +43,8 @@ struct PipelineContext {
   std::shared_ptr<const Ddg> graph;  // built by CopyInsertStage (or injected)
   MiiInfo known_mii;                 // injected by the sweep cache; feasible
                                      // == false means "compute it"
+  const WarmStartSeed* seed = nullptr;  // injected by the sweep runner's
+                                        // budget-ladder chaining (may be null)
   ImsResult sched;
   QueueAllocation allocation;
 
@@ -89,8 +91,10 @@ class CopyInsertStage final : public Stage {
   bool run(PipelineContext& ctx) override;
 };
 
-/// Modulo-schedules ctx.loop per options.scheduler.  The kClusteredMoves
-/// path may rewrite ctx.loop/ctx.graph (relay moves added).
+/// Modulo-schedules ctx.loop through the scheduler-backend registry
+/// (options.backend when set, else the built-in backend of
+/// options.scheduler).  A rewriting backend (clustered-moves inserts
+/// relay ops) replaces ctx.loop/ctx.graph with its rewritten versions.
 class ScheduleStage final : public Stage {
  public:
   [[nodiscard]] std::string_view name() const override { return kStageSchedule; }

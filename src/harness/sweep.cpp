@@ -1,5 +1,6 @@
 #include "harness/sweep.h"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <map>
@@ -28,6 +29,11 @@ double SweepCacheStats::disk_hit_rate() const {
                           : static_cast<double>(disk_hits) / static_cast<double>(disk_probes);
 }
 
+double SweepCacheStats::warm_hit_rate() const {
+  return warm_probes == 0 ? 0.0
+                          : static_cast<double>(warm_hits) / static_cast<double>(warm_probes);
+}
+
 SweepCacheStats& SweepCacheStats::operator+=(const SweepCacheStats& other) {
   invariant_probes += other.invariant_probes;
   invariant_hits += other.invariant_hits;
@@ -39,6 +45,10 @@ SweepCacheStats& SweepCacheStats::operator+=(const SweepCacheStats& other) {
   mii_hits += other.mii_hits;
   disk_probes += other.disk_probes;
   disk_hits += other.disk_hits;
+  mii_disk_probes += other.mii_disk_probes;
+  mii_disk_hits += other.mii_disk_hits;
+  warm_probes += other.warm_probes;
+  warm_hits += other.warm_hits;
   probe_factors += other.probe_factors;
   probe_fallbacks += other.probe_fallbacks;
   fallback_runs += other.fallback_runs;
@@ -155,6 +165,39 @@ constexpr std::uint64_t kStoreFormatVersion = 1;
 std::uint64_t store_key(std::uint64_t loop_content_hash, std::uint64_t front_key_value) {
   return hash_combine(hash_combine(hash64(kStoreFormatVersion), loop_content_hash),
                       front_key_value);
+}
+
+// MII bounds are a pure function of (front loop, machine); the front loop
+// is (source loop contents, front prefix key), so the key folds the loop
+// content hash, the front key, and the machine signature, under a salt
+// that keeps the MII key domain disjoint from front-entry keys.
+std::uint64_t mii_store_key(std::uint64_t loop_content_hash, std::uint64_t front_key_value,
+                            std::uint64_t machine_signature) {
+  return hash_combine(hash_combine(hash_combine(hash64(kStoreFormatVersion), hash64(0x4d4949u)),
+                                   hash_combine(loop_content_hash, front_key_value)),
+                      machine_signature);
+}
+
+std::string encode_mii(const MiiInfo& mii) {
+  BlobWriter out;
+  out.put_bool(mii.feasible);
+  out.put_i32(mii.res_mii);
+  out.put_i32(mii.rec_mii);
+  out.put_i32(mii.mii);
+  return out.take();
+}
+
+/// Throws Error on truncation/trailing bytes; the caller treats that as a
+/// store miss and recomputes.
+MiiInfo decode_mii(const std::string& blob) {
+  BlobReader in(blob);
+  MiiInfo mii;
+  mii.feasible = in.get_bool();
+  mii.res_mii = in.get_i32();
+  mii.rec_mii = in.get_i32();
+  mii.mii = in.get_i32();
+  check(in.exhausted(), "mii blob: trailing bytes");
+  return mii;
 }
 
 std::string encode_front_entry(const FrontEntry& entry) {
@@ -314,15 +357,36 @@ FrontEntry& front_for(const Loop& source, const SweepPoint& point, const SweepPr
 }
 
 MiiInfo mii_for(FrontEntry& front, const SweepPoint& point, const SweepPrefixKeys& keys,
-                SweepCacheStats& stats, FrontSeconds& seconds) {
+                const ArtifactStore* store, std::uint64_t loop_hash, SweepCacheStats& stats,
+                FrontSeconds& seconds) {
   ++stats.mii_probes;
   if (auto it = front.mii.find(keys.machine); it != front.mii.end()) {
     ++stats.mii_hits;
     return it->second;
   }
+
+  // Second-level cache: the persistent per-machine MII map.
+  const std::uint64_t disk_key =
+      store != nullptr ? mii_store_key(loop_hash, keys.front, keys.machine) : 0;
+  if (store != nullptr) {
+    ++stats.mii_disk_probes;
+    std::string blob;
+    if (store->load(disk_key, blob)) {
+      try {
+        const MiiInfo mii = decode_mii(blob);
+        ++stats.mii_disk_hits;
+        front.mii.emplace(keys.machine, mii);
+        return mii;
+      } catch (const Error&) {
+        // Corrupt or stale entry: recompute (the save below overwrites it).
+      }
+    }
+  }
+
   const Clock::time_point start = Clock::now();
   const MiiInfo mii = compute_mii(front.loop, *front.graph, point.machine);
   seconds[3] += seconds_since(start);
+  if (store != nullptr) store->save(disk_key, encode_mii(mii));
   front.mii.emplace(keys.machine, mii);
   return mii;
 }
@@ -335,7 +399,17 @@ SweepPrefixKeys sweep_prefix_keys(const SweepPoint& point) {
   keys.unroll = unroll_key(keys.invariant, point.options, point.machine);
   keys.front = front_key(keys.unroll, point.options, point.machine);
   keys.machine = point.machine.signature();
-  keys.wants_mii = point.options.scheduler != SchedulerKind::kClusteredMoves;
+  const SchedulerBackend* backend =
+      find_scheduler_backend(point.options.scheduler, point.options.backend);
+  if (backend != nullptr) {
+    keys.backend = backend->cache_key(point.options.heuristic, point.options.ims);
+    keys.consumes_cached_mii = backend->consumes_cached_mii();
+  } else {
+    // Unknown backend override: the point fails in the schedule stage;
+    // hash the name so distinct unknown names still occupy distinct slots.
+    keys.backend = hash_combine(hash64(0xbadbac0deull), hash_bytes(point.options.backend));
+    keys.consumes_cached_mii = false;
+  }
   return keys;
 }
 
@@ -356,6 +430,45 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
   const ArtifactStore disk_store(options_.store_dir);
   const ArtifactStore* store = persist ? &disk_store : nullptr;
 
+  // Warm-start chains: points sharing (front prefix, machine, backend
+  // cache key) form a ladder, executed in ascending budget_ratio order so
+  // each point can seed the next with its accepted schedule.  The
+  // execution order is a permutation only — results still land at their
+  // original point index.  With warm_start off the original order is
+  // kept, so cold sweeps are untouched.
+  const bool warm = options_.use_cache && options_.warm_start;
+  std::vector<std::size_t> exec_order(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) exec_order[p] = p;
+  std::vector<int> chain_of(points.size(), -1);  // chain id; -1 = not chained
+  int chain_count = 0;
+  if (warm) {
+    std::map<std::uint64_t, int> chain_ids;
+    std::vector<std::vector<std::size_t>> members;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const SchedulerBackend* backend =
+          find_scheduler_backend(points[p].options.scheduler, points[p].options.backend);
+      if (backend == nullptr || !backend->supports_warm_start()) continue;
+      const std::uint64_t chain_key =
+          hash_combine(hash_combine(keys[p].front, keys[p].machine), keys[p].backend);
+      const auto [it, added] = chain_ids.emplace(chain_key, chain_count);
+      if (added) {
+        ++chain_count;
+        members.emplace_back();
+      }
+      chain_of[p] = it->second;
+      members[static_cast<std::size_t>(it->second)].push_back(p);
+    }
+    // Permute each chain's members (ascending budget, stable) among the
+    // execution slots they already occupy; everything else stays put.
+    for (const std::vector<std::size_t>& chain : members) {
+      std::vector<std::size_t> sorted = chain;
+      std::stable_sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+        return points[a].options.ims.budget_ratio < points[b].options.ims.budget_ratio;
+      });
+      for (std::size_t j = 0; j < chain.size(); ++j) exec_order[chain[j]] = sorted[j];
+    }
+  }
+
   std::mutex merge_mutex;
   FrontSeconds front_seconds{};
 
@@ -364,8 +477,11 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
     SweepCacheStats local_stats;
     FrontSeconds local_seconds{};
     const std::uint64_t loop_hash = persist ? loops[i].content_hash() : 0;
+    std::vector<std::unique_ptr<WarmStartSeed>> chain_seed(
+        static_cast<std::size_t>(chain_count));
 
-    for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t o = 0; o < exec_order.size(); ++o) {
+      const std::size_t p = exec_order[o];
       const SweepPoint& point = points[p];
       LoopResult out;
       bool produced = false;
@@ -380,10 +496,23 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
             ctx.graph = front.graph;
             ctx.result.unroll_factor = front.factor;
             ctx.result.copies = front.copies;
-            if (keys[p].wants_mii) {
-              ctx.known_mii = mii_for(front, point, keys[p], local_stats, local_seconds);
+            if (keys[p].consumes_cached_mii) {
+              ctx.known_mii =
+                  mii_for(front, point, keys[p], store, loop_hash, local_stats, local_seconds);
+            }
+            const int chain = chain_of[p];
+            if (chain >= 0 && chain_seed[static_cast<std::size_t>(chain)] != nullptr) {
+              ctx.seed = chain_seed[static_cast<std::size_t>(chain)].get();
+              ++local_stats.warm_probes;
             }
             run_stages(ctx, back_stage_plan());
+            if (ctx.result.warm_started) ++local_stats.warm_hits;
+            if (chain >= 0 && ctx.sched.ok) {
+              // The accepted schedule (post queue-fit escalation) seeds
+              // the chain's next, larger-budget point.
+              chain_seed[static_cast<std::size_t>(chain)] = std::make_unique<WarmStartSeed>(
+                  WarmStartSeed{ctx.sched.schedule, ctx.sched.ii});
+            }
             out = std::move(ctx.result);
           } else {
             // The canonical failing result, computed once for the prefix.

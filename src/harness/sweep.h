@@ -13,6 +13,12 @@
 // Caching is per loop and lives on the worker that owns the loop, so it
 // needs no locks; results are bit-identical with the cache on or off (a
 // golden-equivalence test enforces this).
+//
+// With SweepOptions::warm_start the back end is cached across *budget
+// ladders* too: points sharing (front prefix, machine, scheduler-backend
+// cache key) run in ascending budget_ratio order, each seeding the next
+// with its accepted schedule; the scheduler verifies the seed and skips
+// the search that would rediscover it (see sched/ims.h WarmStartSeed).
 #pragma once
 
 #include <cstdint>
@@ -47,6 +53,17 @@ struct SweepCacheStats {
   /// in-memory hit rate incomparable across runs with and without a store.
   std::uint64_t disk_probes = 0, disk_hits = 0;
 
+  /// Persistent MII-map tier: per-(loop, front prefix, machine) bounds
+  /// consulted in the store on an in-memory MII miss.  Separate from the
+  /// front-entry disk counters for the same comparability reason.
+  std::uint64_t mii_disk_probes = 0, mii_disk_hits = 0;
+
+  /// Warm-start accounting: points offered a neighbouring budget-ladder
+  /// point's accepted schedule as a seed, and points whose final schedule
+  /// was installed from that seed (the skipped search is the back-end
+  /// speedup BENCH_pipeline.json reports).
+  std::uint64_t warm_probes = 0, warm_hits = 0;
+
   /// Unroll-policy prober accounting: candidate factors examined, and how
   /// many probes had to fall back to the naive materialise-and-measure
   /// path because the incremental fast path could not be exact.
@@ -65,6 +82,7 @@ struct SweepCacheStats {
   }
   [[nodiscard]] double hit_rate() const;       // hits/probes; 0 when no probes
   [[nodiscard]] double disk_hit_rate() const;  // disk_hits/disk_probes; 0 when no probes
+  [[nodiscard]] double warm_hit_rate() const;  // warm_hits/warm_probes; 0 when no probes
 
   SweepCacheStats& operator+=(const SweepCacheStats& other);
 };
@@ -86,8 +104,21 @@ struct SweepOptions {
   /// (support/artifact_store.h); empty disables persistence.  Keyed by
   /// Loop::content_hash plus the front prefix key, so repeated invocations
   /// — including across processes and bench runs — warm-start the front
-  /// end instead of recomputing it.  Requires use_cache.
+  /// end instead of recomputing it.  Also persists per-machine MII maps
+  /// (keyed by Loop::content_hash + front prefix + MachineConfig
+  /// signature).  Requires use_cache.
   std::string store_dir;
+
+  /// Warm-start the back end across budget ladders: points sharing a
+  /// front prefix, machine, and scheduler-backend cache key are executed
+  /// in ascending budget_ratio order, each receiving the previous point's
+  /// accepted schedule as a WarmStartSeed.  IMS verifies the seed and
+  /// uses it to cap the II ladder, so final IIs are never worse than cold
+  /// scheduling — on such ladders they are identical, with the accepting
+  /// search skipped.  LoopResults differ from a cold sweep only in
+  /// ImsStats/warm_started (provenance, not outcome).  Requires
+  /// use_cache.
+  bool warm_start = false;
 };
 
 /// Level-by-level option-prefix hashes of one sweep point.  Derived once
@@ -97,8 +128,20 @@ struct SweepPrefixKeys {
   std::uint64_t invariant = 0;
   std::uint64_t unroll = 0;
   std::uint64_t front = 0;
-  std::uint64_t machine = 0;   // machine signature (MII cache key)
-  bool wants_mii = false;      // the moves router cannot reuse cached bounds
+  std::uint64_t machine = 0;  // machine signature (MII cache key)
+
+  /// The resolved scheduler backend's cache-key contribution
+  /// (SchedulerBackend::cache_key): folded into every slot holding one of
+  /// its schedules — the warm-start chain key today — so backends with
+  /// different contributions never alias.  For an unknown backend name
+  /// the contribution hashes the name itself (the point fails in the
+  /// schedule stage either way).
+  std::uint64_t backend = 0;
+
+  /// Whether precomputed MII bounds may be injected into the point's
+  /// scheduler (SchedulerBackend::consumes_cached_mii; replaces the old
+  /// hard-coded wants_mii special case).
+  bool consumes_cached_mii = false;
 };
 
 [[nodiscard]] SweepPrefixKeys sweep_prefix_keys(const SweepPoint& point);

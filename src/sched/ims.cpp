@@ -182,7 +182,8 @@ class Attempt {
 }  // namespace
 
 ImsResult ims_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
-                       const ImsOptions& options, ClusterAssigner* assigner) {
+                       const ImsOptions& options, ClusterAssigner* assigner,
+                       const WarmStartSeed* seed) {
   check(loop.op_count() == graph.node_count(), "ims_schedule: loop/DDG mismatch");
   machine.validate();
 
@@ -205,9 +206,27 @@ ImsResult ims_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& 
     return result;
   }
 
+  // A seed is usable only when it falls inside this run's II window, its
+  // schedule matches the seed II, and it verifies clean for exactly this
+  // (loop, graph, machine).  Anything else is ignored — warm starting may
+  // only ever remove work, never change what is schedulable.
+  const bool seed_usable = seed != nullptr && seed->ii >= first_ii && seed->ii <= last_ii &&
+                           seed->schedule.ii() == seed->ii &&
+                           verify_schedule(loop, graph, machine, seed->schedule).empty();
+
   for (int ii = first_ii; ii <= last_ii; ++ii) {
     if (result.stats.ii_attempts >= options.max_ii_attempts) break;
     ++result.stats.ii_attempts;
+    if (seed_usable && ii == seed->ii) {
+      // The ladder reached the seed's II without finding anything better:
+      // the already-verified seed schedule is an accepted answer, so the
+      // budgeted search at this II is pure rediscovery — skip it.
+      result.schedule = seed->schedule;
+      result.ii = ii;
+      result.ok = true;
+      result.warm_started = true;
+      return result;
+    }
     Attempt attempt(loop, graph, machine, strategy, ii, options.budget_ratio, result.stats);
     if (!attempt.run()) continue;
     result.schedule = attempt.take_schedule();

@@ -94,6 +94,16 @@ struct ImsStats {
   int ii_attempts = 0;  // number of IIs tried
 };
 
+/// A previously accepted schedule offered as a warm start for a new run
+/// over the *same* loop/DDG (typically the neighbouring point of a budget
+/// ladder).  The scheduler vets the seed with verify_schedule before
+/// trusting it; an invalid or irrelevant seed is silently ignored, so
+/// offering one is always safe.
+struct WarmStartSeed {
+  Schedule schedule;
+  int ii = 0;  // the II the seed schedule was accepted at
+};
+
 struct ImsResult {
   bool ok = false;
   Schedule schedule;
@@ -101,12 +111,30 @@ struct ImsResult {
   MiiInfo mii;
   ImsStats stats;
   std::string failure;
+  /// True when the accepted schedule was installed from a WarmStartSeed
+  /// instead of being searched for.  Excluded from result-equivalence
+  /// comparisons (like stage timings, it records how the schedule was
+  /// obtained, not what it is).
+  bool warm_started = false;
 };
 
 /// Schedules `loop`'s DDG onto `machine`.  The result schedule is fully
 /// validated (dependences + resources) before ok=true is returned.
+///
+/// When `seed` is given (and vets clean for this loop/graph/machine), the
+/// II ladder still climbs from MII exactly as a cold run would — a larger
+/// placement budget can unlock a *smaller* II than the seed's, and warm
+/// starting must never yield a worse II than cold scheduling — but the
+/// attempt at the seed's own II is replaced by installing the seed
+/// schedule outright.  On ascending-budget ladders the cold attempt at
+/// that II is deterministic and completes within the smaller budget that
+/// produced the seed, so the installed schedule is bit-identical to what
+/// the skipped search would have built; in the common case (seed II ==
+/// MII, first attempt succeeds) the whole search collapses into one
+/// verification pass.
 [[nodiscard]] ImsResult ims_schedule(const Loop& loop, const Ddg& graph,
                                      const MachineConfig& machine, const ImsOptions& options = {},
-                                     ClusterAssigner* assigner = nullptr);
+                                     ClusterAssigner* assigner = nullptr,
+                                     const WarmStartSeed* seed = nullptr);
 
 }  // namespace qvliw

@@ -122,6 +122,23 @@ std::vector<std::string> resource_violations(const Loop& loop, const MachineConf
   return violations;
 }
 
+std::vector<std::string> verify_schedule(const Loop& loop, const Ddg& graph,
+                                         const MachineConfig& machine, const Schedule& schedule) {
+  std::vector<std::string> violations;
+  if (loop.op_count() != graph.node_count()) {
+    violations.push_back("loop/DDG op count mismatch");
+    return violations;
+  }
+  if (loop.op_count() != schedule.op_count()) {
+    violations.push_back("loop/schedule op count mismatch");
+    return violations;
+  }
+  violations = dependence_violations(graph, schedule);
+  const std::vector<std::string> resources = resource_violations(loop, machine, schedule);
+  violations.insert(violations.end(), resources.begin(), resources.end());
+  return violations;
+}
+
 int useful_op_count(const Loop& loop) {
   int count = 0;
   for (const Op& op : loop.ops) {

@@ -68,6 +68,14 @@ class Schedule {
                                                            const MachineConfig& machine,
                                                            const Schedule& schedule);
 
+/// Full verification of a candidate schedule: op-count agreement with the
+/// loop/DDG, every dependence constraint, and every resource constraint.
+/// Empty == the schedule is valid for this (loop, graph, machine).  Used
+/// to vet warm-start seeds before the scheduler adopts them, and by tests.
+[[nodiscard]] std::vector<std::string> verify_schedule(const Loop& loop, const Ddg& graph,
+                                                       const MachineConfig& machine,
+                                                       const Schedule& schedule);
+
 /// Operations per source iteration that the paper counts for IPC
 /// (copies and moves are plumbing, not issued work of the source program).
 [[nodiscard]] int useful_op_count(const Loop& loop);

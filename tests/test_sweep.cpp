@@ -54,8 +54,11 @@ std::vector<SweepPoint> demo_points() {
 }
 
 // Every semantic field of LoopResult.  stage_times is deliberately
-// excluded: wall time is measurement, not outcome.
-void expect_identical(const LoopResult& a, const LoopResult& b, const std::string& where) {
+// excluded: wall time is measurement, not outcome.  `compare_effort`
+// additionally covers ImsStats — warm-started runs produce identical
+// schedules with less search, so effort comparisons are skipped there.
+void expect_identical(const LoopResult& a, const LoopResult& b, const std::string& where,
+                      bool compare_effort = true) {
   EXPECT_EQ(a.name, b.name) << where;
   EXPECT_EQ(a.ok, b.ok) << where;
   EXPECT_EQ(a.failure, b.failure) << where;
@@ -82,9 +85,12 @@ void expect_identical(const LoopResult& a, const LoopResult& b, const std::strin
   EXPECT_EQ(a.queue_fit_retries, b.queue_fit_retries) << where;
   EXPECT_EQ(a.sim_ok, b.sim_ok) << where;
   EXPECT_EQ(a.sim_cycles, b.sim_cycles) << where;
-  EXPECT_EQ(a.sched_stats.placements, b.sched_stats.placements) << where;
-  EXPECT_EQ(a.sched_stats.evictions, b.sched_stats.evictions) << where;
-  EXPECT_EQ(a.sched_stats.ii_attempts, b.sched_stats.ii_attempts) << where;
+  EXPECT_EQ(a.backend, b.backend) << where;
+  if (compare_effort) {
+    EXPECT_EQ(a.sched_stats.placements, b.sched_stats.placements) << where;
+    EXPECT_EQ(a.sched_stats.evictions, b.sched_stats.evictions) << where;
+    EXPECT_EQ(a.sched_stats.ii_attempts, b.sched_stats.ii_attempts) << where;
+  }
 }
 
 TEST(Sweep, GoldenEquivalenceWithDirectPipeline) {
@@ -337,6 +343,135 @@ TEST(Sweep, DiskStoreToleratesCorruptEntries) {
     expect_identical(warm.by_point[0][i], oracle.by_point[0][i], suite.loops[i].name);
   }
   std::filesystem::remove_all(store_dir);
+}
+
+// Warm-started budget ladders: same machine and backend options with
+// ascending budget_ratio.  Outcomes must be bit-identical to the cold
+// sweep (the seed only skips the search that would rediscover the same
+// schedule), with the warm-start counters showing the skips happened.
+TEST(Sweep, WarmStartLadderMatchesColdSweep) {
+  const Suite suite = small_suite(8, 31);
+
+  std::vector<SweepPoint> points;
+  for (const int budget : {3, 6, 12}) {
+    SweepPoint ring{cat("ring4-aff-", budget), MachineConfig::clustered_machine(4), {}};
+    ring.options.unroll = true;
+    ring.options.scheduler = SchedulerKind::kClustered;
+    ring.options.ims.budget_ratio = budget;
+    points.push_back(ring);
+  }
+  for (const int budget : {6, 12}) {
+    SweepPoint single{cat("single6-", budget), MachineConfig::single_cluster_machine(6), {}};
+    single.options.ims.budget_ratio = budget;
+    points.push_back(single);
+  }
+  // A moves point rides along: its backend declines warm starts, so it
+  // must be untouched by the ladder machinery.
+  SweepPoint moves{"ring4-moves", MachineConfig::clustered_machine(4), {}};
+  moves.options.unroll = true;
+  moves.options.scheduler = SchedulerKind::kClusteredMoves;
+  points.push_back(moves);
+
+  SweepOptions warm_options;
+  warm_options.warm_start = true;
+  const SweepResult warm = SweepRunner(warm_options).run(suite.loops, points);
+  const SweepResult cold = SweepRunner().run(suite.loops, points);
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+      const LoopResult& w = warm.by_point[p][i];
+      const LoopResult& c = cold.by_point[p][i];
+      const std::string where = points[p].label + " / " + suite.loops[i].name;
+      expect_identical(w, c, where, /*compare_effort=*/false);
+      if (c.ok) EXPECT_LE(w.ii, c.ii) << where;  // the headline warm-start property
+    }
+  }
+  EXPECT_GT(warm.cache.warm_probes, 0u);
+  EXPECT_GT(warm.cache.warm_hits, 0u);
+  EXPECT_EQ(cold.cache.warm_probes, 0u);
+
+  // The skipped searches are visible as scheduling effort saved.
+  long long warm_placements = 0, cold_placements = 0;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+      warm_placements += warm.by_point[p][i].sched_stats.placements;
+      cold_placements += cold.by_point[p][i].sched_stats.placements;
+    }
+  }
+  EXPECT_LT(warm_placements, cold_placements);
+}
+
+TEST(Sweep, MiiMapsPersistAcrossRuns) {
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() / "qvliw_test_store_mii";
+  std::filesystem::remove_all(store_dir);
+
+  const Suite suite = small_suite(6, 37);
+  SweepPoint point{"ring4", MachineConfig::clustered_machine(4), {}};
+  point.options.unroll = true;
+  point.options.scheduler = SchedulerKind::kClustered;
+
+  SweepOptions disk_options;
+  disk_options.store_dir = store_dir.string();
+  const SweepResult cold = SweepRunner(disk_options).run(suite.loops, {point});
+  EXPECT_GT(cold.cache.mii_disk_probes, 0u);
+  EXPECT_EQ(cold.cache.mii_disk_hits, 0u);
+
+  // A fresh process-equivalent run restores the MII maps from disk
+  // instead of recomputing them, with bit-identical results.
+  const SweepResult warm = SweepRunner(disk_options).run(suite.loops, {point});
+  EXPECT_GT(warm.cache.mii_disk_hits, 0u);
+  EXPECT_EQ(warm.cache.mii_disk_hits, warm.cache.mii_disk_probes);
+
+  const SweepResult oracle = SweepRunner().run(suite.loops, {point});
+  for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+    expect_identical(warm.by_point[0][i], oracle.by_point[0][i], suite.loops[i].name);
+  }
+  std::filesystem::remove_all(store_dir);
+}
+
+// Regression: backends with different cache-key contributions must never
+// share a warm-start (or any schedule) cache slot, even when every other
+// key component agrees.
+TEST(Sweep, BackendContributionsNeverAliasCacheSlots) {
+  const MachineConfig machine = MachineConfig::clustered_machine(4);
+
+  SweepPoint clustered{"clustered", machine, {}};
+  clustered.options.scheduler = SchedulerKind::kClustered;
+  SweepPoint single = clustered;
+  single.label = "single";
+  single.options.scheduler = SchedulerKind::kSingleCluster;
+  SweepPoint moves = clustered;
+  moves.label = "moves";
+  moves.options.scheduler = SchedulerKind::kClusteredMoves;
+  SweepPoint balance = clustered;
+  balance.label = "balance";
+  balance.options.heuristic = ClusterHeuristic::kLoadBalance;
+
+  const SweepPrefixKeys ck = sweep_prefix_keys(clustered);
+  const SweepPrefixKeys sk = sweep_prefix_keys(single);
+  const SweepPrefixKeys mk = sweep_prefix_keys(moves);
+  const SweepPrefixKeys bk = sweep_prefix_keys(balance);
+
+  // Identical front/machine keys (the points differ only in back end)...
+  EXPECT_EQ(ck.front, sk.front);
+  EXPECT_EQ(ck.front, mk.front);
+  EXPECT_EQ(ck.machine, sk.machine);
+  // ...but pairwise-distinct backend contributions.
+  EXPECT_NE(ck.backend, sk.backend);
+  EXPECT_NE(ck.backend, mk.backend);
+  EXPECT_NE(sk.backend, mk.backend);
+  EXPECT_NE(ck.backend, bk.backend);  // heuristic is part of the contribution
+
+  // The declared MII-consumption replaces the old wants_mii special case.
+  EXPECT_TRUE(ck.consumes_cached_mii);
+  EXPECT_TRUE(sk.consumes_cached_mii);
+  EXPECT_FALSE(mk.consumes_cached_mii);
+
+  // Budget is the ladder axis: same chain slot by design.
+  SweepPoint bigger = clustered;
+  bigger.options.ims.budget_ratio = 12;
+  EXPECT_EQ(sweep_prefix_keys(bigger).backend, ck.backend);
 }
 
 TEST(Sweep, RunSuiteWrapperMatchesSweep) {

@@ -3,10 +3,16 @@
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.30]
 
-Compares the cached sweep's loops_per_second of a fresh perf_micro run
-against the committed baseline and fails (exit 1) when the fresh run is
-more than `tolerance` slower.  Also fails when the fresh run reports
-results_identical: false — a correctness signal, never tolerable.
+Compares a fresh perf_micro run against the committed baseline and fails
+(exit 1) when:
+
+  - the fresh run reports results_identical: false or
+    warm_iis_never_worse: false — correctness signals, never tolerable;
+  - the cached sweep's loops_per_second is more than `tolerance` slower;
+  - the warm sweep's backend_loops_per_second (back-end-only throughput,
+    the figure warm starting improves) is more than `tolerance` slower;
+  - the warm sweep's warm_start_hit_rate dropped by more than 0.10
+    absolute vs the baseline (the budget-ladder seeding stopped landing).
 
 The tolerance (default 0.30, override with --tolerance or the
 QVLIW_BENCH_TOLERANCE environment variable) absorbs runner jitter; when
@@ -41,6 +47,11 @@ def main() -> int:
         print("FAIL: fresh run reports results_identical: false (cache correctness bug)")
         return 1
 
+    if not fresh.get("warm_iis_never_worse", True):
+        print("FAIL: fresh run reports warm_iis_never_worse: false "
+              "(warm-started scheduling degraded an II)")
+        return 1
+
     if baseline["cached"].get("disk_hits", 0) > 0:
         print(
             "FAIL: committed baseline was generated with a warm artifact store "
@@ -61,8 +72,34 @@ def main() -> int:
         print("throughput regressed beyond tolerance; investigate or regenerate the baseline")
         return 1
 
+    base_warm = baseline.get("warm", {})
+    fresh_warm = fresh.get("warm", {})
+    if base_warm and fresh_warm:
+        base_blps = base_warm.get("backend_loops_per_second", 0.0)
+        fresh_blps = fresh_warm.get("backend_loops_per_second", 0.0)
+        bfloor = base_blps * (1.0 - args.tolerance)
+        verdict = "OK" if fresh_blps >= bfloor else "FAIL"
+        print(
+            f"{verdict}: warm backend loops/sec {fresh_blps:.1f} vs baseline {base_blps:.1f} "
+            f"(floor {bfloor:.1f} at tolerance {args.tolerance:.0%})"
+        )
+        if fresh_blps < bfloor:
+            print("warm back-end throughput regressed beyond tolerance")
+            return 1
+
+        base_rate = base_warm.get("warm_start_hit_rate", 0.0)
+        fresh_rate = fresh_warm.get("warm_start_hit_rate", 0.0)
+        if fresh_rate < base_rate - 0.10:
+            print(
+                f"FAIL: warm_start_hit_rate {fresh_rate:.1%} dropped more than 10 points "
+                f"below baseline {base_rate:.1%} (ladder seeding stopped landing)"
+            )
+            return 1
+        print(f"OK: warm_start_hit_rate {fresh_rate:.1%} (baseline {base_rate:.1%})")
+
     speedup = fresh.get("cache_speedup", 0.0)
     print(f"info: cache speedup {speedup:.2f}x, "
+          f"warm backend speedup {fresh.get('warm_backend_speedup', 0.0):.2f}x, "
           f"disk hit rate {fresh['cached'].get('disk_hit_rate', 0.0):.1%}, "
           f"naive probe fallbacks {fresh['cached'].get('unroll_probe_naive_fallbacks', 0)}")
     return 0
