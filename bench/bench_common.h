@@ -44,6 +44,32 @@ inline Suite make_suite() {
   return full_suite(config);
 }
 
+/// The multi-heuristic back-end sweep perf_micro and sweep_shard share:
+/// every point reuses the unrolled/copy-inserted front end of the
+/// 4-cluster ring and differs only in (heuristic, IMS budget), so the
+/// points form ascending-budget warm-start ladders per heuristic.
+inline std::vector<SweepPoint> perf_sweep_points() {
+  PipelineOptions base;
+  base.unroll = true;
+  base.max_unroll = max_unroll();
+
+  std::vector<SweepPoint> points;
+  const MachineConfig ring = MachineConfig::clustered_machine(4);
+  for (const ClusterHeuristic heuristic :
+       {ClusterHeuristic::kAffinity, ClusterHeuristic::kLoadBalance,
+        ClusterHeuristic::kFirstFit}) {
+    for (const int budget : {6, 12}) {
+      PipelineOptions options = base;
+      options.scheduler = SchedulerKind::kClustered;
+      options.heuristic = heuristic;
+      options.ims.budget_ratio = budget;
+      points.push_back({cat("ring-4-", cluster_heuristic_name(heuristic), "-", budget, "x"),
+                        ring, options});
+    }
+  }
+  return points;
+}
+
 inline void print_suite_line(std::ostream& os, const Suite& suite) {
   os << "suite: " << suite.loops.size() << " loops (" << suite.kernel_count
      << " hand-written kernels + " << suite.loops.size() - static_cast<std::size_t>(suite.kernel_count)

@@ -34,28 +34,6 @@
 namespace qvliw {
 namespace {
 
-std::vector<SweepPoint> sweep_points() {
-  PipelineOptions base;
-  base.unroll = true;
-  base.max_unroll = bench::max_unroll();
-
-  std::vector<SweepPoint> points;
-  const MachineConfig ring = MachineConfig::clustered_machine(4);
-  for (const ClusterHeuristic heuristic :
-       {ClusterHeuristic::kAffinity, ClusterHeuristic::kLoadBalance,
-        ClusterHeuristic::kFirstFit}) {
-    for (const int budget : {6, 12}) {
-      PipelineOptions options = base;
-      options.scheduler = SchedulerKind::kClustered;
-      options.heuristic = heuristic;
-      options.ims.budget_ratio = budget;
-      points.push_back({cat("ring-4-", cluster_heuristic_name(heuristic), "-", budget, "x"),
-                        ring, options});
-    }
-  }
-  return points;
-}
-
 bool results_identical(const SweepResult& a, const SweepResult& b) {
   if (a.by_point.size() != b.by_point.size()) return false;
   for (std::size_t p = 0; p < a.by_point.size(); ++p) {
@@ -124,6 +102,8 @@ void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
      << "    \"disk_hits\": " << sweep.cache.disk_hits << ",\n"
      << "    \"mii_disk_probes\": " << sweep.cache.mii_disk_probes << ",\n"
      << "    \"mii_disk_hits\": " << sweep.cache.mii_disk_hits << ",\n"
+     << "    \"sched_disk_probes\": " << sweep.cache.sched_disk_probes << ",\n"
+     << "    \"sched_disk_hits\": " << sweep.cache.sched_disk_hits << ",\n"
      << "    \"warm_start_hit_rate\": " << fixed(sweep.cache.warm_hit_rate(), 6) << ",\n"
      << "    \"warm_probes\": " << sweep.cache.warm_probes << ",\n"
      << "    \"warm_hits\": " << sweep.cache.warm_hits << ",\n"
@@ -158,7 +138,7 @@ int run(int argc, char** argv) {
   const Suite suite = bench::make_suite();
   bench::print_suite_line(std::cout, suite);
 
-  const std::vector<SweepPoint> points = sweep_points();
+  const std::vector<SweepPoint> points = bench::perf_sweep_points();
   std::cout << "sweep: " << points.size() << " points (3 heuristics x 2 IMS budgets on the "
             << "4-cluster ring), " << worker_count() << " worker(s)\n\n";
 
@@ -206,8 +186,9 @@ int run(int argc, char** argv) {
             << "; warm IIs never worse: " << (never_worse ? "yes" : "NO — BUG") << "\n"
             << "disk store: " << cached.cache.disk_hits << "/" << cached.cache.disk_probes
             << " front entries + " << cached.cache.mii_disk_hits << "/"
-            << cached.cache.mii_disk_probes
-            << " MII maps warm (rerun the bench for a fully warm start)\n";
+            << cached.cache.mii_disk_probes << " MII maps + " << warm.cache.sched_disk_hits
+            << "/" << warm.cache.sched_disk_probes
+            << " warm schedules warm (rerun the bench for a fully warm start)\n";
   bench::print_sweep_footer(std::cout, warm);
 
   const char* path = argc > 1 ? argv[1] : std::getenv("QVLIW_BENCH_JSON");

@@ -1,0 +1,235 @@
+// Process-sharded sweep driver.
+//
+// Runs the perf_micro multi-heuristic sweep as one shard of an N-way
+// partition, serialises the shard's SweepResult through the portable
+// blob codec, and merges shard files back into the single-process
+// result.  All shards of one sweep share the artifact store (--store),
+// so front-end artifacts, MII maps and warm-start schedules persisted by
+// one process are hits for the others — the distribution seam the
+// ROADMAP's sharding item calls for.
+//
+//   sweep_shard run    --shards N --shard I --out S.shard [--warm] [--store DIR] [--axis loops|points]
+//   sweep_shard merge  --out merged.json S0.shard S1.shard ...
+//   sweep_shard single --out single.json [--warm] [--store DIR]
+//
+// `merge` and `single` write byte-identical canonical results JSON when
+// the sharded and single-process sweeps agree (CI diffs the two files);
+// both embed the result fingerprint (harness/shard.h), which excludes
+// wall times and scheduling-effort provenance.  Suite size follows
+// QVLIW_LOOPS like every bench.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/shard.h"
+#include "support/artifact_store.h"
+#include "support/diagnostics.h"
+#include "support/rng.h"
+
+namespace qvliw {
+namespace {
+
+struct Args {
+  std::string mode;
+  std::string out;
+  std::string store;
+  std::vector<std::string> inputs;
+  int shards = 1;
+  int shard = 0;
+  ShardAxis axis = ShardAxis::kLoops;
+  bool warm = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  sweep_shard run    --shards N --shard I --out FILE [--warm] [--store DIR]"
+      << " [--axis loops|points]\n"
+      << "  sweep_shard merge  --out FILE.json SHARD...\n"
+      << "  sweep_shard single --out FILE.json [--warm] [--store DIR]\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.mode = argv[1];
+  for (int a = 2; a < argc; ++a) {
+    const std::string flag = argv[a];
+    auto next = [&]() -> const char* { return a + 1 < argc ? argv[++a] : nullptr; };
+    if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.out = v;
+    } else if (flag == "--store") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.store = v;
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.shards = std::atoi(v);
+    } else if (flag == "--shard") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.shard = std::atoi(v);
+    } else if (flag == "--axis") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string axis = v;
+      if (axis == "loops") {
+        args.axis = ShardAxis::kLoops;
+      } else if (axis == "points") {
+        args.axis = ShardAxis::kPoints;
+      } else {
+        return false;
+      }
+    } else if (flag == "--warm") {
+      args.warm = true;
+    } else if (!flag.empty() && flag[0] != '-') {
+      args.inputs.push_back(flag);
+    } else {
+      return false;
+    }
+  }
+  return !args.out.empty();
+}
+
+void print_store_counters(std::ostream& os, const SweepResult& sweep) {
+  os << "store: front " << sweep.cache.disk_hits << "/" << sweep.cache.disk_probes << ", mii "
+     << sweep.cache.mii_disk_hits << "/" << sweep.cache.mii_disk_probes << ", schedules "
+     << sweep.cache.sched_disk_hits << "/" << sweep.cache.sched_disk_probes << "; warm "
+     << sweep.cache.warm_hits << "/" << sweep.cache.warm_probes << "\n";
+}
+
+/// Canonical results-only JSON: every semantic LoopResult field, no
+/// timing and no effort provenance, so a merged sharded sweep and the
+/// single-process sweep produce byte-identical files.
+void write_results_json(std::ostream& os, const std::vector<SweepPoint>& points,
+                        const SweepResult& sweep) {
+  os << "{\n  \"bench\": \"sweep_shard\",\n"
+     << "  \"points\": " << sweep.by_point.size() << ",\n"
+     << "  \"loops\": " << (sweep.by_point.empty() ? 0 : sweep.by_point[0].size()) << ",\n"
+     << "  \"fingerprint\": \"" << std::hex << hash_bytes(sweep_result_fingerprint(sweep))
+     << std::dec << "\",\n  \"results\": [";
+  for (std::size_t p = 0; p < sweep.by_point.size(); ++p) {
+    os << (p == 0 ? "" : ",") << "\n    {\"label\": \""
+       << (p < points.size() ? points[p].label : std::string("?")) << "\", \"loops\": [";
+    for (std::size_t i = 0; i < sweep.by_point[p].size(); ++i) {
+      const LoopResult& r = sweep.by_point[p][i];
+      os << (i == 0 ? "" : ",") << "\n      {\"name\": \"" << r.name << "\", \"ok\": "
+         << (r.ok ? "true" : "false") << ", \"failed_stage\": \"" << r.failed_stage
+         << "\", \"ii\": " << r.ii << ", \"mii\": " << r.mii << ", \"stage_count\": "
+         << r.stage_count << ", \"unroll\": " << r.unroll_factor << ", \"sched_ops\": "
+         << r.sched_ops << ", \"copies\": " << r.copies << ", \"moves\": " << r.moves
+         << ", \"queues\": " << r.total_queues << ", \"registers\": " << r.registers
+         << ", \"ipc_static\": " << fixed(r.ipc_static, 9) << ", \"ipc_dynamic\": "
+         << fixed(r.ipc_dynamic, 9) << ", \"fits\": " << (r.fits_machine_queues ? "true" : "false")
+         << ", \"fit_retries\": " << r.queue_fit_retries << "}";
+    }
+    os << "\n    ]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+int write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_mode(const Args& args, bool sharded) {
+  const Suite suite = bench::make_suite();
+  const std::vector<SweepPoint> points = bench::perf_sweep_points();
+
+  SweepOptions options;
+  options.store_dir = args.store;
+  options.warm_start = args.warm;
+  if (sharded) {
+    options.shard_count = args.shards;
+    options.shard_index = args.shard;
+    options.shard_axis = args.axis;
+  }
+  std::cout << (sharded ? "shard " : "single process ");
+  if (sharded) std::cout << args.shard << "/" << args.shards << " ";
+  std::cout << "(" << suite.loops.size() << " loops x " << points.size() << " points"
+            << (args.warm ? ", warm ladders" : "")
+            << (args.store.empty() ? "" : ", shared store ") << args.store << ")...\n";
+  const SweepResult sweep = SweepRunner(options).run(suite.loops, points);
+  std::cout << "ran " << sweep.pipelines << " pipelines in " << fixed(sweep.wall_seconds, 2)
+            << " s\n";
+  print_store_counters(std::cout, sweep);
+
+  if (!sharded) {
+    std::ostringstream json;
+    write_results_json(json, points, sweep);
+    return write_file(args.out, json.str());
+  }
+  SweepShard shard;
+  shard.header.shard_count = args.shards;
+  shard.header.shard_index = args.shard;
+  shard.header.axis = args.axis;
+  shard.header.loops = suite.loops.size();
+  shard.header.points = points.size();
+  shard.header.config_hash = sweep_config_hash(suite.loops, points);
+  shard.result = sweep;
+  return write_file(args.out, encode_sweep_shard(shard));
+}
+
+int merge_mode(const Args& args) {
+  if (args.inputs.empty()) {
+    std::cerr << "merge: no shard files given\n";
+    return 2;
+  }
+  std::vector<SweepShard> shards;
+  for (const std::string& path : args.inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read " << path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    shards.push_back(decode_sweep_shard(std::move(buffer).str()));
+    std::cout << path << ": shard " << shards.back().header.shard_index << "/"
+              << shards.back().header.shard_count << ", " << shards.back().result.pipelines
+              << " pipelines\n";
+  }
+  const SweepResult merged = merge_sweep_shards(std::move(shards));
+  std::cout << "merged " << merged.pipelines << " pipelines\n";
+  print_store_counters(std::cout, merged);
+
+  // Labels for the canonical JSON: the shared perf sweep's points (the
+  // config hash already proved the shards came from this sweep).
+  std::ostringstream json;
+  write_results_json(json, bench::perf_sweep_points(), merged);
+  return write_file(args.out, json.str());
+}
+
+int run(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  try {
+    if (args.mode == "run") {
+      if (args.shards < 1 || args.shard < 0 || args.shard >= args.shards) return usage();
+      return run_mode(args, /*sharded=*/true);
+    }
+    if (args.mode == "single") return run_mode(args, /*sharded=*/false);
+    if (args.mode == "merge") return merge_mode(args);
+  } catch (const Error& e) {
+    std::cerr << "sweep_shard: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace qvliw
+
+int main(int argc, char** argv) { return qvliw::run(argc, argv); }

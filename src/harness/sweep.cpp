@@ -47,6 +47,8 @@ SweepCacheStats& SweepCacheStats::operator+=(const SweepCacheStats& other) {
   disk_hits += other.disk_hits;
   mii_disk_probes += other.mii_disk_probes;
   mii_disk_hits += other.mii_disk_hits;
+  sched_disk_probes += other.sched_disk_probes;
+  sched_disk_hits += other.sched_disk_hits;
   warm_probes += other.warm_probes;
   warm_hits += other.warm_hits;
   probe_factors += other.probe_factors;
@@ -159,8 +161,21 @@ using FrontSeconds = std::array<double, 4>;
 // The key changes with the version, so stale entries are simply never
 // read again.  (Loop-serialization layout changes are self-invalidating:
 // Loop::content_hash is derived from the serialized bytes.)
+//
+// Since the store now also holds accepted *schedules*, "behavioral
+// change" includes the back end: any change to a scheduler backend's
+// search (IMS placement order, partitioning heuristics, budget
+// semantics) must bump the version too, or a warm store replays the old
+// binary's schedule — still valid, so the seed verifier accepts it, but
+// no longer what the current cold search would find, breaking
+// results_identical against the same invocation's cold run.
+//
+// v2: decoders uniformly reject trailing bytes (require_exhausted at
+// every decode site), and the store gained persisted warm-start schedule
+// entries; entries written by v1 code are retired wholesale rather than
+// trusting v1's laxer acceptance.
 
-constexpr std::uint64_t kStoreFormatVersion = 1;
+constexpr std::uint64_t kStoreFormatVersion = 2;
 
 std::uint64_t store_key(std::uint64_t loop_content_hash, std::uint64_t front_key_value) {
   return hash_combine(hash_combine(hash64(kStoreFormatVersion), loop_content_hash),
@@ -176,6 +191,46 @@ std::uint64_t mii_store_key(std::uint64_t loop_content_hash, std::uint64_t front
   return hash_combine(hash_combine(hash_combine(hash64(kStoreFormatVersion), hash64(0x4d4949u)),
                                    hash_combine(loop_content_hash, front_key_value)),
                       machine_signature);
+}
+
+// Accepted warm-start schedules are a pure function of (front loop,
+// machine, backend identity/options, placement budget): IMS is
+// deterministic, so the entry under this key is exactly the schedule the
+// point's own cold search would accept.  Seeding a point with its own
+// prior accepted schedule therefore preserves bit-identical results while
+// collapsing the accepting search into one verification pass — including
+// for the *first* point of a ladder, which in-process chaining can never
+// seed.  budget_ratio is folded explicitly because the backend cache key
+// deliberately excludes the ladder axis; cross_machine_seeds is folded
+// because that mode may accept better-than-cold IIs, and its entries must
+// never leak into bit-identity-preserving stores.
+std::uint64_t sched_store_key(std::uint64_t loop_content_hash, const SweepPrefixKeys& keys,
+                              int budget_ratio, bool cross_machine) {
+  const std::uint64_t identity = hash_combine(hash_combine(loop_content_hash, keys.front),
+                                              hash_combine(keys.machine, keys.backend));
+  return hash_combine(
+      hash_combine(hash_combine(hash64(kStoreFormatVersion), hash64(0x5c4edULL)), identity),
+      hash_combine(hash64(static_cast<std::uint64_t>(budget_ratio)),
+                   hash64(cross_machine ? 1 : 0)));
+}
+
+std::string encode_warm_seed(const WarmStartSeed& seed) {
+  BlobWriter out;
+  serialize_schedule(out, seed.schedule);  // carries the II
+  return out.take();
+}
+
+/// Throws Error on truncation/trailing bytes; the caller treats that as
+/// a store miss.  The decoded schedule is *not* trusted: ims_schedule
+/// re-verifies every seed against the exact (loop, graph, machine)
+/// before installing it.
+WarmStartSeed decode_warm_seed(const std::string& blob) {
+  BlobReader in(blob);
+  WarmStartSeed seed;
+  seed.schedule = deserialize_schedule(in);
+  in.require_exhausted("warm seed blob");
+  seed.ii = seed.schedule.ii();
+  return seed;
 }
 
 std::string encode_mii(const MiiInfo& mii) {
@@ -196,7 +251,7 @@ MiiInfo decode_mii(const std::string& blob) {
   mii.res_mii = in.get_i32();
   mii.rec_mii = in.get_i32();
   mii.mii = in.get_i32();
-  check(in.exhausted(), "mii blob: trailing bytes");
+  in.require_exhausted("mii blob");
   return mii;
 }
 
@@ -240,7 +295,7 @@ FrontEntry decode_front_entry(const std::string& blob, const Loop& source,
     r.unroll_factor = in.get_i32();
     r.copies = in.get_i32();
   }
-  check(in.exhausted(), "front entry blob: trailing bytes");
+  in.require_exhausted("front entry blob");
   return entry;
 }
 
@@ -413,15 +468,62 @@ SweepPrefixKeys sweep_prefix_keys(const SweepPoint& point) {
   return keys;
 }
 
+std::vector<StageTotal> ordered_stage_totals(std::map<std::string, double, std::less<>> totals) {
+  static constexpr std::string_view kOrder[] = {kStageInvariants, kStageUnroll, kStageCopyInsert,
+                                                "mii",            kStageSchedule, kStageQueueAlloc,
+                                                kStageSim};
+  std::vector<StageTotal> out;
+  for (std::string_view stage : kOrder) {
+    if (auto it = totals.find(stage); it != totals.end()) {
+      out.push_back({it->first, it->second});
+      totals.erase(it);
+    }
+  }
+  for (const auto& [stage, seconds] : totals) out.push_back({stage, seconds});
+  return out;
+}
+
+bool shard_owns(ShardAxis axis, int shard_count, int shard_index, std::size_t loop_index,
+                std::size_t point_index) {
+  check(shard_count >= 1, "shard_owns: shard_count must be >= 1");
+  check(shard_index >= 0 && shard_index < shard_count, "shard_owns: shard_index out of range");
+  const std::size_t owner = axis == ShardAxis::kLoops
+                                ? loop_index % static_cast<std::size_t>(shard_count)
+                                : point_index % static_cast<std::size_t>(shard_count);
+  return owner == static_cast<std::size_t>(shard_index);
+}
+
+std::string_view shard_axis_name(ShardAxis axis) {
+  return axis == ShardAxis::kLoops ? "loops" : "points";
+}
+
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
 
 SweepResult SweepRunner::run(const std::vector<Loop>& loops,
                              const std::vector<SweepPoint>& points) const {
   const Clock::time_point sweep_start = Clock::now();
 
+  check(options_.shard_count >= 1, "SweepRunner: shard_count must be >= 1");
+  check(options_.shard_index >= 0 && options_.shard_index < options_.shard_count,
+        "SweepRunner: shard_index out of range");
+  const bool sharded = options_.shard_count > 1;
+
   SweepResult sweep;
   sweep.by_point.assign(points.size(), std::vector<LoopResult>(loops.size()));
-  sweep.pipelines = static_cast<std::uint64_t>(loops.size()) * points.size();
+  if (sharded) {
+    // Only the owned cells run (and count); everything else stays a
+    // default LoopResult for merge_sweep_shards to fill from its owner.
+    sweep.pipelines = 0;
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        if (shard_owns(options_.shard_axis, options_.shard_count, options_.shard_index, i, p)) {
+          ++sweep.pipelines;
+        }
+      }
+    }
+  } else {
+    sweep.pipelines = static_cast<std::uint64_t>(loops.size()) * points.size();
+  }
 
   std::vector<SweepPrefixKeys> keys(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) keys[p] = sweep_prefix_keys(points[p]);
@@ -458,30 +560,55 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
       chain_of[p] = it->second;
       members[static_cast<std::size_t>(it->second)].push_back(p);
     }
-    // Permute each chain's members (ascending budget, stable) among the
-    // execution slots they already occupy; everything else stays put.
+    // Permute each chain's members (ascending budget) among the execution
+    // slots they already occupy; everything else stays put.  Equal-budget
+    // points are ordered by original point index — a fully specified key,
+    // so seed provenance (which point warm-starts which) is identical
+    // run-to-run even when a ladder repeats a budget (regression test:
+    // WarmStartDeterministicWithDuplicateBudgets).
     for (const std::vector<std::size_t>& chain : members) {
       std::vector<std::size_t> sorted = chain;
-      std::stable_sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
-        return points[a].options.ims.budget_ratio < points[b].options.ims.budget_ratio;
+      std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+        const int ba = points[a].options.ims.budget_ratio;
+        const int bb = points[b].options.ims.budget_ratio;
+        return ba != bb ? ba < bb : a < b;
       });
       for (std::size_t j = 0; j < chain.size(); ++j) exec_order[chain[j]] = sorted[j];
     }
   }
 
+  // Persisted warm-start schedules: each warm-eligible point consults the
+  // store for its own previously accepted schedule before scheduling, and
+  // records its accepted schedule afterwards — the cross-process /
+  // cross-invocation leg of warm starting.
+  const bool persist_sched = warm && persist;
+  const bool cross_machine = warm && options_.cross_machine_seeds;
+
   std::mutex merge_mutex;
   FrontSeconds front_seconds{};
 
   auto run_loop = [&](std::size_t i) {
+    if (sharded && options_.shard_axis == ShardAxis::kLoops &&
+        !shard_owns(options_.shard_axis, options_.shard_count, options_.shard_index, i, 0)) {
+      return;
+    }
     LoopCache cache;
     SweepCacheStats local_stats;
     FrontSeconds local_seconds{};
     const std::uint64_t loop_hash = persist ? loops[i].content_hash() : 0;
     std::vector<std::unique_ptr<WarmStartSeed>> chain_seed(
         static_cast<std::size_t>(chain_count));
+    // Most recent accepted schedule per (front prefix, backend) across
+    // *all* machines of this loop, offered to seedless ladder starts when
+    // cross_machine_seeds is on.
+    std::map<std::uint64_t, WarmStartSeed> cross_seeds;
 
     for (std::size_t o = 0; o < exec_order.size(); ++o) {
       const std::size_t p = exec_order[o];
+      if (sharded && options_.shard_axis == ShardAxis::kPoints &&
+          !shard_owns(options_.shard_axis, options_.shard_count, options_.shard_index, i, p)) {
+        continue;
+      }
       const SweepPoint& point = points[p];
       LoopResult out;
       bool produced = false;
@@ -501,17 +628,62 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
                   mii_for(front, point, keys[p], store, loop_hash, local_stats, local_seconds);
             }
             const int chain = chain_of[p];
-            if (chain >= 0 && chain_seed[static_cast<std::size_t>(chain)] != nullptr) {
-              ctx.seed = chain_seed[static_cast<std::size_t>(chain)].get();
-              ++local_stats.warm_probes;
+            const std::uint64_t cross_key = hash_combine(keys[p].front, keys[p].backend);
+            std::unique_ptr<WarmStartSeed> disk_seed;
+            bool disk_seed_installed = false;
+            if (chain >= 0) {
+              // Seed preference: the point's own persisted schedule (an
+              // exact answer — installing it is bit-identical to the cold
+              // search), then the in-process ladder predecessor, then —
+              // opt-in — another machine's ladder over the same front.
+              if (persist_sched) {
+                ++local_stats.sched_disk_probes;
+                std::string blob;
+                if (store->load(sched_store_key(loop_hash, keys[p],
+                                                point.options.ims.budget_ratio, cross_machine),
+                                blob)) {
+                  try {
+                    disk_seed = std::make_unique<WarmStartSeed>(decode_warm_seed(blob));
+                    ++local_stats.sched_disk_hits;
+                  } catch (const Error&) {
+                    // Corrupt or stale entry: fall back to in-process
+                    // seeding (the save below overwrites it).
+                  }
+                }
+              }
+              if (disk_seed != nullptr) {
+                ctx.seed = disk_seed.get();
+              } else if (chain_seed[static_cast<std::size_t>(chain)] != nullptr) {
+                ctx.seed = chain_seed[static_cast<std::size_t>(chain)].get();
+              } else if (cross_machine) {
+                if (auto it = cross_seeds.find(cross_key); it != cross_seeds.end()) {
+                  ctx.seed = &it->second;
+                }
+              }
+              if (ctx.seed != nullptr) ++local_stats.warm_probes;
             }
             run_stages(ctx, back_stage_plan());
-            if (ctx.result.warm_started) ++local_stats.warm_hits;
+            if (ctx.result.warm_started) {
+              ++local_stats.warm_hits;
+              if (ctx.seed == disk_seed.get() && disk_seed != nullptr) {
+                disk_seed_installed = true;
+              }
+            }
             if (chain >= 0 && ctx.sched.ok) {
               // The accepted schedule (post queue-fit escalation) seeds
               // the chain's next, larger-budget point.
               chain_seed[static_cast<std::size_t>(chain)] = std::make_unique<WarmStartSeed>(
                   WarmStartSeed{ctx.sched.schedule, ctx.sched.ii});
+              if (cross_machine) {
+                cross_seeds[cross_key] = *chain_seed[static_cast<std::size_t>(chain)];
+              }
+              // Persist the accepted schedule unless the store already
+              // holds exactly it (it was just installed from there).
+              if (persist_sched && !disk_seed_installed) {
+                store->save(sched_store_key(loop_hash, keys[p], point.options.ims.budget_ratio,
+                                            cross_machine),
+                            encode_warm_seed(*chain_seed[static_cast<std::size_t>(chain)]));
+              }
             }
             out = std::move(ctx.result);
           } else {
@@ -553,16 +725,7 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
   totals[std::string(kStageUnroll)] += front_seconds[1];
   totals[std::string(kStageCopyInsert)] += front_seconds[2];
   if (front_seconds[3] > 0.0) totals["mii"] += front_seconds[3];
-  static constexpr std::string_view kOrder[] = {kStageInvariants, kStageUnroll, kStageCopyInsert,
-                                                "mii",            kStageSchedule, kStageQueueAlloc,
-                                                kStageSim};
-  for (std::string_view stage : kOrder) {
-    if (auto it = totals.find(stage); it != totals.end()) {
-      sweep.stage_totals.push_back({it->first, it->second});
-      totals.erase(it);
-    }
-  }
-  for (const auto& [stage, seconds] : totals) sweep.stage_totals.push_back({stage, seconds});
+  sweep.stage_totals = ordered_stage_totals(std::move(totals));
 
   sweep.wall_seconds = seconds_since(sweep_start);
   return sweep;

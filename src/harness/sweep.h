@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,6 +58,14 @@ struct SweepCacheStats {
   /// consulted in the store on an in-memory MII miss.  Separate from the
   /// front-entry disk counters for the same comparability reason.
   std::uint64_t mii_disk_probes = 0, mii_disk_hits = 0;
+
+  /// Persistent warm-start schedule tier: accepted (schedule, II) entries
+  /// consulted in the store per warm-eligible point (see
+  /// SweepOptions::warm_start + store_dir).  A hit seeds the point with
+  /// its *own* previously accepted schedule, so the II search collapses
+  /// into a verification pass even for the first point of a ladder — the
+  /// cross-process/cross-invocation warm start.
+  std::uint64_t sched_disk_probes = 0, sched_disk_hits = 0;
 
   /// Warm-start accounting: points offered a neighbouring budget-ladder
   /// point's accepted schedule as a seed, and points whose final schedule
@@ -96,9 +105,45 @@ struct StageTotal {
   double seconds = 0.0;
 };
 
+/// Canonical ordering of aggregated per-stage seconds: the pipeline
+/// stages in execution order first, any other stage alphabetically
+/// after.  Shared by the sweep runner and the shard merger so merged and
+/// single-process results order stage_totals identically.
+[[nodiscard]] std::vector<StageTotal> ordered_stage_totals(
+    std::map<std::string, double, std::less<>> totals);
+
+/// Which axis of the (loop x point) cross product a sharded sweep
+/// partitions (see SweepOptions::shard_count).
+enum class ShardAxis {
+  /// Round-robin over loops: shard s owns every point of loop i iff
+  /// i % shard_count == s.  The default — per-loop caches and warm-start
+  /// ladders live entirely inside one shard, so a merged sharded sweep is
+  /// bit-identical to the single-process sweep *including* cache and
+  /// warm-start provenance.
+  kLoops,
+  /// Round-robin over points: shard s owns point p of every loop iff
+  /// p % shard_count == s.  Results are still bit-identical (sharding
+  /// never changes outcomes), but points of one budget ladder may land in
+  /// different shards, so warm-start hit counts can be lower than the
+  /// single-process run's.
+  kPoints,
+};
+
 struct SweepOptions {
   bool use_cache = true;  // prefix-artifact caching across points
   bool parallel = true;   // fan loops across the worker pool
+
+  /// Process-sharded execution: this runner computes only the cells of
+  /// the (loop x point) cross product that `shard_index` owns under the
+  /// deterministic `shard_axis` partition; every other cell of
+  /// SweepResult::by_point is left default-constructed.  All shards of
+  /// one sweep share `store_dir` (the artifact store is the persistence
+  /// seam between processes), and merge_sweep_shards (harness/shard.h)
+  /// stitches the emitted shards back into the single-process result.
+  /// shard_count == 1 is the unsharded sweep, byte-for-byte.
+  int shard_count = 1;
+  int shard_index = 0;
+  ShardAxis shard_axis = ShardAxis::kLoops;
 
   /// Root directory of the persistent content-addressed artifact store
   /// (support/artifact_store.h); empty disables persistence.  Keyed by
@@ -118,7 +163,27 @@ struct SweepOptions {
   /// search skipped.  LoopResults differ from a cold sweep only in
   /// ImsStats/warm_started (provenance, not outcome).  Requires
   /// use_cache.
+  ///
+  /// With store_dir also set, every warm-eligible point's *accepted*
+  /// schedule is persisted in the artifact store (keyed by loop content
+  /// hash + front prefix + machine signature + backend cache key + budget
+  /// + store format version), and consulted before scheduling: a hit is
+  /// the point's own prior accepted schedule, which IMS verifies and
+  /// installs, so ladders warm across processes and bench invocations
+  /// with bit-identical results.
   bool warm_start = false;
+
+  /// Additionally seed the *first* point of a warm-start ladder with the
+  /// most recent accepted schedule of another machine's ladder over the
+  /// same (loop, front prefix, backend) — the cross-machine chaining the
+  /// ROADMAP left open.  The seed verifier makes foreign seeds safe: a
+  /// schedule that does not fit the new machine is silently ignored, and
+  /// one that does can only ever *cap* the II ladder, so final IIs are
+  /// never worse than cold — but they can be better (the seed may prove
+  /// an II the point's own budget would have given up on), so results are
+  /// no longer guaranteed bit-identical to a cold sweep.  Off by default
+  /// for exactly that reason.  Requires warm_start.
+  bool cross_machine_seeds = false;
 };
 
 /// Level-by-level option-prefix hashes of one sweep point.  Derived once
@@ -145,6 +210,16 @@ struct SweepPrefixKeys {
 };
 
 [[nodiscard]] SweepPrefixKeys sweep_prefix_keys(const SweepPoint& point);
+
+/// The deterministic shard partition: whether shard `shard_index` of
+/// `shard_count` owns cell (loop_index, point_index) under `axis`.  Every
+/// cell is owned by exactly one shard (a test enforces this); the sweep
+/// runner and the shard merger share this one definition.
+[[nodiscard]] bool shard_owns(ShardAxis axis, int shard_count, int shard_index,
+                              std::size_t loop_index, std::size_t point_index);
+
+/// "loops" / "points" (used by shard files and CLI flags).
+[[nodiscard]] std::string_view shard_axis_name(ShardAxis axis);
 
 struct SweepResult {
   /// results[point][loop], index-aligned with the inputs.

@@ -5,6 +5,7 @@
 
 #include "ir/printer.h"
 #include "sched/reservation.h"
+#include "support/artifact_store.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
 
@@ -192,6 +193,39 @@ std::string format_kernel(const Loop& loop, const MachineConfig& machine,
     os << '\n';
   }
   return os.str();
+}
+
+void serialize_schedule(BlobWriter& out, const Schedule& schedule) {
+  out.put_i32(schedule.ii());
+  out.put_i32(schedule.op_count());
+  for (int op = 0; op < schedule.op_count(); ++op) {
+    const bool placed = schedule.scheduled(op);
+    out.put_bool(placed);
+    if (!placed) continue;
+    const Placement& p = schedule.place(op);
+    out.put_i32(p.cycle);
+    out.put_i32(p.cluster);
+    out.put_i32(p.fu);
+  }
+}
+
+Schedule deserialize_schedule(BlobReader& in) {
+  const std::int32_t ii = in.get_i32();
+  const std::int32_t ops = in.get_i32();
+  check(ii >= 1, "deserialize_schedule: II < 1");
+  check(ops >= 0 && ops <= 1 << 24, "deserialize_schedule: implausible op count");
+  Schedule schedule(ops, ii);
+  for (int op = 0; op < ops; ++op) {
+    if (!in.get_bool()) continue;
+    Placement p;
+    p.cycle = in.get_i32();
+    p.cluster = in.get_i32();
+    p.fu = in.get_i32();
+    check(p.cycle >= 0 && p.cluster >= 0 && p.fu >= 0,
+          "deserialize_schedule: negative placement field");
+    schedule.set(op, p);
+  }
+  return schedule;
 }
 
 }  // namespace qvliw

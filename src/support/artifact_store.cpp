@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "support/diagnostics.h"
+#include "support/strings.h"
 
 namespace qvliw {
 
@@ -24,7 +25,12 @@ std::string hex16(std::uint64_t v) {
   return std::string(out, 16);
 }
 
-/// Process-wide counter making temp names unique across worker threads.
+/// Counter making temp names unique across worker threads of this
+/// process; the pid folded into the name alongside it keeps them unique
+/// across *processes* too — sharded sweeps point several writers at one
+/// store directory, and a temp-name collision would interleave two
+/// writers' bytes before the rename.  (A multi-process stress test in
+/// tests/test_support.cpp forks concurrent writers at one key.)
 std::atomic<std::uint64_t> temp_counter{0};
 
 }  // namespace
@@ -133,6 +139,10 @@ std::string BlobReader::get_string() {
   std::string out(bytes_.substr(cursor_, size));
   cursor_ += size;
   return out;
+}
+
+void BlobReader::require_exhausted(std::string_view what) const {
+  check(exhausted(), cat(what, ": trailing bytes"));
 }
 
 }  // namespace qvliw

@@ -79,6 +79,13 @@ class BlobReader {
   /// True when every byte has been consumed.
   [[nodiscard]] bool exhausted() const { return cursor_ == bytes_.size(); }
 
+  /// Throws Error("<what>: trailing bytes") unless exhausted.  Every
+  /// top-level decoder of a store entry must end with this: a blob that
+  /// decodes cleanly but has bytes left over is a *different* (longer,
+  /// future-format) entry, and accepting it would replay stale artifacts
+  /// instead of treating them as misses.
+  void require_exhausted(std::string_view what) const;
+
  private:
   std::string_view bytes_;
   std::size_t cursor_ = 0;

@@ -3,6 +3,7 @@
 #include "ir/parser.h"
 #include "sched/reservation.h"
 #include "sched/schedule.h"
+#include "support/artifact_store.h"
 #include "support/diagnostics.h"
 
 namespace qvliw {
@@ -172,6 +173,53 @@ TEST(FormatKernel, MentionsOpsAndStages) {
   EXPECT_NE(text.find("II=2"), std::string::npos);
   EXPECT_NE(text.find("x(s0)"), std::string::npos);
   EXPECT_NE(text.find("st#1(s1)"), std::string::npos);
+}
+
+TEST(ScheduleCodec, RoundTripsPlacementsAndHoles) {
+  Schedule schedule(4, 3);
+  schedule.set(0, {0, 0, 0});
+  schedule.set(1, {5, 1, 2});
+  schedule.set(3, {2, 0, 1});  // op 2 deliberately unscheduled
+
+  BlobWriter writer;
+  serialize_schedule(writer, schedule);
+  const std::string bytes = writer.take();
+
+  BlobReader reader(bytes);
+  const Schedule copy = deserialize_schedule(reader);
+  reader.require_exhausted("schedule");
+  ASSERT_EQ(copy.op_count(), schedule.op_count());
+  EXPECT_EQ(copy.ii(), schedule.ii());
+  for (int op = 0; op < schedule.op_count(); ++op) {
+    ASSERT_EQ(copy.scheduled(op), schedule.scheduled(op)) << op;
+    if (schedule.scheduled(op)) {
+      EXPECT_EQ(copy.place(op), schedule.place(op)) << op;
+    }
+  }
+}
+
+TEST(ScheduleCodec, RejectsMalformedBlobs) {
+  Schedule schedule(2, 2);
+  schedule.set(0, {0, 0, 0});
+  schedule.set(1, {1, 0, 1});
+  BlobWriter writer;
+  serialize_schedule(writer, schedule);
+  const std::string bytes = writer.take();
+
+  // Truncation anywhere throws instead of producing a partial schedule.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    BlobReader reader(std::string_view(bytes).substr(0, cut));
+    EXPECT_THROW((void)deserialize_schedule(reader), Error) << cut;
+  }
+
+  // A structurally invalid payload (II < 1) is rejected even when the
+  // byte count is right.
+  BlobWriter bad;
+  bad.put_i32(0);  // II
+  bad.put_i32(0);  // op count
+  const std::string bad_bytes = bad.take();
+  BlobReader reader(bad_bytes);
+  EXPECT_THROW((void)deserialize_schedule(reader), Error);
 }
 
 }  // namespace

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/shard.h"
+#include "support/artifact_store.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+#include "workload/suite.h"
+
+namespace qvliw {
+namespace {
+
+// The perf_micro-shaped sweep: one clustered machine, heuristic x budget
+// back ends sharing a front prefix, so warm-start ladders form.
+std::vector<SweepPoint> ladder_points() {
+  std::vector<SweepPoint> points;
+  const MachineConfig ring = MachineConfig::clustered_machine(4);
+  for (const ClusterHeuristic heuristic :
+       {ClusterHeuristic::kAffinity, ClusterHeuristic::kLoadBalance}) {
+    for (const int budget : {6, 12}) {
+      SweepPoint point{cat(cluster_heuristic_name(heuristic), "-", budget), ring, {}};
+      point.options.unroll = true;
+      point.options.scheduler = SchedulerKind::kClustered;
+      point.options.heuristic = heuristic;
+      point.options.ims.budget_ratio = budget;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+SweepShard run_shard(const std::vector<Loop>& loops, const std::vector<SweepPoint>& points,
+                     SweepOptions options, int shard_count, int shard_index, ShardAxis axis) {
+  options.shard_count = shard_count;
+  options.shard_index = shard_index;
+  options.shard_axis = axis;
+  SweepShard shard;
+  shard.header.shard_count = shard_count;
+  shard.header.shard_index = shard_index;
+  shard.header.axis = axis;
+  shard.header.loops = loops.size();
+  shard.header.points = points.size();
+  shard.header.config_hash = sweep_config_hash(loops, points);
+  shard.result = SweepRunner(options).run(loops, points);
+  return shard;
+}
+
+TEST(Shard, EveryCellOwnedByExactlyOneShard) {
+  for (const ShardAxis axis : {ShardAxis::kLoops, ShardAxis::kPoints}) {
+    for (const int count : {1, 2, 3, 5}) {
+      for (std::size_t i = 0; i < 11; ++i) {
+        for (std::size_t p = 0; p < 7; ++p) {
+          int owners = 0;
+          for (int s = 0; s < count; ++s) {
+            if (shard_owns(axis, count, s, i, p)) ++owners;
+          }
+          EXPECT_EQ(owners, 1) << shard_axis_name(axis) << " " << count << " " << i << "," << p;
+        }
+      }
+    }
+  }
+  EXPECT_THROW((void)shard_owns(ShardAxis::kLoops, 0, 0, 0, 0), Error);
+  EXPECT_THROW((void)shard_owns(ShardAxis::kLoops, 2, 2, 0, 0), Error);
+  EXPECT_THROW((void)shard_owns(ShardAxis::kLoops, 2, -1, 0, 0), Error);
+}
+
+TEST(Shard, CodecRoundTripsEverything) {
+  const Suite suite = small_suite(5, 41);
+  const std::vector<SweepPoint> points = ladder_points();
+  const SweepShard shard =
+      run_shard(suite.loops, points, SweepOptions{}, 2, 1, ShardAxis::kLoops);
+
+  const std::string bytes = encode_sweep_shard(shard);
+  const SweepShard copy = decode_sweep_shard(bytes);
+
+  EXPECT_EQ(copy.header.shard_count, shard.header.shard_count);
+  EXPECT_EQ(copy.header.shard_index, shard.header.shard_index);
+  EXPECT_EQ(copy.header.axis, shard.header.axis);
+  EXPECT_EQ(copy.header.loops, shard.header.loops);
+  EXPECT_EQ(copy.header.points, shard.header.points);
+  EXPECT_EQ(copy.header.config_hash, shard.header.config_hash);
+  EXPECT_EQ(copy.result.pipelines, shard.result.pipelines);
+  EXPECT_EQ(copy.result.wall_seconds, shard.result.wall_seconds);
+  EXPECT_EQ(copy.result.cache.front_probes, shard.result.cache.front_probes);
+  EXPECT_EQ(copy.result.cache.warm_hits, shard.result.cache.warm_hits);
+  ASSERT_EQ(copy.result.stage_totals.size(), shard.result.stage_totals.size());
+  for (std::size_t t = 0; t < shard.result.stage_totals.size(); ++t) {
+    EXPECT_EQ(copy.result.stage_totals[t].stage, shard.result.stage_totals[t].stage);
+    EXPECT_EQ(copy.result.stage_totals[t].seconds, shard.result.stage_totals[t].seconds);
+  }
+  EXPECT_EQ(sweep_result_fingerprint(copy.result), sweep_result_fingerprint(shard.result));
+  // The full codec also carries provenance (effort stats, stage times).
+  ASSERT_EQ(copy.result.by_point.size(), shard.result.by_point.size());
+  for (std::size_t p = 0; p < shard.result.by_point.size(); ++p) {
+    for (std::size_t i = 0; i < shard.result.by_point[p].size(); ++i) {
+      const LoopResult& a = copy.result.by_point[p][i];
+      const LoopResult& b = shard.result.by_point[p][i];
+      EXPECT_EQ(a.sched_stats.placements, b.sched_stats.placements);
+      EXPECT_EQ(a.warm_started, b.warm_started);
+      EXPECT_EQ(a.stage_times.size(), b.stage_times.size());
+    }
+  }
+}
+
+TEST(Shard, DecodeRejectsTrailingBytesAndBadMagic) {
+  const Suite suite = small_suite(3, 43);
+  const std::vector<SweepPoint> points = ladder_points();
+  const SweepShard shard =
+      run_shard(suite.loops, points, SweepOptions{}, 1, 0, ShardAxis::kLoops);
+  const std::string bytes = encode_sweep_shard(shard);
+
+  EXPECT_THROW((void)decode_sweep_shard(bytes + "x"), Error);
+  EXPECT_THROW((void)decode_sweep_shard(bytes.substr(0, bytes.size() - 1)), Error);
+  std::string corrupt = bytes;
+  corrupt[0] = static_cast<char>(corrupt[0] ^ 1);  // magic mismatch
+  EXPECT_THROW((void)decode_sweep_shard(corrupt), Error);
+}
+
+// The tentpole golden test: the merged N-shard sweep is bit-identical to
+// the single-process sweep — cold and warm, on both shard axes — with the
+// cells stitched from the shard that owns them and the accounting summed.
+TEST(Shard, MergedShardsBitIdenticalToSingleProcess) {
+  const Suite suite = small_suite(9, 47);
+  const std::vector<SweepPoint> points = ladder_points();
+
+  for (const bool warm : {false, true}) {
+    SweepOptions options;
+    options.warm_start = warm;
+    const SweepResult single = SweepRunner(options).run(suite.loops, points);
+    const std::string want = sweep_result_fingerprint(single);
+
+    for (const ShardAxis axis : {ShardAxis::kLoops, ShardAxis::kPoints}) {
+      for (const int count : {2, 3}) {
+        std::vector<SweepShard> shards;
+        std::uint64_t cells = 0;
+        for (int s = 0; s < count; ++s) {
+          shards.push_back(run_shard(suite.loops, points, options, count, s, axis));
+          cells += shards.back().result.pipelines;
+        }
+        EXPECT_EQ(cells, suite.loops.size() * points.size());
+
+        const SweepResult merged = merge_sweep_shards(std::move(shards));
+        const std::string where =
+            cat(warm ? "warm" : "cold", " ", shard_axis_name(axis), " x", count);
+        EXPECT_EQ(sweep_result_fingerprint(merged), want) << where;
+        EXPECT_EQ(merged.pipelines, single.pipelines) << where;
+        // Loop-axis shards keep whole loops (caches and ladders intact),
+        // so even the cache accounting reassembles exactly.
+        if (axis == ShardAxis::kLoops) {
+          EXPECT_EQ(merged.cache.front_probes, single.cache.front_probes) << where;
+          EXPECT_EQ(merged.cache.front_hits, single.cache.front_hits) << where;
+          EXPECT_EQ(merged.cache.warm_probes, single.cache.warm_probes) << where;
+          EXPECT_EQ(merged.cache.warm_hits, single.cache.warm_hits) << where;
+        }
+      }
+    }
+  }
+}
+
+TEST(Shard, MergeRejectsInconsistentShardSets) {
+  const Suite suite = small_suite(4, 53);
+  const std::vector<SweepPoint> points = ladder_points();
+  SweepOptions options;
+
+  std::vector<SweepShard> shards;
+  shards.push_back(run_shard(suite.loops, points, options, 2, 0, ShardAxis::kLoops));
+  shards.push_back(run_shard(suite.loops, points, options, 2, 1, ShardAxis::kLoops));
+
+  // Missing shard.
+  EXPECT_THROW((void)merge_sweep_shards({shards[0]}), Error);
+  // Duplicate index.
+  EXPECT_THROW((void)merge_sweep_shards({shards[0], shards[0]}), Error);
+  // Mismatched partition.
+  {
+    std::vector<SweepShard> mixed = shards;
+    mixed[1].header.axis = ShardAxis::kPoints;
+    EXPECT_THROW((void)merge_sweep_shards(std::move(mixed)), Error);
+  }
+  // Mismatched sweep identity.
+  {
+    std::vector<SweepShard> mixed = shards;
+    mixed[1].header.config_hash ^= 1;
+    EXPECT_THROW((void)merge_sweep_shards(std::move(mixed)), Error);
+  }
+  // The untampered pair merges fine.
+  const SweepResult merged = merge_sweep_shards(std::move(shards));
+  EXPECT_EQ(merged.pipelines, suite.loops.size() * points.size());
+}
+
+TEST(Shard, ConfigHashSeparatesSweeps) {
+  const Suite a = small_suite(4, 61);
+  const Suite b = small_suite(4, 67);
+  const std::vector<SweepPoint> points = ladder_points();
+  EXPECT_NE(sweep_config_hash(a.loops, points), sweep_config_hash(b.loops, points));
+
+  std::vector<SweepPoint> fewer(points.begin(), points.end() - 1);
+  EXPECT_NE(sweep_config_hash(a.loops, points), sweep_config_hash(a.loops, fewer));
+}
+
+}  // namespace
+}  // namespace qvliw

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <filesystem>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "support/artifact_store.h"
 #include "support/diagnostics.h"
@@ -411,6 +414,86 @@ TEST(ArtifactStore, TruncatedBlobThrows) {
   const std::string lie = lying.take();
   BlobReader reader(lie);
   EXPECT_THROW((void)reader.get_string(), Error);
+}
+
+TEST(ArtifactStore, RequireExhaustedRejectsTrailingBytes) {
+  // A longer (future-format) entry must not silently decode as a valid
+  // shorter one: every decode site ends with require_exhausted, which
+  // only accepts a fully consumed blob.
+  BlobWriter writer;
+  writer.put_u64(7);
+  writer.put_bool(true);  // the "extra" trailing field a v+1 format adds
+  const std::string bytes = writer.take();
+
+  BlobReader reader(bytes);
+  EXPECT_EQ(reader.get_u64(), 7u);
+  EXPECT_THROW(reader.require_exhausted("entry"), Error);
+  EXPECT_TRUE(reader.get_bool());
+  reader.require_exhausted("entry");  // all consumed: no throw
+}
+
+// Sharded sweeps point several *processes* at one store directory, so
+// temp-file names must be unique across processes, not just threads —
+// a collision would interleave two writers' bytes before the atomic
+// rename.  Fork real concurrent writer processes hammering the same
+// keys and require every surviving value to be exactly one writer's
+// complete payload.
+TEST(ArtifactStore, MultiProcessWritersNeverInterleave) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "qvliw_test_artifacts_multiproc";
+  std::filesystem::remove_all(root);
+  const ArtifactStore store(root.string());
+
+  constexpr int kWriters = 4;
+  constexpr int kKeys = 16;
+  constexpr int kRounds = 25;
+  // Payload per (writer, key): long enough that a torn write would be
+  // visible, fully reconstructible by the parent for validation.
+  const auto payload = [](int writer, int key) {
+    std::string bytes;
+    bytes.reserve(2048 + static_cast<std::size_t>(key));
+    for (int b = 0; b < 2048 + key; ++b) {
+      bytes.push_back(static_cast<char>('A' + writer));
+    }
+    bytes += "|w" + std::to_string(writer) + "|k" + std::to_string(key);
+    return bytes;
+  };
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: rewrite every key repeatedly, racing its siblings.
+      for (int round = 0; round < kRounds; ++round) {
+        for (int key = 0; key < kKeys; ++key) {
+          store.save(static_cast<std::uint64_t>(key), payload(w, key));
+        }
+      }
+      _exit(0);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  for (int key = 0; key < kKeys; ++key) {
+    std::string blob;
+    ASSERT_TRUE(store.load(static_cast<std::uint64_t>(key), blob)) << key;
+    bool matches_one_writer = false;
+    for (int w = 0; w < kWriters; ++w) {
+      if (blob == payload(w, key)) {
+        matches_one_writer = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matches_one_writer)
+        << "key " << key << " holds interleaved bytes (size " << blob.size() << ")";
+  }
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace

@@ -1,4 +1,6 @@
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -472,6 +474,153 @@ TEST(Sweep, BackendContributionsNeverAliasCacheSlots) {
   SweepPoint bigger = clustered;
   bigger.options.ims.budget_ratio = 12;
   EXPECT_EQ(sweep_prefix_keys(bigger).backend, ck.backend);
+}
+
+// Regression: a ladder containing *duplicate* budgets used to rely on
+// the sort's unspecified equal-key order for seed provenance; the
+// execution order is now fully specified (budget, then original point
+// index), so which point warm-starts which is identical run-to-run.
+TEST(Sweep, WarmStartDeterministicWithDuplicateBudgets) {
+  const Suite suite = small_suite(6, 71);
+
+  std::vector<SweepPoint> points;
+  for (const int budget : {6, 6, 12, 12, 6}) {  // duplicates, unsorted
+    SweepPoint ring{cat("dup-", points.size()), MachineConfig::clustered_machine(4), {}};
+    ring.options.unroll = true;
+    ring.options.scheduler = SchedulerKind::kClustered;
+    ring.options.ims.budget_ratio = budget;
+    points.push_back(ring);
+  }
+
+  SweepOptions warm_options;
+  warm_options.warm_start = true;
+  warm_options.parallel = false;  // provenance must not need thread luck either
+  const SweepResult first = SweepRunner(warm_options).run(suite.loops, points);
+  const SweepResult second = SweepRunner(warm_options).run(suite.loops, points);
+
+  EXPECT_GT(first.cache.warm_probes, 0u);
+  EXPECT_GT(first.cache.warm_hits, 0u);
+  EXPECT_EQ(first.cache.warm_probes, second.cache.warm_probes);
+  EXPECT_EQ(first.cache.warm_hits, second.cache.warm_hits);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+      const std::string where = points[p].label + " / " + suite.loops[i].name;
+      // Provenance (who got seeded and whether the seed installed) is
+      // part of the determinism contract now, not just the outcomes.
+      EXPECT_EQ(first.by_point[p][i].warm_started, second.by_point[p][i].warm_started) << where;
+      expect_identical(first.by_point[p][i], second.by_point[p][i], where);
+    }
+  }
+
+  // Equal-budget neighbours are bit-identical cold, so the duplicate's
+  // seed installs: outcomes match the cold sweep exactly.
+  const SweepResult cold = SweepRunner().run(suite.loops, points);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+      expect_identical(first.by_point[p][i], cold.by_point[p][i],
+                       points[p].label + " / " + suite.loops[i].name,
+                       /*compare_effort=*/false);
+    }
+  }
+}
+
+// Cross-process warm start: a first process persists every accepted
+// schedule in the store; a second process (a real fork, sharing only the
+// store directory) seeds each point with its own prior schedule, reports
+// schedule-store and warm hits, and produces bit-identical results.
+TEST(Sweep, WarmSchedulesPersistAcrossProcesses) {
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() / "qvliw_test_store_sched";
+  std::filesystem::remove_all(store_dir);
+
+  const Suite suite = small_suite(6, 73);
+  std::vector<SweepPoint> points;
+  for (const int budget : {6, 12}) {
+    SweepPoint ring{cat("ring4-", budget), MachineConfig::clustered_machine(4), {}};
+    ring.options.unroll = true;
+    ring.options.scheduler = SchedulerKind::kClustered;
+    ring.options.ims.budget_ratio = budget;
+    points.push_back(ring);
+  }
+
+  SweepOptions warm_options;
+  warm_options.store_dir = store_dir.string();
+  warm_options.warm_start = true;
+  warm_options.parallel = false;  // the forked child must not touch the pool
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child process: the cold store population run.
+    const SweepResult seeded = SweepRunner(warm_options).run(suite.loops, points);
+    _exit(seeded.cache.sched_disk_hits == 0 ? 0 : 3);  // cold store: no hits yet
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << "population process failed";
+
+  // Second process (this one): every warm-eligible point hits its own
+  // persisted schedule, including the first point of each ladder.
+  const SweepResult warm = SweepRunner(warm_options).run(suite.loops, points);
+  EXPECT_GT(warm.cache.sched_disk_probes, 0u);
+  EXPECT_EQ(warm.cache.sched_disk_hits, warm.cache.sched_disk_probes);
+  EXPECT_GT(warm.cache.warm_hits, 0u);
+  EXPECT_EQ(warm.cache.warm_probes, warm.cache.sched_disk_hits);
+
+  const SweepResult oracle = SweepRunner().run(suite.loops, points);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+      expect_identical(warm.by_point[p][i], oracle.by_point[p][i],
+                       points[p].label + " / " + suite.loops[i].name,
+                       /*compare_effort=*/false);
+    }
+  }
+  std::filesystem::remove_all(store_dir);
+}
+
+// Cross-machine ladder seeds (opt-in): the first point of a machine's
+// ladder may be offered another machine's accepted schedule over the
+// same (loop, front prefix, backend).  The seed verifier makes this
+// safe — final IIs are never worse than cold — and the 8-FU machine can
+// genuinely verify 6-FU schedules, so seeds are offered and sometimes
+// installed.
+TEST(Sweep, CrossMachineSeedsNeverWorseThanCold) {
+  const Suite suite = small_suite(8, 79);
+
+  std::vector<SweepPoint> points;
+  for (const int fus : {6, 8}) {  // same latency model -> same front prefix
+    for (const int budget : {6, 12}) {
+      SweepPoint point{cat("single", fus, "-", budget),
+                       MachineConfig::single_cluster_machine(fus), {}};
+      point.options.ims.budget_ratio = budget;
+      points.push_back(point);
+    }
+  }
+
+  SweepOptions warm_options;
+  warm_options.warm_start = true;
+  SweepOptions cross_options = warm_options;
+  cross_options.cross_machine_seeds = true;
+
+  const SweepResult warm = SweepRunner(warm_options).run(suite.loops, points);
+  const SweepResult cross = SweepRunner(cross_options).run(suite.loops, points);
+  const SweepResult cold = SweepRunner().run(suite.loops, points);
+
+  // The second machine's ladder start is seedless without cross-machine
+  // chaining; with it, those points are offered a foreign seed too.
+  EXPECT_GT(cross.cache.warm_probes, warm.cache.warm_probes);
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t i = 0; i < suite.loops.size(); ++i) {
+      const LoopResult& x = cross.by_point[p][i];
+      const LoopResult& c = cold.by_point[p][i];
+      const std::string where = points[p].label + " / " + suite.loops[i].name;
+      EXPECT_EQ(x.ok, c.ok) << where;
+      if (c.ok) {
+        EXPECT_LE(x.ii, c.ii) << where;  // never worse, possibly better
+      }
+    }
+  }
 }
 
 TEST(Sweep, RunSuiteWrapperMatchesSweep) {

@@ -14,6 +14,10 @@ Compares a fresh perf_micro run against the committed baseline and fails
   - the warm sweep's warm_start_hit_rate dropped by more than 0.10
     absolute vs the baseline (the budget-ladder seeding stopped landing).
 
+A baseline predating the current JSON schema (missing a required field)
+fails with a clear "regenerate the baseline" message instead of a
+KeyError traceback — stale baselines are an operator error, not a crash.
+
 The tolerance (default 0.30, override with --tolerance or the
 QVLIW_BENCH_TOLERANCE environment variable) absorbs runner jitter; when
 the baseline hardware changes materially, regenerate the committed
@@ -26,23 +30,31 @@ import os
 import sys
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=float(os.environ.get("QVLIW_BENCH_TOLERANCE", "0.30")),
-        help="allowed fractional slowdown of cached loops/sec (default 0.30)",
-    )
-    args = parser.parse_args()
+class SchemaError(Exception):
+    """A required field is absent from one of the JSON files."""
 
-    with open(args.baseline, encoding="utf-8") as f:
-        baseline = json.load(f)
-    with open(args.fresh, encoding="utf-8") as f:
-        fresh = json.load(f)
 
+def require(obj, source, *path):
+    """Walks `path` into `obj`, raising SchemaError naming the missing field.
+
+    `source` says which file the object came from ("baseline"/"fresh"), so
+    the failure message tells the operator which artifact to regenerate.
+    """
+    walked = []
+    for key in path:
+        walked.append(str(key))
+        if not isinstance(obj, dict) or key not in obj:
+            raise SchemaError(
+                f"{source} missing field {'.'.join(walked)} — regenerate it "
+                "with the current perf_micro (for the committed baseline: "
+                "delete .qvliw-store, run perf_micro, commit the fresh "
+                "BENCH_pipeline.json)"
+            )
+        obj = obj[key]
+    return obj
+
+
+def check(baseline, fresh, tolerance):
     if not fresh.get("results_identical", False):
         print("FAIL: fresh run reports results_identical: false (cache correctness bug)")
         return 1
@@ -52,7 +64,7 @@ def main() -> int:
               "(warm-started scheduling degraded an II)")
         return 1
 
-    if baseline["cached"].get("disk_hits", 0) > 0:
+    if require(baseline, "baseline", "cached").get("disk_hits", 0) > 0:
         print(
             "FAIL: committed baseline was generated with a warm artifact store "
             f"(disk_hits {baseline['cached']['disk_hits']}); its throughput is inflated. "
@@ -60,13 +72,13 @@ def main() -> int:
         )
         return 1
 
-    base_lps = baseline["cached"]["loops_per_second"]
-    fresh_lps = fresh["cached"]["loops_per_second"]
-    floor = base_lps * (1.0 - args.tolerance)
+    base_lps = require(baseline, "baseline", "cached", "loops_per_second")
+    fresh_lps = require(fresh, "fresh", "cached", "loops_per_second")
+    floor = base_lps * (1.0 - tolerance)
     verdict = "OK" if fresh_lps >= floor else "FAIL"
     print(
         f"{verdict}: cached loops/sec {fresh_lps:.1f} vs baseline {base_lps:.1f} "
-        f"(floor {floor:.1f} at tolerance {args.tolerance:.0%})"
+        f"(floor {floor:.1f} at tolerance {tolerance:.0%})"
     )
     if fresh_lps < floor:
         print("throughput regressed beyond tolerance; investigate or regenerate the baseline")
@@ -77,11 +89,11 @@ def main() -> int:
     if base_warm and fresh_warm:
         base_blps = base_warm.get("backend_loops_per_second", 0.0)
         fresh_blps = fresh_warm.get("backend_loops_per_second", 0.0)
-        bfloor = base_blps * (1.0 - args.tolerance)
+        bfloor = base_blps * (1.0 - tolerance)
         verdict = "OK" if fresh_blps >= bfloor else "FAIL"
         print(
             f"{verdict}: warm backend loops/sec {fresh_blps:.1f} vs baseline {base_blps:.1f} "
-            f"(floor {bfloor:.1f} at tolerance {args.tolerance:.0%})"
+            f"(floor {bfloor:.1f} at tolerance {tolerance:.0%})"
         )
         if fresh_blps < bfloor:
             print("warm back-end throughput regressed beyond tolerance")
@@ -101,8 +113,38 @@ def main() -> int:
     print(f"info: cache speedup {speedup:.2f}x, "
           f"warm backend speedup {fresh.get('warm_backend_speedup', 0.0):.2f}x, "
           f"disk hit rate {fresh['cached'].get('disk_hit_rate', 0.0):.1%}, "
+          f"schedule-store hits {fresh['warm'].get('sched_disk_hits', 0) if isinstance(fresh.get('warm'), dict) else 0}, "
           f"naive probe fallbacks {fresh['cached'].get('unroll_probe_naive_fallbacks', 0)}")
     return 0
+
+
+def run(baseline, fresh, tolerance):
+    """check() with SchemaError rendered as a clean FAIL line."""
+    try:
+        return check(baseline, fresh, tolerance)
+    except SchemaError as error:
+        print(f"FAIL: {error}")
+        return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("QVLIW_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional slowdown of cached loops/sec (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(args.fresh, encoding="utf-8") as f:
+        fresh = json.load(f)
+
+    return run(baseline, fresh, args.tolerance)
 
 
 if __name__ == "__main__":

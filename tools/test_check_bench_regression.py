@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py (run by CTest / CI).
+
+Covers the gate's verdicts and — the regression this guards — that a
+baseline predating the current JSON schema degrades to a clear
+"missing field ... regenerate" failure instead of a KeyError traceback.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_regression as gate  # noqa: E402
+
+
+def bench_json(cached_lps=100.0, warm_blps=500.0, warm_rate=0.9, disk_hits=0,
+               identical=True, never_worse=True):
+    return {
+        "results_identical": identical,
+        "warm_iis_never_worse": never_worse,
+        "cache_speedup": 5.0,
+        "warm_backend_speedup": 1.2,
+        "cached": {
+            "loops_per_second": cached_lps,
+            "disk_hits": disk_hits,
+            "disk_hit_rate": 0.0,
+            "unroll_probe_naive_fallbacks": 0,
+        },
+        "warm": {
+            "backend_loops_per_second": warm_blps,
+            "warm_start_hit_rate": warm_rate,
+            "sched_disk_hits": 0,
+        },
+    }
+
+
+def run_gate(baseline, fresh, tolerance=0.30):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = gate.run(baseline, fresh, tolerance)
+    return code, out.getvalue()
+
+
+class GateVerdicts(unittest.TestCase):
+    def test_healthy_run_passes(self):
+        code, out = run_gate(bench_json(), bench_json())
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK: cached loops/sec", out)
+
+    def test_results_not_identical_fails(self):
+        code, out = run_gate(bench_json(), bench_json(identical=False))
+        self.assertEqual(code, 1)
+        self.assertIn("results_identical", out)
+
+    def test_degraded_warm_ii_fails(self):
+        code, out = run_gate(bench_json(), bench_json(never_worse=False))
+        self.assertEqual(code, 1)
+        self.assertIn("warm_iis_never_worse", out)
+
+    def test_warm_baseline_rejected(self):
+        code, out = run_gate(bench_json(disk_hits=3), bench_json())
+        self.assertEqual(code, 1)
+        self.assertIn("warm artifact store", out)
+
+    def test_throughput_regression_fails(self):
+        code, out = run_gate(bench_json(cached_lps=100.0), bench_json(cached_lps=60.0))
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: cached loops/sec", out)
+
+    def test_warm_backend_regression_fails(self):
+        code, out = run_gate(bench_json(warm_blps=500.0), bench_json(warm_blps=300.0))
+        self.assertEqual(code, 1)
+        self.assertIn("warm backend loops/sec", out)
+
+    def test_warm_hit_rate_drop_fails(self):
+        code, out = run_gate(bench_json(warm_rate=0.95), bench_json(warm_rate=0.5))
+        self.assertEqual(code, 1)
+        self.assertIn("warm_start_hit_rate", out)
+
+    def test_jitter_within_tolerance_passes(self):
+        code, out = run_gate(bench_json(cached_lps=100.0), bench_json(cached_lps=80.0))
+        self.assertEqual(code, 0, out)
+
+
+class StaleSchemas(unittest.TestCase):
+    """Baselines predating a schema change must fail clearly, not crash."""
+
+    def test_baseline_missing_cached_section(self):
+        baseline = bench_json()
+        del baseline["cached"]
+        code, out = run_gate(baseline, bench_json())
+        self.assertEqual(code, 1)
+        self.assertIn("baseline missing field cached", out)
+        self.assertIn("regenerate", out)
+
+    def test_baseline_missing_loops_per_second(self):
+        baseline = bench_json()
+        del baseline["cached"]["loops_per_second"]
+        code, out = run_gate(baseline, bench_json())
+        self.assertEqual(code, 1)
+        self.assertIn("baseline missing field cached.loops_per_second", out)
+
+    def test_fresh_missing_field_named_as_fresh(self):
+        fresh = bench_json()
+        del fresh["cached"]
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("fresh missing field cached", out)
+
+    def test_pre_warm_schema_baseline_still_gates_cached(self):
+        # A baseline without the "warm" section (pre-PR-3 schema) skips the
+        # warm comparisons but still gates cached throughput.
+        baseline = bench_json()
+        del baseline["warm"]
+        code, out = run_gate(baseline, bench_json())
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("warm backend loops/sec", out)
+
+
+class MainEntry(unittest.TestCase):
+    def test_main_reports_schema_error_cleanly(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            fresh_path = os.path.join(tmp, "fresh.json")
+            stale = bench_json()
+            del stale["cached"]
+            with open(base_path, "w", encoding="utf-8") as f:
+                json.dump(stale, f)
+            with open(fresh_path, "w", encoding="utf-8") as f:
+                json.dump(bench_json(), f)
+            out = io.StringIO()
+            with redirect_stdout(out):
+                code = gate.main([base_path, fresh_path])
+            self.assertEqual(code, 1)
+            self.assertIn("FAIL: baseline missing field", out.getvalue())
+
+    def test_main_passes_on_healthy_files(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            fresh_path = os.path.join(tmp, "fresh.json")
+            with open(base_path, "w", encoding="utf-8") as f:
+                json.dump(bench_json(), f)
+            with open(fresh_path, "w", encoding="utf-8") as f:
+                json.dump(bench_json(), f)
+            out = io.StringIO()
+            with redirect_stdout(out):
+                code = gate.main([base_path, fresh_path])
+            self.assertEqual(code, 0, out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()
