@@ -19,8 +19,17 @@
 // warm-start speedups, to track the perf trajectory across commits
 // (tools/check_bench_regression.py gates CI on it).
 //
+// A fourth and fifth run exercise the checkpoint ledger: the same cached
+// sweep with SweepOptions::checkpoint_dir set runs once against a fresh
+// journal (every task executed and journaled) and once against the warm
+// journal (every task replayed, nothing executed); both must be
+// result-identical to the cached run, reported as
+// `checkpoint_results_identical` and gated in CI alongside
+// `results_identical`.
+//
 //   QVLIW_LOOPS=200 ./build/bench/perf_micro [out.json]
 //   ./build/bench/perf_micro --list-backends   # registry contents only
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -109,6 +118,9 @@ void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
      << "    \"warm_hits\": " << sweep.cache.warm_hits << ",\n"
      << "    \"unroll_probe_factors\": " << sweep.cache.probe_factors << ",\n"
      << "    \"unroll_probe_naive_fallbacks\": " << sweep.cache.probe_fallbacks << ",\n"
+     << "    \"tasks_replayed\": " << sweep.checkpoint.tasks_replayed << ",\n"
+     << "    \"tasks_executed\": " << sweep.checkpoint.tasks_executed << ",\n"
+     << "    \"journal_bytes\": " << sweep.checkpoint.journal_bytes << ",\n"
      << "    \"stage_seconds\": ";
   write_stage_seconds(os, sweep, "    ");
   os << "\n  }";
@@ -159,9 +171,27 @@ int run(int argc, char** argv) {
             << "point's schedule)...\n";
   const SweepResult warm = SweepRunner(warm_options).run(suite.loops, points);
 
+  // Checkpoint ledger drill: cold journal (everything executed and
+  // journaled), then warm journal (everything replayed).
+  const char* ckpt_env = std::getenv("QVLIW_CHECKPOINT_DIR");
+  SweepOptions ckpt_options = cached_options;
+  ckpt_options.checkpoint_dir = ckpt_env != nullptr && ckpt_env[0] != '\0'
+                                    ? ckpt_env
+                                    : ".qvliw-checkpoint";
+  std::filesystem::remove_all(ckpt_options.checkpoint_dir);
+  std::cout << "running checkpointed (fresh task journal in " << ckpt_options.checkpoint_dir
+            << ")...\n";
+  const SweepResult checkpointed = SweepRunner(ckpt_options).run(suite.loops, points);
+  std::cout << "running checkpoint replay (every task restored from the journal)...\n";
+  const SweepResult replayed = SweepRunner(ckpt_options).run(suite.loops, points);
+
   const bool identical = results_identical(uncached, cached);
   const bool warm_identical = results_identical(uncached, warm);
   const bool never_worse = iis_never_worse(cached, warm);
+  const bool checkpoint_identical =
+      results_identical(cached, checkpointed) && results_identical(cached, replayed) &&
+      replayed.checkpoint.tasks_executed == 0 &&
+      replayed.checkpoint.tasks_replayed == checkpointed.checkpoint.tasks_executed;
   const double speedup =
       cached.wall_seconds > 0.0 ? uncached.wall_seconds / cached.wall_seconds : 0.0;
   const double warm_backend_speedup = bench::backend_seconds(warm) > 0.0
@@ -184,6 +214,11 @@ int run(int argc, char** argv) {
             << fixed(warm_backend_speedup, 2) << "x; results identical: "
             << (identical && warm_identical ? "yes" : "NO — BUG")
             << "; warm IIs never worse: " << (never_worse ? "yes" : "NO — BUG") << "\n"
+            << "checkpoint: " << checkpointed.checkpoint.tasks_executed
+            << " task(s) journaled cold, " << replayed.checkpoint.tasks_replayed
+            << " replayed warm (" << replayed.checkpoint.journal_bytes
+            << " journal bytes); replay identical: "
+            << (checkpoint_identical ? "yes" : "NO — BUG") << "\n"
             << "disk store: " << cached.cache.disk_hits << "/" << cached.cache.disk_probes
             << " front entries + " << cached.cache.mii_disk_hits << "/"
             << cached.cache.mii_disk_probes << " MII maps + " << warm.cache.sched_disk_hits
@@ -219,14 +254,20 @@ int run(int argc, char** argv) {
   write_run(out, "cached", cached);
   out << ",\n";
   write_run(out, "warm", warm);
+  out << ",\n";
+  write_run(out, "checkpoint", checkpointed);
+  out << ",\n";
+  write_run(out, "checkpoint_replay", replayed);
   out << ",\n"
       << "  \"cache_speedup\": " << fixed(speedup, 3) << ",\n"
       << "  \"warm_backend_speedup\": " << fixed(warm_backend_speedup, 3) << ",\n"
       << "  \"warm_iis_never_worse\": " << (never_worse ? "true" : "false") << ",\n"
+      << "  \"checkpoint_results_identical\": " << (checkpoint_identical ? "true" : "false")
+      << ",\n"
       << "  \"results_identical\": " << (identical && warm_identical ? "true" : "false") << "\n"
       << "}\n";
   std::cout << "\nwrote " << out_path << "\n";
-  return identical && warm_identical && never_worse ? 0 : 1;
+  return identical && warm_identical && never_worse && checkpoint_identical ? 0 : 1;
 }
 
 }  // namespace

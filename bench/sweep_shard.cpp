@@ -36,27 +36,37 @@ struct Args {
   std::string mode;
   std::string out;
   std::string store;
+  std::string checkpoint;
   std::vector<std::string> inputs;
   int shards = 1;
   int shard = 0;
   ShardAxis axis = ShardAxis::kLoops;
   bool warm = false;
+  bool store_stats = false;
 };
 
 int usage() {
   std::cerr
       << "usage:\n"
       << "  sweep_shard run    --shards N --shard I --out FILE [--warm] [--store DIR]"
-      << " [--axis loops|points]\n"
+      << " [--checkpoint DIR] [--axis loops|points]\n"
       << "  sweep_shard merge  --out FILE.json SHARD...\n"
-      << "  sweep_shard single --out FILE.json [--warm] [--store DIR]\n";
+      << "  sweep_shard single --out FILE.json [--warm] [--store DIR] [--checkpoint DIR]\n"
+      << "  sweep_shard --store-stats --store DIR   # inspect a shared store directory\n";
   return 2;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.mode = argv[1];
-  for (int a = 2; a < argc; ++a) {
+  int start = 2;
+  if (args.mode == "--store-stats") {
+    args.store_stats = true;
+    args.mode.clear();
+  } else if (args.mode.empty() || args.mode[0] == '-') {
+    return false;
+  }
+  for (int a = start; a < argc; ++a) {
     const std::string flag = argv[a];
     auto next = [&]() -> const char* { return a + 1 < argc ? argv[++a] : nullptr; };
     if (flag == "--out") {
@@ -67,6 +77,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.store = v;
+    } else if (flag == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.checkpoint = v;
     } else if (flag == "--shards") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -88,50 +102,15 @@ bool parse_args(int argc, char** argv, Args& args) {
       }
     } else if (flag == "--warm") {
       args.warm = true;
+    } else if (flag == "--store-stats") {
+      args.store_stats = true;
     } else if (!flag.empty() && flag[0] != '-') {
       args.inputs.push_back(flag);
     } else {
       return false;
     }
   }
-  return !args.out.empty();
-}
-
-void print_store_counters(std::ostream& os, const SweepResult& sweep) {
-  os << "store: front " << sweep.cache.disk_hits << "/" << sweep.cache.disk_probes << ", mii "
-     << sweep.cache.mii_disk_hits << "/" << sweep.cache.mii_disk_probes << ", schedules "
-     << sweep.cache.sched_disk_hits << "/" << sweep.cache.sched_disk_probes << "; warm "
-     << sweep.cache.warm_hits << "/" << sweep.cache.warm_probes << "\n";
-}
-
-/// Canonical results-only JSON: every semantic LoopResult field, no
-/// timing and no effort provenance, so a merged sharded sweep and the
-/// single-process sweep produce byte-identical files.
-void write_results_json(std::ostream& os, const std::vector<SweepPoint>& points,
-                        const SweepResult& sweep) {
-  os << "{\n  \"bench\": \"sweep_shard\",\n"
-     << "  \"points\": " << sweep.by_point.size() << ",\n"
-     << "  \"loops\": " << (sweep.by_point.empty() ? 0 : sweep.by_point[0].size()) << ",\n"
-     << "  \"fingerprint\": \"" << std::hex << hash_bytes(sweep_result_fingerprint(sweep))
-     << std::dec << "\",\n  \"results\": [";
-  for (std::size_t p = 0; p < sweep.by_point.size(); ++p) {
-    os << (p == 0 ? "" : ",") << "\n    {\"label\": \""
-       << (p < points.size() ? points[p].label : std::string("?")) << "\", \"loops\": [";
-    for (std::size_t i = 0; i < sweep.by_point[p].size(); ++i) {
-      const LoopResult& r = sweep.by_point[p][i];
-      os << (i == 0 ? "" : ",") << "\n      {\"name\": \"" << r.name << "\", \"ok\": "
-         << (r.ok ? "true" : "false") << ", \"failed_stage\": \"" << r.failed_stage
-         << "\", \"ii\": " << r.ii << ", \"mii\": " << r.mii << ", \"stage_count\": "
-         << r.stage_count << ", \"unroll\": " << r.unroll_factor << ", \"sched_ops\": "
-         << r.sched_ops << ", \"copies\": " << r.copies << ", \"moves\": " << r.moves
-         << ", \"queues\": " << r.total_queues << ", \"registers\": " << r.registers
-         << ", \"ipc_static\": " << fixed(r.ipc_static, 9) << ", \"ipc_dynamic\": "
-         << fixed(r.ipc_dynamic, 9) << ", \"fits\": " << (r.fits_machine_queues ? "true" : "false")
-         << ", \"fit_retries\": " << r.queue_fit_retries << "}";
-    }
-    os << "\n    ]}";
-  }
-  os << "\n  ]\n}\n";
+  return args.store_stats || !args.out.empty();
 }
 
 int write_file(const std::string& path, const std::string& bytes) {
@@ -150,6 +129,7 @@ int run_mode(const Args& args, bool sharded) {
 
   SweepOptions options;
   options.store_dir = args.store;
+  options.checkpoint_dir = args.checkpoint;
   options.warm_start = args.warm;
   if (sharded) {
     options.shard_count = args.shards;
@@ -164,11 +144,16 @@ int run_mode(const Args& args, bool sharded) {
   const SweepResult sweep = SweepRunner(options).run(suite.loops, points);
   std::cout << "ran " << sweep.pipelines << " pipelines in " << fixed(sweep.wall_seconds, 2)
             << " s\n";
-  print_store_counters(std::cout, sweep);
+  if (!args.checkpoint.empty()) {
+    std::cout << "checkpoint: " << sweep.checkpoint.tasks_replayed << " task(s) replayed, "
+              << sweep.checkpoint.tasks_executed << " executed, journal "
+              << sweep.checkpoint.journal_bytes << " bytes\n";
+  }
+  bench::print_store_counters(std::cout, sweep);
 
   if (!sharded) {
     std::ostringstream json;
-    write_results_json(json, points, sweep);
+    bench::write_results_json(json, points, sweep);
     return write_file(args.out, json.str());
   }
   SweepShard shard;
@@ -203,12 +188,12 @@ int merge_mode(const Args& args) {
   }
   const SweepResult merged = merge_sweep_shards(std::move(shards));
   std::cout << "merged " << merged.pipelines << " pipelines\n";
-  print_store_counters(std::cout, merged);
+  bench::print_store_counters(std::cout, merged);
 
   // Labels for the canonical JSON: the shared perf sweep's points (the
   // config hash already proved the shards came from this sweep).
   std::ostringstream json;
-  write_results_json(json, bench::perf_sweep_points(), merged);
+  bench::write_results_json(json, bench::perf_sweep_points(), merged);
   return write_file(args.out, json.str());
 }
 
@@ -216,6 +201,7 @@ int run(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage();
   try {
+    if (args.store_stats) return bench::print_store_stats(std::cout, args.store);
     if (args.mode == "run") {
       if (args.shards < 1 || args.shard < 0 || args.shard >= args.shards) return usage();
       return run_mode(args, /*sharded=*/true);

@@ -1,0 +1,154 @@
+// Checkpoint ledger for restartable sweeps.
+//
+// A sweep's execution is an explicit work queue of SweepTasks
+// (harness/sweep.h); the ledger is an append-only *task journal* on disk
+// recording every completed task — its owned cells' LoopResults plus the
+// cache-stats and front-end-seconds deltas the task accumulated.  On a
+// restart (same inputs, same shard identity) the runner replays the
+// journaled tasks and executes only the remainder, producing a result
+// bit-identical to an uninterrupted run per sweep_result_fingerprint,
+// with identical cache accounting.
+//
+// File layout (one journal per (sweep config hash, shard identity),
+// named by checkpoint_journal_path so shards sharing a directory never
+// collide):
+//
+//   header:  magic+version u64, config_hash u64, shard_count i32,
+//            shard_index i32, axis bool, loops u64, points u64
+//   records: kind i32, payload string, checksum u64  (repeated)
+//
+// Records are appended with one flushed write each, so a killed worker
+// can leave at most one torn record at the tail; reopening validates
+// checksums, drops the torn tail by truncating the file at the last
+// intact record boundary, and resumes appending.  A torn *header* means
+// nothing was ever committed — the journal is recreated.  A header whose
+// identity disagrees with the caller's sweep is an error (the file
+// belongs to a different sweep), as is a bad magic/version: journals are
+// exchanged between runs of the same build, so version skew is an error,
+// not a silent miss — the same discipline as shard files.
+//
+// Two record kinds exist: completed tasks, and *heartbeats* (wall-clock
+// micros + tasks done), appended after every task commit.  The dispatcher
+// (harness/dispatch.h) watches raw journal *growth* (file size) as its
+// liveness signal for straggler detection; read_journal_status is the
+// richer read-only probe — record counts, heartbeat timestamps — for
+// tests today and for a networked monitor that cannot share a steady
+// clock with the worker.  Every decode site ends in
+// BlobReader::require_exhausted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace qvliw {
+
+/// Identity of one journal: which shard of which sweep it checkpoints.
+struct JournalHeader {
+  std::uint64_t config_hash = 0;  // sweep_config_hash of the inputs
+  int shard_count = 1;
+  int shard_index = 0;
+  ShardAxis axis = ShardAxis::kLoops;
+  std::uint64_t loops = 0;  // full cross-product dimensions
+  std::uint64_t points = 0;
+};
+
+/// Canonical journal file name under `dir`:
+/// journal-<16-hex config hash>-<axis>-<count>-<index>.qjournal.
+[[nodiscard]] std::string checkpoint_journal_path(std::string_view dir,
+                                                  const JournalHeader& header);
+
+/// Everything one completed SweepTask contributes to the sweep: the
+/// LoopResults of its owned cells (with provenance), plus the cache-stats
+/// and front-end-seconds deltas it accumulated — so a replayed task
+/// restores results *and* accounting exactly as if it had run.
+struct TaskPayload {
+  std::uint64_t loop_index = 0;  // == the task id
+  std::vector<std::pair<std::uint64_t, LoopResult>> cells;  // (point index, result)
+  SweepCacheStats stats;
+  /// Front-end wall seconds the task's cache work performed outside any
+  /// single run's stage_times, indexed invariants/unroll/copy_insert/mii.
+  std::array<double, 4> front_seconds{};
+};
+
+[[nodiscard]] std::string encode_task_payload(const TaskPayload& payload);
+
+/// Inverse of encode_task_payload; throws Error on truncation, trailing
+/// bytes, or implausible counts.
+[[nodiscard]] TaskPayload decode_task_payload(const std::string& blob);
+
+/// The append-only task journal.  Single-writer by contract: the
+/// dispatcher never runs two workers against one journal at a time, and
+/// SweepRunner serialises appends under its merge lock.
+class TaskJournal {
+ public:
+  /// Opens (creating parent directories as needed) the journal at `path`
+  /// for the sweep identified by `header`.  An existing journal is
+  /// replayed into completed() — torn tail truncated — after verifying
+  /// its header matches `header` exactly; a mismatch or a bad
+  /// magic/version throws Error.  Append failures (full disk, bad
+  /// permissions) also throw: a ledger that cannot record is an operator
+  /// error, unlike the artifact store's best-effort cache writes.
+  TaskJournal(std::string path, const JournalHeader& header);
+
+  TaskJournal(const TaskJournal&) = delete;
+  TaskJournal& operator=(const TaskJournal&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const JournalHeader& header() const { return header_; }
+
+  /// Task id -> encoded TaskPayload, as found at open time (appends made
+  /// through this object are not folded back in — the writer already has
+  /// those results).  A task appended twice keeps the later record.
+  [[nodiscard]] const std::map<std::uint64_t, std::string>& completed() const {
+    return completed_;
+  }
+
+  /// Current journal size in bytes (header + intact records + appends).
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+  /// Torn-tail bytes dropped when the journal was opened (0 normally).
+  [[nodiscard]] std::uint64_t truncated_bytes() const { return truncated_; }
+
+  /// Appends one completed task.  `payload` must be encode_task_payload
+  /// output whose loop_index equals `task_id`.
+  void append_task(std::uint64_t task_id, std::string_view payload);
+
+  /// Appends a heartbeat record (wall-clock micros + tasks done so far).
+  void append_heartbeat();
+
+ private:
+  void append_record(std::int32_t kind, std::string_view payload);
+
+  std::string path_;
+  JournalHeader header_;
+  std::map<std::uint64_t, std::string> completed_;
+  std::ofstream out_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t truncated_ = 0;
+  std::uint64_t appended_tasks_ = 0;
+};
+
+/// Read-only probe of a journal file — the dispatcher's liveness view.
+/// Never modifies the file (no torn-tail truncation); a missing file
+/// reports exists == false, an unreadable or foreign one valid == false.
+struct JournalStatus {
+  bool exists = false;
+  bool valid = false;  // header decoded with the expected magic/version
+  JournalHeader header;
+  std::uint64_t tasks_done = 0;   // distinct completed task ids
+  std::uint64_t heartbeats = 0;
+  std::uint64_t bytes = 0;        // header + intact records (torn tail excluded)
+  std::int64_t last_heartbeat_micros = 0;  // unix micros of the newest heartbeat
+};
+
+[[nodiscard]] JournalStatus read_journal_status(const std::string& path);
+
+}  // namespace qvliw

@@ -1,10 +1,8 @@
 #include "harness/shard.h"
 
-#include <bit>
 #include <map>
 #include <utility>
 
-#include "support/artifact_store.h"
 #include "support/diagnostics.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -16,17 +14,12 @@ namespace {
 // Magic + layout version of the shard file.  Bump on any codec change:
 // a shard file is exchanged between processes that are expected to run
 // the same build, so version skew is an error, not a silent miss.
-constexpr std::uint64_t kShardMagic = 0x5153484152440002ULL;  // "QSHARD" + v2
+// v3: CheckpointStats joined the result accounting.
+constexpr std::uint64_t kShardMagic = 0x5153484152440003ULL;  // "QSHARD" + v3
 
-void put_f64(BlobWriter& out, double v) { out.put_u64(std::bit_cast<std::uint64_t>(v)); }
+}  // namespace
 
-double get_f64(BlobReader& in) { return std::bit_cast<double>(in.get_u64()); }
-
-// One LoopResult, every field in declaration order.  `provenance`
-// selects whether the how-it-was-obtained fields (ImsStats,
-// warm_started, stage_times) are included: the shard file carries them,
-// the result fingerprint deliberately does not.
-void encode_loop_result(BlobWriter& out, const LoopResult& r, bool provenance) {
+void serialize_loop_result(BlobWriter& out, const LoopResult& r, bool provenance) {
   out.put_string(r.name);
   out.put_bool(r.ok);
   out.put_string(r.failure);
@@ -41,9 +34,9 @@ void encode_loop_result(BlobWriter& out, const LoopResult& r, bool provenance) {
   out.put_i32(r.mii);
   out.put_i32(r.ii);
   out.put_i32(r.stage_count);
-  put_f64(out, r.ii_per_source);
-  put_f64(out, r.ipc_static);
-  put_f64(out, r.ipc_dynamic);
+  out.put_f64(r.ii_per_source);
+  out.put_f64(r.ipc_static);
+  out.put_f64(r.ipc_dynamic);
   out.put_i32(r.total_queues);
   out.put_i32(r.max_private_queues);
   out.put_i32(r.max_ring_queues);
@@ -62,11 +55,11 @@ void encode_loop_result(BlobWriter& out, const LoopResult& r, bool provenance) {
   out.put_u64(r.stage_times.size());
   for (const StageTiming& t : r.stage_times) {
     out.put_string(t.stage);
-    put_f64(out, t.seconds);
+    out.put_f64(t.seconds);
   }
 }
 
-LoopResult decode_loop_result(BlobReader& in) {
+LoopResult deserialize_loop_result(BlobReader& in) {
   LoopResult r;
   r.name = in.get_string();
   r.ok = in.get_bool();
@@ -82,9 +75,9 @@ LoopResult decode_loop_result(BlobReader& in) {
   r.mii = in.get_i32();
   r.ii = in.get_i32();
   r.stage_count = in.get_i32();
-  r.ii_per_source = get_f64(in);
-  r.ipc_static = get_f64(in);
-  r.ipc_dynamic = get_f64(in);
+  r.ii_per_source = in.get_f64();
+  r.ipc_static = in.get_f64();
+  r.ipc_dynamic = in.get_f64();
   r.total_queues = in.get_i32();
   r.max_private_queues = in.get_i32();
   r.max_ring_queues = in.get_i32();
@@ -105,13 +98,13 @@ LoopResult decode_loop_result(BlobReader& in) {
   for (std::uint64_t t = 0; t < timings; ++t) {
     StageTiming timing;
     timing.stage = in.get_string();
-    timing.seconds = get_f64(in);
+    timing.seconds = in.get_f64();
     r.stage_times.push_back(std::move(timing));
   }
   return r;
 }
 
-void encode_cache_stats(BlobWriter& out, const SweepCacheStats& c) {
+void serialize_cache_stats(BlobWriter& out, const SweepCacheStats& c) {
   for (const std::uint64_t v :
        {c.invariant_probes, c.invariant_hits, c.unroll_probes, c.unroll_hits, c.front_probes,
         c.front_hits, c.mii_probes, c.mii_hits, c.disk_probes, c.disk_hits, c.mii_disk_probes,
@@ -121,7 +114,7 @@ void encode_cache_stats(BlobWriter& out, const SweepCacheStats& c) {
   }
 }
 
-SweepCacheStats decode_cache_stats(BlobReader& in) {
+SweepCacheStats deserialize_cache_stats(BlobReader& in) {
   SweepCacheStats c;
   for (std::uint64_t* v :
        {&c.invariant_probes, &c.invariant_hits, &c.unroll_probes, &c.unroll_hits,
@@ -133,8 +126,6 @@ SweepCacheStats decode_cache_stats(BlobReader& in) {
   }
   return c;
 }
-
-}  // namespace
 
 std::uint64_t sweep_config_hash(const std::vector<Loop>& loops,
                                 const std::vector<SweepPoint>& points) {
@@ -162,19 +153,22 @@ std::string encode_sweep_shard(const SweepShard& shard) {
   out.put_u64(shard.header.config_hash);
 
   const SweepResult& r = shard.result;
-  encode_cache_stats(out, r.cache);
+  serialize_cache_stats(out, r.cache);
+  out.put_u64(r.checkpoint.tasks_replayed);
+  out.put_u64(r.checkpoint.tasks_executed);
+  out.put_u64(r.checkpoint.journal_bytes);
   out.put_u64(r.stage_totals.size());
   for (const StageTotal& total : r.stage_totals) {
     out.put_string(total.stage);
-    put_f64(out, total.seconds);
+    out.put_f64(total.seconds);
   }
-  put_f64(out, r.wall_seconds);
+  out.put_f64(r.wall_seconds);
   out.put_u64(r.pipelines);
   out.put_u64(r.by_point.size());
   for (const std::vector<LoopResult>& results : r.by_point) {
     out.put_u64(results.size());
     for (const LoopResult& result : results) {
-      encode_loop_result(out, result, /*provenance=*/true);
+      serialize_loop_result(out, result, /*provenance=*/true);
     }
   }
   return out.take();
@@ -195,16 +189,19 @@ SweepShard decode_sweep_shard(const std::string& blob) {
         "shard blob: shard_index out of range");
 
   SweepResult& r = shard.result;
-  r.cache = decode_cache_stats(in);
+  r.cache = deserialize_cache_stats(in);
+  r.checkpoint.tasks_replayed = in.get_u64();
+  r.checkpoint.tasks_executed = in.get_u64();
+  r.checkpoint.journal_bytes = in.get_u64();
   const std::uint64_t totals = in.get_u64();
   check(totals <= 1u << 20, "shard blob: implausible stage-total count");
   for (std::uint64_t t = 0; t < totals; ++t) {
     StageTotal total;
     total.stage = in.get_string();
-    total.seconds = get_f64(in);
+    total.seconds = in.get_f64();
     r.stage_totals.push_back(std::move(total));
   }
-  r.wall_seconds = get_f64(in);
+  r.wall_seconds = in.get_f64();
   r.pipelines = in.get_u64();
   const std::uint64_t point_count = in.get_u64();
   check(point_count == shard.header.points, "shard blob: by_point size disagrees with header");
@@ -214,7 +211,7 @@ SweepShard decode_sweep_shard(const std::string& blob) {
     check(loop_count == shard.header.loops, "shard blob: loop count disagrees with header");
     r.by_point[p].reserve(loop_count);
     for (std::uint64_t i = 0; i < loop_count; ++i) {
-      r.by_point[p].push_back(decode_loop_result(in));
+      r.by_point[p].push_back(deserialize_loop_result(in));
     }
   }
   in.require_exhausted("shard blob");
@@ -235,6 +232,11 @@ SweepResult merge_sweep_shards(std::vector<SweepShard> shards) {
           "merge_sweep_shards: shards disagree on dimensions or partition");
     check(h.config_hash == first.config_hash,
           "merge_sweep_shards: config hashes disagree — shards were cut from different sweeps");
+    // Range-check before using the index anywhere (decoded shards are
+    // already validated, but in-memory shard sets arrive unchecked).
+    check(h.shard_index >= 0 && h.shard_index < h.shard_count,
+          cat("merge_sweep_shards: shard_index ", h.shard_index, " out of range for ",
+              h.shard_count, " shard(s)"));
     check(!seen[static_cast<std::size_t>(h.shard_index)],
           cat("merge_sweep_shards: duplicate shard index ", h.shard_index));
     seen[static_cast<std::size_t>(h.shard_index)] = true;
@@ -244,7 +246,41 @@ SweepResult merge_sweep_shards(std::vector<SweepShard> shards) {
   merged.by_point.assign(first.points, std::vector<LoopResult>(first.loops));
   std::map<std::string, double, std::less<>> totals;
   for (SweepShard& shard : shards) {
+    // Overlap validation: a shard must hold results for exactly the cells
+    // its partition slice owns.  A shard that ran more than its slice
+    // (e.g. an unsharded run relabelled as a slice, or a worker launched
+    // with the wrong shard_index) would silently double-count cache
+    // stats, stage totals and pipelines when summed below — reject it
+    // with a diagnostic instead.
+    check(shard.result.by_point.size() == first.points,
+          cat("merge_sweep_shards: shard ", shard.header.shard_index,
+              " result dimensions disagree with its header"));
+    for (const std::vector<LoopResult>& row : shard.result.by_point) {
+      check(row.size() == first.loops,
+            cat("merge_sweep_shards: shard ", shard.header.shard_index,
+                " result dimensions disagree with its header"));
+    }
+    std::uint64_t owned = 0;
+    for (std::uint64_t p = 0; p < first.points; ++p) {
+      for (std::uint64_t i = 0; i < first.loops; ++i) {
+        if (shard_owns(first.axis, shard.header.shard_count, shard.header.shard_index, i, p)) {
+          ++owned;
+          continue;
+        }
+        const LoopResult& cell = shard.result.by_point[p][i];
+        check(cell.name.empty() && !cell.ok,
+              cat("merge_sweep_shards: shard ", shard.header.shard_index,
+                  " holds a result at (loop ", i, ", point ", p,
+                  ") outside its partition slice — overlapping shards would double-count"));
+      }
+    }
+    check(owned == shard.result.pipelines,
+          cat("merge_sweep_shards: shard ", shard.header.shard_index, " reports ",
+              shard.result.pipelines, " pipelines but its slice owns ", owned,
+              " cells — overlapping or mis-partitioned shard set would double-count"));
+
     merged.cache += shard.result.cache;
+    merged.checkpoint += shard.result.checkpoint;
     merged.wall_seconds += shard.result.wall_seconds;
     merged.pipelines += shard.result.pipelines;
     for (const StageTotal& total : shard.result.stage_totals) {
@@ -270,7 +306,7 @@ std::string sweep_result_fingerprint(const SweepResult& result) {
   out.put_u64(result.by_point.size());
   for (const std::vector<LoopResult>& results : result.by_point) {
     out.put_u64(results.size());
-    for (const LoopResult& r : results) encode_loop_result(out, r, /*provenance=*/false);
+    for (const LoopResult& r : results) serialize_loop_result(out, r, /*provenance=*/false);
   }
   return out.take();
 }

@@ -26,8 +26,25 @@
 #include <vector>
 
 #include "harness/sweep.h"
+#include "support/artifact_store.h"
 
 namespace qvliw {
+
+/// One LoopResult through the blob codec, every field in declaration
+/// order.  `provenance` selects whether the how-it-was-obtained fields
+/// (ImsStats, warm_started, stage_times) are included: shard files and
+/// checkpoint journals carry them, the result fingerprint deliberately
+/// does not.  The decoder always reads the full (provenance) layout —
+/// only complete records are ever decoded.  Any layout change here must
+/// bump BOTH the shard file magic and the checkpoint journal magic
+/// (harness/checkpoint.cpp): the two formats share this record.
+void serialize_loop_result(BlobWriter& out, const LoopResult& result, bool provenance);
+[[nodiscard]] LoopResult deserialize_loop_result(BlobReader& in);
+
+/// SweepCacheStats through the blob codec (shared by shard files and
+/// checkpoint journals; same bump-both-magics rule as above).
+void serialize_cache_stats(BlobWriter& out, const SweepCacheStats& stats);
+[[nodiscard]] SweepCacheStats deserialize_cache_stats(BlobReader& in);
 
 /// Identity of one emitted shard: which slice of which sweep it holds.
 struct ShardHeader {
@@ -64,11 +81,14 @@ struct SweepShard {
 [[nodiscard]] SweepShard decode_sweep_shard(const std::string& blob);
 
 /// Reassembles the single-process SweepResult from one complete shard
-/// set: every cell is taken from the shard owning it, cache stats and
-/// stage totals are summed, wall time is summed (aggregate compute, not
-/// elapsed).  Throws Error when the shards disagree on dimensions,
-/// partition, or config hash, or do not cover every shard index exactly
-/// once.
+/// set: every cell is taken from the shard owning it, cache/checkpoint
+/// stats and stage totals are summed, wall time is summed (aggregate
+/// compute, not elapsed).  Throws Error when the shards disagree on
+/// dimensions, partition, or config hash, do not cover every shard index
+/// exactly once, or *overlap* — a shard whose index is out of range,
+/// whose cell count disagrees with its slice of the partition, or that
+/// holds results outside the cells it owns is rejected with a diagnostic
+/// rather than silently double-counting.
 [[nodiscard]] SweepResult merge_sweep_shards(std::vector<SweepShard> shards);
 
 /// Canonical bytes of the sweep's outcomes (see file comment).

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <utility>
 
+#include "harness/checkpoint.h"
+#include "harness/shard.h"
 #include "harness/stage.h"
 #include "sched/mii.h"
 #include "support/artifact_store.h"
@@ -54,6 +56,13 @@ SweepCacheStats& SweepCacheStats::operator+=(const SweepCacheStats& other) {
   probe_factors += other.probe_factors;
   probe_fallbacks += other.probe_fallbacks;
   fallback_runs += other.fallback_runs;
+  return *this;
+}
+
+CheckpointStats& CheckpointStats::operator+=(const CheckpointStats& other) {
+  tasks_replayed += other.tasks_replayed;
+  tasks_executed += other.tasks_executed;
+  journal_bytes += other.journal_bytes;
   return *this;
 }
 
@@ -497,6 +506,25 @@ std::string_view shard_axis_name(ShardAxis axis) {
   return axis == ShardAxis::kLoops ? "loops" : "points";
 }
 
+std::vector<SweepTask> sweep_tasks(const SweepOptions& options, std::size_t loops,
+                                   std::size_t points) {
+  check(options.shard_count >= 1, "sweep_tasks: shard_count must be >= 1");
+  check(options.shard_index >= 0 && options.shard_index < options.shard_count,
+        "sweep_tasks: shard_index out of range");
+  std::vector<SweepTask> tasks;
+  for (std::size_t i = 0; i < loops; ++i) {
+    SweepTask task;
+    task.loop_index = i;
+    for (std::size_t p = 0; p < points; ++p) {
+      if (shard_owns(options.shard_axis, options.shard_count, options.shard_index, i, p)) {
+        task.point_indices.push_back(p);
+      }
+    }
+    if (!task.point_indices.empty()) tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
 
 SweepResult SweepRunner::run(const std::vector<Loop>& loops,
@@ -506,24 +534,17 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
   check(options_.shard_count >= 1, "SweepRunner: shard_count must be >= 1");
   check(options_.shard_index >= 0 && options_.shard_index < options_.shard_count,
         "SweepRunner: shard_index out of range");
-  const bool sharded = options_.shard_count > 1;
 
   SweepResult sweep;
   sweep.by_point.assign(points.size(), std::vector<LoopResult>(loops.size()));
-  if (sharded) {
-    // Only the owned cells run (and count); everything else stays a
-    // default LoopResult for merge_sweep_shards to fill from its owner.
-    sweep.pipelines = 0;
-    for (std::size_t i = 0; i < loops.size(); ++i) {
-      for (std::size_t p = 0; p < points.size(); ++p) {
-        if (shard_owns(options_.shard_axis, options_.shard_count, options_.shard_index, i, p)) {
-          ++sweep.pipelines;
-        }
-      }
-    }
-  } else {
-    sweep.pipelines = static_cast<std::uint64_t>(loops.size()) * points.size();
-  }
+
+  // The explicit work queue: one task per loop with owned cells under the
+  // shard partition (every loop with all points when unsharded).  Cells no
+  // task owns stay default LoopResults for merge_sweep_shards to fill
+  // from their owner.
+  const std::vector<SweepTask> tasks = sweep_tasks(options_, loops.size(), points.size());
+  sweep.pipelines = 0;
+  for (const SweepTask& task : tasks) sweep.pipelines += task.point_indices.size();
 
   std::vector<SweepPrefixKeys> keys(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) keys[p] = sweep_prefix_keys(points[p]);
@@ -531,6 +552,9 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
   const bool persist = options_.use_cache && !options_.store_dir.empty();
   const ArtifactStore disk_store(options_.store_dir);
   const ArtifactStore* store = persist ? &disk_store : nullptr;
+  // Record the key-domain version this writer uses, so store maintenance
+  // (ArtifactStore::stats) can report a shared directory's version mix.
+  if (persist) disk_store.mark_version(kStoreFormatVersion);
 
   // Warm-start chains: points sharing (front prefix, machine, backend
   // cache key) form a ladder, executed in ascending budget_ratio order so
@@ -587,11 +611,57 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
   std::mutex merge_mutex;
   FrontSeconds front_seconds{};
 
-  auto run_loop = [&](std::size_t i) {
-    if (sharded && options_.shard_axis == ShardAxis::kLoops &&
-        !shard_owns(options_.shard_axis, options_.shard_count, options_.shard_index, i, 0)) {
-      return;
+  // Checkpoint ledger: open (or resume) this runner's journal, replay the
+  // tasks it already holds, and queue only the remainder.
+  std::unique_ptr<TaskJournal> journal;
+  std::vector<const SweepTask*> pending;
+  pending.reserve(tasks.size());
+  if (!options_.checkpoint_dir.empty()) {
+    JournalHeader header;
+    header.config_hash = sweep_config_hash(loops, points);
+    header.shard_count = options_.shard_count;
+    header.shard_index = options_.shard_index;
+    header.axis = options_.shard_axis;
+    header.loops = loops.size();
+    header.points = points.size();
+    journal = std::make_unique<TaskJournal>(
+        checkpoint_journal_path(options_.checkpoint_dir, header), header);
+  }
+  for (const SweepTask& task : tasks) {
+    bool replayed = false;
+    if (journal != nullptr) {
+      if (auto it = journal->completed().find(task.loop_index);
+          it != journal->completed().end()) {
+        try {
+          TaskPayload payload = decode_task_payload(it->second);
+          QVLIW_ASSERT(payload.loop_index == task.loop_index,
+                       "journal payload filed under the wrong task id");
+          for (const auto& [p, result] : payload.cells) {
+            check(p < points.size(), "journal payload: point index out of range");
+          }
+          for (auto& [p, result] : payload.cells) {
+            sweep.by_point[p][task.loop_index] = std::move(result);
+          }
+          sweep.cache += payload.stats;
+          for (std::size_t k = 0; k < front_seconds.size(); ++k) {
+            front_seconds[k] += payload.front_seconds[k];
+          }
+          ++sweep.checkpoint.tasks_replayed;
+          replayed = true;
+        } catch (const Error&) {
+          // The record checksum makes this near-impossible, but a payload
+          // that fails to decode is simply re-executed; the fresh record
+          // appended below supersedes it on the next replay.
+        }
+      }
     }
+    if (!replayed) pending.push_back(&task);
+  }
+
+  auto run_task = [&](const SweepTask& task) {
+    const std::size_t i = task.loop_index;
+    std::vector<char> owned(points.size(), 0);
+    for (const std::size_t p : task.point_indices) owned[p] = 1;
     LoopCache cache;
     SweepCacheStats local_stats;
     FrontSeconds local_seconds{};
@@ -605,10 +675,7 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
 
     for (std::size_t o = 0; o < exec_order.size(); ++o) {
       const std::size_t p = exec_order[o];
-      if (sharded && options_.shard_axis == ShardAxis::kPoints &&
-          !shard_owns(options_.shard_axis, options_.shard_count, options_.shard_index, i, p)) {
-        continue;
-      }
+      if (owned[p] == 0) continue;
       const SweepPoint& point = points[p];
       LoopResult out;
       bool produced = false;
@@ -703,15 +770,32 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
     const std::lock_guard<std::mutex> lock(merge_mutex);
     sweep.cache += local_stats;
     for (std::size_t k = 0; k < front_seconds.size(); ++k) front_seconds[k] += local_seconds[k];
+    if (journal != nullptr) {
+      // Commit the completed task: its cells plus the accounting deltas,
+      // so a replay restores both exactly.
+      TaskPayload payload;
+      payload.loop_index = i;
+      payload.cells.reserve(task.point_indices.size());
+      for (const std::size_t p : task.point_indices) {
+        payload.cells.emplace_back(p, sweep.by_point[p][i]);
+      }
+      payload.stats = local_stats;
+      payload.front_seconds = local_seconds;
+      journal->append_task(i, encode_task_payload(payload));
+      journal->append_heartbeat();
+      ++sweep.checkpoint.tasks_executed;
+      if (options_.on_task_committed) options_.on_task_committed(sweep.checkpoint.tasks_executed);
+    }
   };
 
-  if (!points.empty()) {
+  if (!pending.empty()) {
     if (options_.parallel) {
-      parallel_for(loops.size(), run_loop);
+      parallel_for(pending.size(), [&](std::size_t t) { run_task(*pending[t]); });
     } else {
-      for (std::size_t i = 0; i < loops.size(); ++i) run_loop(i);
+      for (const SweepTask* task : pending) run_task(*task);
     }
   }
+  if (journal != nullptr) sweep.checkpoint.journal_bytes = journal->bytes();
 
   // Aggregate per-stage wall time: per-run stage_times plus the front-end
   // work the cache performed outside any single run.

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -94,6 +95,19 @@ struct SweepCacheStats {
   [[nodiscard]] double warm_hit_rate() const;  // warm_hits/warm_probes; 0 when no probes
 
   SweepCacheStats& operator+=(const SweepCacheStats& other);
+};
+
+/// Checkpoint-ledger accounting of one run (see
+/// SweepOptions::checkpoint_dir; all zero when checkpointing is off).
+/// Like stage times, this is provenance — how the results were obtained —
+/// and is excluded from sweep_result_fingerprint; merge_sweep_shards sums
+/// it across shards.
+struct CheckpointStats {
+  std::uint64_t tasks_replayed = 0;  // completed tasks restored from the journal
+  std::uint64_t tasks_executed = 0;  // tasks run (and journaled) by this process
+  std::uint64_t journal_bytes = 0;   // journal size after the run; 0 without one
+
+  CheckpointStats& operator+=(const CheckpointStats& other);
 };
 
 /// Wall time summed over every pipeline run of the sweep, per stage.
@@ -173,6 +187,24 @@ struct SweepOptions {
   /// with bit-identical results.
   bool warm_start = false;
 
+  /// Directory of the checkpoint ledger (harness/checkpoint.h); empty
+  /// disables checkpointing.  Every completed SweepTask appends its
+  /// LoopResults and accounting deltas to an append-only task journal
+  /// keyed by the sweep's config hash and this runner's shard identity
+  /// (shards sharing one checkpoint_dir never collide).  On a restart,
+  /// completed tasks replay from the journal and only unfinished tasks
+  /// execute — bit-identical to an uninterrupted run per
+  /// sweep_result_fingerprint, with identical cache accounting.
+  std::string checkpoint_dir;
+
+  /// Instrumentation/test hook: invoked right after each executed task
+  /// commits to the journal (never for replays; only fires when
+  /// checkpoint_dir is set), with the number of tasks this run has
+  /// committed so far.  Runs under the journal lock — keep it cheap.  The
+  /// SIGKILL-resume test and the dispatcher's straggler injection are the
+  /// intended users.
+  std::function<void(std::uint64_t committed)> on_task_committed;
+
   /// Additionally seed the *first* point of a warm-start ladder with the
   /// most recent accepted schedule of another machine's ladder over the
   /// same (loop, front prefix, backend) — the cross-machine chaining the
@@ -221,10 +253,28 @@ struct SweepPrefixKeys {
 /// "loops" / "points" (used by shard files and CLI flags).
 [[nodiscard]] std::string_view shard_axis_name(ShardAxis axis);
 
+/// One unit of the sweep's work queue: a loop plus the point indices this
+/// runner owns for it under the shard partition.  The loop index is the
+/// task id — stable across restarts because the checkpoint journal's
+/// config hash pins the exact (loops, points) inputs.  A task matches the
+/// runner's per-loop execution granularity: the per-loop artifact cache
+/// and every warm-start ladder live entirely inside one task, so a task
+/// is also the natural unit of checkpoint replay.
+struct SweepTask {
+  std::size_t loop_index = 0;
+  std::vector<std::size_t> point_indices;  // owned, ascending point order
+};
+
+/// The work queue of one runner: a task per loop with at least one owned
+/// cell, in ascending loop order.  Shared by SweepRunner::run and tests.
+[[nodiscard]] std::vector<SweepTask> sweep_tasks(const SweepOptions& options, std::size_t loops,
+                                                 std::size_t points);
+
 struct SweepResult {
   /// results[point][loop], index-aligned with the inputs.
   std::vector<std::vector<LoopResult>> by_point;
   SweepCacheStats cache;
+  CheckpointStats checkpoint;
   std::vector<StageTotal> stage_totals;
   double wall_seconds = 0.0;
   std::uint64_t pipelines = 0;  // loops x points executed

@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -84,6 +86,58 @@ void ArtifactStore::save(std::uint64_t key, std::string_view blob) const {
   if (ec) fs::remove(temp, ec);
 }
 
+namespace {
+constexpr std::string_view kVersionMarkerPrefix = "format.v";
+}
+
+ArtifactStoreStats ArtifactStore::stats() const {
+  ArtifactStoreStats stats;
+  std::error_code ec;
+  for (const fs::directory_entry& top : fs::directory_iterator(root_, ec)) {
+    const std::string name = top.path().filename().string();
+    if (top.is_regular_file(ec) && starts_with(name, kVersionMarkerPrefix)) {
+      const std::string digits = name.substr(kVersionMarkerPrefix.size());
+      if (!digits.empty() && digits.find_first_not_of("0123456789") == std::string::npos) {
+        stats.versions.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+      }
+      continue;
+    }
+    if (!top.is_directory(ec)) continue;
+    bool populated = false;
+    for (const fs::directory_entry& file : fs::directory_iterator(top.path(), ec)) {
+      if (!file.is_regular_file(ec)) continue;
+      const std::string leaf = file.path().filename().string();
+      const std::uint64_t bytes = static_cast<std::uint64_t>(file.file_size(ec));
+      if (ec) continue;  // renamed/removed by a live writer mid-scan
+      if (leaf.find(".tmp.") != std::string::npos) {
+        ++stats.temp_files;
+        stats.temp_bytes += bytes;
+      } else if (leaf.size() > 5 && leaf.compare(leaf.size() - 5, 5, ".qart") == 0) {
+        ++stats.entries;
+        stats.entry_bytes += bytes;
+        populated = true;
+      }
+    }
+    if (populated) ++stats.fanout_dirs;
+  }
+  std::sort(stats.versions.begin(), stats.versions.end());
+  return stats;
+}
+
+void ArtifactStore::mark_version(std::uint64_t version) const {
+  std::error_code ec;
+  const fs::path marker = fs::path(root_) / cat(kVersionMarkerPrefix, version);
+  if (fs::exists(marker, ec)) return;
+  fs::create_directories(root_, ec);
+  if (ec) return;
+  // Same temp + atomic-rename discipline as save(): concurrent markers
+  // only race to install the same (empty) file.
+  const fs::path temp = fs::path(root_) / cat(kVersionMarkerPrefix, version, ".tmp.", ::getpid());
+  { std::ofstream out(temp, std::ios::binary | std::ios::trunc); }
+  fs::rename(temp, marker, ec);
+  if (ec) fs::remove(temp, ec);
+}
+
 // --- blob format -----------------------------------------------------------
 
 void BlobWriter::put_u64(std::uint64_t v) {
@@ -98,6 +152,8 @@ void BlobWriter::put_i32(std::int32_t v) {
 }
 
 void BlobWriter::put_bool(bool v) { bytes_.push_back(v ? '\1' : '\0'); }
+
+void BlobWriter::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
 
 void BlobWriter::put_string(std::string_view s) {
   put_u64(s.size());
@@ -132,6 +188,8 @@ bool BlobReader::get_bool() {
   check(cursor_ + 1 <= bytes_.size(), "BlobReader: truncated bool");
   return bytes_[cursor_++] != '\0';
 }
+
+double BlobReader::get_f64() { return std::bit_cast<double>(get_u64()); }
 
 std::string BlobReader::get_string() {
   const std::uint64_t size = get_u64();

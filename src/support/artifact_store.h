@@ -19,8 +19,25 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace qvliw {
+
+/// Operator-facing inventory of a store directory (ArtifactStore::stats):
+/// installed entries, leftover temp files from killed writers, and the
+/// format-version markers recorded by mark_version.
+struct ArtifactStoreStats {
+  std::uint64_t entries = 0;     // installed *.qart blobs
+  std::uint64_t entry_bytes = 0;
+  std::uint64_t temp_files = 0;  // *.tmp.* siblings a killed writer left behind
+  std::uint64_t temp_bytes = 0;
+  std::uint64_t fanout_dirs = 0;  // populated <aa>/ directories
+  /// Format versions that have written into this store, ascending (from
+  /// the root's `format.v<N>` markers).  More than one version means
+  /// entries keyed under retired key domains are still on disk — dead
+  /// weight that is never read again and can be garbage-collected.
+  std::vector<std::uint64_t> versions;
+};
 
 class ArtifactStore {
  public:
@@ -39,6 +56,18 @@ class ArtifactStore {
 
   [[nodiscard]] const std::string& root() const { return root_; }
 
+  /// Walks the store and reports entry counts, bytes, leftover temp
+  /// files, and the version-marker mix — the maintenance view for
+  /// operators inspecting a shared store directory.  Purely read-only; a
+  /// missing root reports all-zero stats.
+  [[nodiscard]] ArtifactStoreStats stats() const;
+
+  /// Records that a writer using blob-format `version` used this store,
+  /// as an empty `format.v<N>` marker at the root (idempotent, atomic
+  /// like save()).  Writers call this once per process so stats() can
+  /// report which key domains a long-lived shared store has accumulated.
+  void mark_version(std::uint64_t version) const;
+
   /// Store directory used when the caller does not name one:
   /// $QVLIW_STORE_DIR, defaulting to ".qvliw-store".
   [[nodiscard]] static std::string default_dir();
@@ -56,6 +85,7 @@ class BlobWriter {
   void put_i64(std::int64_t v);
   void put_i32(std::int32_t v);
   void put_bool(bool v);
+  void put_f64(double v);               // IEEE-754 bits as a u64
   void put_string(std::string_view s);  // u64 length + bytes
 
   [[nodiscard]] std::string take() { return std::move(bytes_); }
@@ -74,10 +104,16 @@ class BlobReader {
   [[nodiscard]] std::int64_t get_i64();
   [[nodiscard]] std::int32_t get_i32();
   [[nodiscard]] bool get_bool();
+  [[nodiscard]] double get_f64();
   [[nodiscard]] std::string get_string();
 
   /// True when every byte has been consumed.
   [[nodiscard]] bool exhausted() const { return cursor_ == bytes_.size(); }
+
+  /// Bytes consumed so far (the offset of the next read).  Record-framed
+  /// readers (the checkpoint journal) use this to remember the last
+  /// intact record boundary when a torn tail cuts a decode short.
+  [[nodiscard]] std::size_t cursor() const { return cursor_; }
 
   /// Throws Error("<what>: trailing bytes") unless exhausted.  Every
   /// top-level decoder of a store entry must end with this: a blob that

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/checkpoint.h"
+#include "harness/dispatch.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+#include "workload/suite.h"
+
+namespace qvliw {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("qvliw_test_dispatch_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<SweepPoint> ladder_points() {
+  std::vector<SweepPoint> points;
+  const MachineConfig ring = MachineConfig::clustered_machine(4);
+  for (const ClusterHeuristic heuristic :
+       {ClusterHeuristic::kAffinity, ClusterHeuristic::kLoadBalance}) {
+    for (const int budget : {6, 12}) {
+      SweepPoint point{cat(cluster_heuristic_name(heuristic), "-", budget), ring, {}};
+      point.options.unroll = true;
+      point.options.scheduler = SchedulerKind::kClustered;
+      point.options.heuristic = heuristic;
+      point.options.ims.budget_ratio = budget;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+TEST(Dispatch, MergedDispatchMatchesSingleProcess) {
+  const fs::path dir = scratch_dir("merge");
+  const Suite suite = small_suite(7, 113);
+  const std::vector<SweepPoint> points = ladder_points();
+
+  DispatchOptions options;
+  options.shard_count = 3;
+  options.checkpoint_dir = dir.string();
+  options.poll_interval_seconds = 0.005;
+  const DispatchReport report = dispatch_sweep(suite.loops, points, options);
+
+  EXPECT_EQ(report.shards, 3);
+  EXPECT_EQ(report.launches, 3);
+  EXPECT_EQ(report.requeues, 0);
+  ASSERT_EQ(report.attempts.size(), 3u);
+  for (const DispatchAttempt& attempt : report.attempts) {
+    EXPECT_TRUE(attempt.completed);
+    EXPECT_FALSE(attempt.killed);
+  }
+
+  const SweepResult single = SweepRunner().run(suite.loops, points);
+  EXPECT_EQ(sweep_result_fingerprint(report.merged), sweep_result_fingerprint(single));
+  EXPECT_EQ(report.merged.pipelines, single.pipelines);
+  // Every worker checkpointed its tasks; nothing replayed on a fresh dir.
+  EXPECT_EQ(report.merged.checkpoint.tasks_executed, suite.loops.size());
+  EXPECT_EQ(report.merged.checkpoint.tasks_replayed, 0u);
+  fs::remove_all(dir);
+}
+
+// A straggler — complete journal, shard file never emitted — is killed
+// past the deadline, requeued onto a *different* worker slot, and its
+// retry replays every task from the journal; the merge is still
+// bit-identical to the single-process sweep.
+TEST(Dispatch, StragglerKilledRequeuedOntoSpareWorkerAndReplayed) {
+  const fs::path dir = scratch_dir("straggler");
+  const Suite suite = small_suite(6, 127);
+  const std::vector<SweepPoint> points = ladder_points();
+
+  DispatchOptions options;
+  options.shard_count = 2;
+  options.max_workers = 2;
+  options.checkpoint_dir = dir.string();
+  options.straggler_deadline_seconds = 0.3;
+  options.poll_interval_seconds = 0.005;
+  options.before_emit = [](const ShardWorkerContext& ctx) {
+    if (ctx.shard_index == 1 && ctx.attempt == 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(60));  // SIGKILLed long before this ends
+    }
+  };
+  const DispatchReport report = dispatch_sweep(suite.loops, points, options);
+
+  EXPECT_EQ(report.requeues, 1);
+  EXPECT_EQ(report.launches, 3);
+  int killed_slot = -1;
+  int retry_slot = -1;
+  for (const DispatchAttempt& attempt : report.attempts) {
+    if (attempt.shard_index != 1) continue;
+    if (attempt.killed) {
+      EXPECT_EQ(attempt.attempt, 0);
+      EXPECT_FALSE(attempt.completed);
+      killed_slot = attempt.worker_slot;
+    } else {
+      EXPECT_EQ(attempt.attempt, 1);
+      EXPECT_TRUE(attempt.completed);
+      retry_slot = attempt.worker_slot;
+    }
+  }
+  ASSERT_GE(killed_slot, 0);
+  ASSERT_GE(retry_slot, 0);
+  // The failed assignment is excluded: the retry runs on the spare slot.
+  EXPECT_NE(retry_slot, killed_slot);
+
+  // The killed attempt journaled the whole shard before stalling, so the
+  // retry replays everything instead of recomputing.
+  EXPECT_GT(report.merged.checkpoint.tasks_replayed, 0u);
+
+  const SweepResult single = SweepRunner().run(suite.loops, points);
+  EXPECT_EQ(sweep_result_fingerprint(report.merged), sweep_result_fingerprint(single));
+  fs::remove_all(dir);
+}
+
+TEST(Dispatch, CrashedWorkerIsRetried) {
+  const fs::path dir = scratch_dir("crash");
+  const Suite suite = small_suite(5, 131);
+  const std::vector<SweepPoint> points = ladder_points();
+
+  DispatchOptions options;
+  options.shard_count = 2;
+  options.checkpoint_dir = dir.string();
+  options.poll_interval_seconds = 0.005;
+  options.before_emit = [](const ShardWorkerContext& ctx) {
+    if (ctx.shard_index == 0 && ctx.attempt == 0) _exit(9);  // crash before the shard file
+  };
+  const DispatchReport report = dispatch_sweep(suite.loops, points, options);
+
+  EXPECT_EQ(report.requeues, 1);
+  const SweepResult single = SweepRunner().run(suite.loops, points);
+  EXPECT_EQ(sweep_result_fingerprint(report.merged), sweep_result_fingerprint(single));
+  fs::remove_all(dir);
+}
+
+TEST(Dispatch, ExhaustedAttemptsThrowWithFailureLog) {
+  const fs::path dir = scratch_dir("exhausted");
+  const Suite suite = small_suite(3, 137);
+  const std::vector<SweepPoint> points = ladder_points();
+
+  DispatchOptions options;
+  options.shard_count = 2;
+  options.checkpoint_dir = dir.string();
+  options.poll_interval_seconds = 0.005;
+  options.max_attempts = 2;
+  options.before_emit = [](const ShardWorkerContext& ctx) {
+    if (ctx.shard_index == 1) _exit(3);  // fails every attempt
+  };
+  try {
+    (void)dispatch_sweep(suite.loops, points, options);
+    FAIL() << "dispatch_sweep should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 attempt(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("exited 3"), std::string::npos) << what;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Dispatch, RequiresCheckpointDir) {
+  const Suite suite = small_suite(2, 139);
+  DispatchOptions options;
+  EXPECT_THROW((void)dispatch_sweep(suite.loops, ladder_points(), options), Error);
+}
+
+}  // namespace
+}  // namespace qvliw

@@ -190,6 +190,64 @@ TEST(Shard, MergeRejectsInconsistentShardSets) {
   EXPECT_EQ(merged.pipelines, suite.loops.size() * points.size());
 }
 
+TEST(Shard, MergeRejectsOutOfRangeShardIndex) {
+  const Suite suite = small_suite(4, 149);
+  const std::vector<SweepPoint> points = ladder_points();
+  std::vector<SweepShard> shards;
+  shards.push_back(run_shard(suite.loops, points, SweepOptions{}, 2, 0, ShardAxis::kLoops));
+  shards.push_back(run_shard(suite.loops, points, SweepOptions{}, 2, 1, ShardAxis::kLoops));
+  // A hand-constructed (never-decoded) shard with a rogue index used to
+  // index the duplicate-tracking vector out of bounds; now it is a clear
+  // diagnostic.
+  shards[1].header.shard_index = 5;
+  try {
+    (void)merge_sweep_shards(std::move(shards));
+    FAIL() << "merge should reject an out-of-range shard index";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos) << e.what();
+  }
+}
+
+// The double-count regression: shard sets whose members hold more cells
+// than their partition slice owns must be rejected, not silently summed.
+TEST(Shard, MergeRejectsOverlappingShardData) {
+  const Suite suite = small_suite(4, 151);
+  const std::vector<SweepPoint> points = ladder_points();
+
+  // An unsharded run relabelled as one slice of a 2-way partition: its
+  // pipelines count (and its cells) cover the whole cross product.
+  SweepShard relabelled;
+  relabelled.header.shard_count = 2;
+  relabelled.header.shard_index = 0;
+  relabelled.header.axis = ShardAxis::kLoops;
+  relabelled.header.loops = suite.loops.size();
+  relabelled.header.points = points.size();
+  relabelled.header.config_hash = sweep_config_hash(suite.loops, points);
+  relabelled.result = SweepRunner().run(suite.loops, points);
+  const SweepShard genuine =
+      run_shard(suite.loops, points, SweepOptions{}, 2, 1, ShardAxis::kLoops);
+  try {
+    (void)merge_sweep_shards({relabelled, genuine});
+    FAIL() << "merge should reject a shard holding the whole sweep";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("double-count"), std::string::npos) << e.what();
+  }
+
+  // A genuine slice with one stray cell outside its partition (pipelines
+  // still consistent): also rejected.
+  SweepShard tampered =
+      run_shard(suite.loops, points, SweepOptions{}, 2, 0, ShardAxis::kLoops);
+  ASSERT_GE(suite.loops.size(), 2u);
+  tampered.result.by_point[0][1] = relabelled.result.by_point[0][1];  // loop 1: shard 1's cell
+  try {
+    (void)merge_sweep_shards({tampered, genuine});
+    FAIL() << "merge should reject a cell outside the shard's slice";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("outside its partition"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Shard, ConfigHashSeparatesSweeps) {
   const Suite a = small_suite(4, 61);
   const Suite b = small_suite(4, 67);

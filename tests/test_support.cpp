@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -397,6 +398,43 @@ TEST(ArtifactStore, BinaryBlobSurvives) {
   EXPECT_TRUE(reader.get_bool());
   EXPECT_EQ(reader.get_string(), std::string("nul\0inside", 10));
   EXPECT_TRUE(reader.exhausted());
+  std::filesystem::remove_all(root);
+}
+
+TEST(ArtifactStore, StatsInventoriesEntriesTempFilesAndVersions) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "qvliw_test_artifacts_stats";
+  std::filesystem::remove_all(root);
+  const ArtifactStore store(root.string());
+
+  // Empty (even missing) store: all-zero stats.
+  const ArtifactStoreStats empty = store.stats();
+  EXPECT_EQ(empty.entries, 0u);
+  EXPECT_EQ(empty.entry_bytes, 0u);
+  EXPECT_TRUE(empty.versions.empty());
+
+  store.save(42, "hello");                       // 5 bytes
+  store.save(0xaa00000000000001ULL, "world!!");  // 7 bytes, another fan-out dir
+  store.save(0xaa00000000000002ULL, "x");        // 1 byte, same fan-out dir
+  store.mark_version(2);
+  store.mark_version(2);  // idempotent
+  store.mark_version(1);
+
+  // A temp file a killed writer left behind.
+  {
+    std::ofstream stray(root / "aa" / "deadbeef.qart.tmp.1234.5");
+    stray << "partial";
+  }
+
+  const ArtifactStoreStats stats = store.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.entry_bytes, 13u);
+  EXPECT_EQ(stats.fanout_dirs, 2u);
+  EXPECT_EQ(stats.temp_files, 1u);
+  EXPECT_EQ(stats.temp_bytes, 7u);
+  ASSERT_EQ(stats.versions.size(), 2u);
+  EXPECT_EQ(stats.versions[0], 1u);
+  EXPECT_EQ(stats.versions[1], 2u);
   std::filesystem::remove_all(root);
 }
 

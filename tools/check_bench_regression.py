@@ -6,8 +6,9 @@ Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.30]
 Compares a fresh perf_micro run against the committed baseline and fails
 (exit 1) when:
 
-  - the fresh run reports results_identical: false or
-    warm_iis_never_worse: false — correctness signals, never tolerable;
+  - the fresh run reports results_identical: false,
+    warm_iis_never_worse: false, or checkpoint_results_identical: false
+    — correctness signals, never tolerable;
   - the cached sweep's loops_per_second is more than `tolerance` slower;
   - the warm sweep's backend_loops_per_second (back-end-only throughput,
     the figure warm starting improves) is more than `tolerance` slower;
@@ -64,6 +65,14 @@ def check(baseline, fresh, tolerance):
               "(warm-started scheduling degraded an II)")
         return 1
 
+    # Required in the fresh file (the current perf_micro always emits it);
+    # a missing field means the fresh artifact was not produced by the
+    # current binary.
+    if not require(fresh, "fresh", "checkpoint_results_identical"):
+        print("FAIL: fresh run reports checkpoint_results_identical: false "
+              "(checkpoint replay diverged from the uninterrupted sweep)")
+        return 1
+
     if require(baseline, "baseline", "cached").get("disk_hits", 0) > 0:
         print(
             "FAIL: committed baseline was generated with a warm artifact store "
@@ -110,11 +119,16 @@ def check(baseline, fresh, tolerance):
         print(f"OK: warm_start_hit_rate {fresh_rate:.1%} (baseline {base_rate:.1%})")
 
     speedup = fresh.get("cache_speedup", 0.0)
+    replay = fresh.get("checkpoint_replay", {})
+    if not isinstance(replay, dict):
+        replay = {}
     print(f"info: cache speedup {speedup:.2f}x, "
           f"warm backend speedup {fresh.get('warm_backend_speedup', 0.0):.2f}x, "
           f"disk hit rate {fresh['cached'].get('disk_hit_rate', 0.0):.1%}, "
           f"schedule-store hits {fresh['warm'].get('sched_disk_hits', 0) if isinstance(fresh.get('warm'), dict) else 0}, "
-          f"naive probe fallbacks {fresh['cached'].get('unroll_probe_naive_fallbacks', 0)}")
+          f"naive probe fallbacks {fresh['cached'].get('unroll_probe_naive_fallbacks', 0)}, "
+          f"checkpoint replay {replay.get('tasks_replayed', 0)} task(s) / "
+          f"{replay.get('journal_bytes', 0)} journal bytes")
     return 0
 
 

@@ -19,10 +19,11 @@ import check_bench_regression as gate  # noqa: E402
 
 
 def bench_json(cached_lps=100.0, warm_blps=500.0, warm_rate=0.9, disk_hits=0,
-               identical=True, never_worse=True):
+               identical=True, never_worse=True, checkpoint_identical=True):
     return {
         "results_identical": identical,
         "warm_iis_never_worse": never_worse,
+        "checkpoint_results_identical": checkpoint_identical,
         "cache_speedup": 5.0,
         "warm_backend_speedup": 1.2,
         "cached": {
@@ -35,6 +36,11 @@ def bench_json(cached_lps=100.0, warm_blps=500.0, warm_rate=0.9, disk_hits=0,
             "backend_loops_per_second": warm_blps,
             "warm_start_hit_rate": warm_rate,
             "sched_disk_hits": 0,
+        },
+        "checkpoint_replay": {
+            "tasks_replayed": 48,
+            "tasks_executed": 0,
+            "journal_bytes": 12345,
         },
     }
 
@@ -61,6 +67,18 @@ class GateVerdicts(unittest.TestCase):
         code, out = run_gate(bench_json(), bench_json(never_worse=False))
         self.assertEqual(code, 1)
         self.assertIn("warm_iis_never_worse", out)
+
+    def test_checkpoint_divergence_fails(self):
+        code, out = run_gate(bench_json(), bench_json(checkpoint_identical=False))
+        self.assertEqual(code, 1)
+        self.assertIn("checkpoint_results_identical", out)
+
+    def test_fresh_missing_checkpoint_field_fails(self):
+        fresh = bench_json()
+        del fresh["checkpoint_results_identical"]
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("fresh missing field checkpoint_results_identical", out)
 
     def test_warm_baseline_rejected(self):
         code, out = run_gate(bench_json(disk_hits=3), bench_json())
