@@ -32,6 +32,17 @@ inline int suite_size() {
   return 1258;
 }
 
+/// Default worker-thread request for the benches: QVLIW_WORKERS=<n>, 0 =
+/// auto (one per hardware thread).  Benches overriding it with a
+/// --workers flag still fall back here when the flag is absent.
+inline int env_workers() {
+  if (const char* env = std::getenv("QVLIW_WORKERS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 0;
+}
+
 /// Unroll search bound (QVLIW_MAX_UNROLL, default 8 as in the library).
 inline int max_unroll() {
   if (const char* env = std::getenv("QVLIW_MAX_UNROLL")) {

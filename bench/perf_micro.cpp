@@ -27,7 +27,14 @@
 // `checkpoint_results_identical` and gated in CI alongside
 // `results_identical`.
 //
-//   QVLIW_LOOPS=200 ./build/bench/perf_micro [out.json]
+// Every sweep runs on SweepOptions::workers threads (--workers N /
+// QVLIW_WORKERS, 0 = one per hardware thread).  When more than one
+// worker resolves, an extra single-threaded uncached run provides the
+// serial baseline: `parallel_speedup` = serial wall / threaded wall, and
+// `parallel_results_identical` asserts the threaded sweep is
+// result-identical to the serial one (the determinism contract CI gates).
+//
+//   QVLIW_LOOPS=200 ./build/bench/perf_micro [out.json] [--workers N]
 //   ./build/bench/perf_micro --list-backends   # registry contents only
 #include <filesystem>
 #include <fstream>
@@ -139,9 +146,19 @@ void write_points(std::ostream& os, const std::vector<SweepPoint>& points) {
 }
 
 int run(int argc, char** argv) {
-  if (argc > 1 && std::string(argv[1]) == "--list-backends") {
-    print_backends(std::cout);
-    return 0;
+  int workers_request = bench::env_workers();
+  std::string out_override;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--list-backends") {
+      print_backends(std::cout);
+      return 0;
+    }
+    if (arg == "--workers" && a + 1 < argc) {
+      workers_request = std::atoi(argv[++a]);
+    } else {
+      out_override = arg;
+    }
   }
 
   print_banner(std::cout, "perf — sweep throughput, prefix-cache and warm-start speedups",
@@ -150,17 +167,39 @@ int run(int argc, char** argv) {
   const Suite suite = bench::make_suite();
   bench::print_suite_line(std::cout, suite);
 
-  const std::vector<SweepPoint> points = bench::perf_sweep_points();
-  std::cout << "sweep: " << points.size() << " points (3 heuristics x 2 IMS budgets on the "
-            << "4-cluster ring), " << worker_count() << " worker(s)\n\n";
-
   SweepOptions uncached_options;
   uncached_options.use_cache = false;
+  uncached_options.workers = workers_request;
+  const int workers = resolved_sweep_workers(uncached_options);
+
+  const std::vector<SweepPoint> points = bench::perf_sweep_points();
+  std::cout << "sweep: " << points.size() << " points (3 heuristics x 2 IMS budgets on the "
+            << "4-cluster ring), " << workers << " worker(s)\n\n";
+
+  // Serial baseline for parallel_speedup, only worth a run when the
+  // threaded sweeps actually use more than one worker.
+  bool parallel_identical = true;
+  double parallel_speedup = 1.0;
+  SweepResult serial;
+  if (workers > 1) {
+    SweepOptions serial_options = uncached_options;
+    serial_options.workers = 1;
+    serial_options.parallel = false;
+    std::cout << "running serial baseline (1 worker, uncached)...\n";
+    serial = SweepRunner(serial_options).run(suite.loops, points);
+  }
+
   std::cout << "running uncached (every point recomputes its front end)...\n";
   const SweepResult uncached = SweepRunner(uncached_options).run(suite.loops, points);
+  if (workers > 1) {
+    parallel_identical = results_identical(serial, uncached);
+    parallel_speedup =
+        uncached.wall_seconds > 0.0 ? serial.wall_seconds / uncached.wall_seconds : 0.0;
+  }
 
   SweepOptions cached_options;
   cached_options.store_dir = ArtifactStore::default_dir();
+  cached_options.workers = workers_request;
   std::cout << "running cached (prefix artifacts shared across points; persisted to "
             << cached_options.store_dir << ")...\n";
   const SweepResult cached = SweepRunner(cached_options).run(suite.loops, points);
@@ -210,6 +249,11 @@ int run(int argc, char** argv) {
                  warm.pipelines_per_second(), percent(warm.cache.hit_rate()),
                  percent(warm.cache.warm_hit_rate())});
   table.render(std::cout);
+  if (workers > 1) {
+    std::cout << "\nparallel: " << workers << " workers, " << fixed(parallel_speedup, 2)
+              << "x over serial; threaded results identical: "
+              << (parallel_identical ? "yes" : "NO — BUG") << "\n";
+  }
   std::cout << "\ncache speedup: " << fixed(speedup, 2) << "x; warm back-end speedup: "
             << fixed(warm_backend_speedup, 2) << "x; results identical: "
             << (identical && warm_identical ? "yes" : "NO — BUG")
@@ -226,8 +270,10 @@ int run(int argc, char** argv) {
             << " warm schedules warm (rerun the bench for a fully warm start)\n";
   bench::print_sweep_footer(std::cout, warm);
 
-  const char* path = argc > 1 ? argv[1] : std::getenv("QVLIW_BENCH_JSON");
-  const std::string out_path = path != nullptr ? path : "BENCH_pipeline.json";
+  const char* env_path = std::getenv("QVLIW_BENCH_JSON");
+  const std::string out_path = !out_override.empty() ? out_override
+                               : env_path != nullptr ? env_path
+                                                     : "BENCH_pipeline.json";
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << "\n";
@@ -237,7 +283,8 @@ int run(int argc, char** argv) {
       << "  \"bench\": \"pipeline_sweep\",\n"
       << "  \"suite_loops\": " << suite.loops.size() << ",\n"
       << "  \"sweep_points\": " << points.size() << ",\n"
-      << "  \"workers\": " << worker_count() << ",\n"
+      << "  \"workers\": " << workers << ",\n"
+      << "  \"hardware_threads\": " << worker_count() << ",\n"
       << "  \"store_dir\": \"" << cached_options.store_dir << "\",\n"
       << "  \"backends\": [";
   {
@@ -260,6 +307,8 @@ int run(int argc, char** argv) {
   write_run(out, "checkpoint_replay", replayed);
   out << ",\n"
       << "  \"cache_speedup\": " << fixed(speedup, 3) << ",\n"
+      << "  \"parallel_speedup\": " << fixed(parallel_speedup, 3) << ",\n"
+      << "  \"parallel_results_identical\": " << (parallel_identical ? "true" : "false") << ",\n"
       << "  \"warm_backend_speedup\": " << fixed(warm_backend_speedup, 3) << ",\n"
       << "  \"warm_iis_never_worse\": " << (never_worse ? "true" : "false") << ",\n"
       << "  \"checkpoint_results_identical\": " << (checkpoint_identical ? "true" : "false")
@@ -267,7 +316,10 @@ int run(int argc, char** argv) {
       << "  \"results_identical\": " << (identical && warm_identical ? "true" : "false") << "\n"
       << "}\n";
   std::cout << "\nwrote " << out_path << "\n";
-  return identical && warm_identical && never_worse && checkpoint_identical ? 0 : 1;
+  return identical && warm_identical && never_worse && checkpoint_identical &&
+                 parallel_identical
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -9,10 +9,16 @@
 // can diff the two byte-for-byte — including across a forced requeue.
 //
 //   sweep_dispatch run --shards N --checkpoint DIR --out FILE.json
-//       [--workers W] [--warm] [--store DIR] [--axis loops|points]
+//       [--workers W] [--threads M] [--warm] [--store DIR] [--axis loops|points]
 //       [--deadline SECONDS] [--max-attempts K]
 //       [--delay-shard I [--delay-seconds S]]   # straggler injection (attempt 0)
 //   sweep_dispatch --store-stats --store DIR
+//
+// --workers W is the *process* count; --threads M asks for M worker
+// threads inside each forked shard worker (default QVLIW_WORKERS, else
+// 1).  The dispatcher's procs x threads oversubscription guard
+// (resolved_worker_threads) clamps M to the machine's per-process share,
+// so W x M never exceeds the hardware thread count.
 //
 // --delay-shard makes the named shard's *first* worker sleep after its
 // sweep completes but before the shard file is written: the dispatcher
@@ -39,7 +45,8 @@ struct Args {
   std::string store;
   std::string checkpoint;
   int shards = 2;
-  int workers = 0;
+  int workers = 0;  // concurrent processes; 0 = one per shard
+  int threads = bench::env_workers();  // worker threads per process; <= 1 = serial
   ShardAxis axis = ShardAxis::kLoops;
   double deadline = 30.0;
   int max_attempts = 3;
@@ -52,7 +59,7 @@ struct Args {
 int usage() {
   std::cerr << "usage:\n"
             << "  sweep_dispatch run --shards N --checkpoint DIR --out FILE.json\n"
-            << "      [--workers W] [--warm] [--store DIR] [--axis loops|points]\n"
+            << "      [--workers W] [--threads M] [--warm] [--store DIR] [--axis loops|points]\n"
             << "      [--deadline SECONDS] [--max-attempts K]\n"
             << "      [--delay-shard I [--delay-seconds S]]\n"
             << "  sweep_dispatch --store-stats --store DIR\n";
@@ -86,6 +93,9 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (flag == "--workers") {
       if ((v = next()) == nullptr) return false;
       args.workers = std::atoi(v);
+    } else if (flag == "--threads") {
+      if ((v = next()) == nullptr) return false;
+      args.threads = std::atoi(v);
     } else if (flag == "--deadline") {
       if ((v = next()) == nullptr) return false;
       args.deadline = std::atof(v);
@@ -127,6 +137,7 @@ int run_mode(const Args& args) {
   DispatchOptions options;
   options.shard_count = args.shards;
   options.max_workers = args.workers;
+  options.worker_threads = args.threads;
   options.axis = args.axis;
   options.checkpoint_dir = args.checkpoint;
   options.store_dir = args.store;
@@ -142,9 +153,10 @@ int run_mode(const Args& args) {
     };
   }
 
-  std::cout << "dispatching " << args.shards << " shard(s) over "
-            << (args.workers > 0 ? args.workers : args.shards) << " worker(s) ("
-            << suite.loops.size() << " loops x " << points.size() << " points"
+  const int processes = args.workers > 0 ? args.workers : args.shards;
+  std::cout << "dispatching " << args.shards << " shard(s) over " << processes
+            << " worker(s) x " << resolved_worker_threads(args.threads, processes)
+            << " thread(s) (" << suite.loops.size() << " loops x " << points.size() << " points"
             << (args.warm ? ", warm ladders" : "")
             << (args.store.empty() ? "" : ", shared store ") << args.store
             << ", journals in " << args.checkpoint << ", straggler deadline "

@@ -8,9 +8,13 @@
 // one process are hits for the others — the distribution seam the
 // ROADMAP's sharding item calls for.
 //
-//   sweep_shard run    --shards N --shard I --out S.shard [--warm] [--store DIR] [--axis loops|points]
+//   sweep_shard run    --shards N --shard I --out S.shard [--warm] [--store DIR] [--axis loops|points] [--workers M]
 //   sweep_shard merge  --out merged.json S0.shard S1.shard ...
-//   sweep_shard single --out single.json [--warm] [--store DIR]
+//   sweep_shard single --out single.json [--warm] [--store DIR] [--workers M]
+//
+// `--workers M` (default QVLIW_WORKERS, else one per hardware thread)
+// runs the shard's sweep on M threads — sharding and threading compose, and the merged result
+// stays fingerprint-identical at any worker count.
 //
 // `merge` and `single` write byte-identical canonical results JSON when
 // the sharded and single-process sweeps agree (CI diffs the two files);
@@ -40,6 +44,7 @@ struct Args {
   std::vector<std::string> inputs;
   int shards = 1;
   int shard = 0;
+  int workers = bench::env_workers();  // 0 = one thread per hardware thread
   ShardAxis axis = ShardAxis::kLoops;
   bool warm = false;
   bool store_stats = false;
@@ -49,9 +54,10 @@ int usage() {
   std::cerr
       << "usage:\n"
       << "  sweep_shard run    --shards N --shard I --out FILE [--warm] [--store DIR]"
-      << " [--checkpoint DIR] [--axis loops|points]\n"
+      << " [--checkpoint DIR] [--axis loops|points] [--workers M]\n"
       << "  sweep_shard merge  --out FILE.json SHARD...\n"
-      << "  sweep_shard single --out FILE.json [--warm] [--store DIR] [--checkpoint DIR]\n"
+      << "  sweep_shard single --out FILE.json [--warm] [--store DIR] [--checkpoint DIR]"
+      << " [--workers M]\n"
       << "  sweep_shard --store-stats --store DIR   # inspect a shared store directory\n";
   return 2;
 }
@@ -89,6 +95,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.shard = std::atoi(v);
+    } else if (flag == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.workers = std::atoi(v);
     } else if (flag == "--axis") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -131,6 +141,7 @@ int run_mode(const Args& args, bool sharded) {
   options.store_dir = args.store;
   options.checkpoint_dir = args.checkpoint;
   options.warm_start = args.warm;
+  options.workers = args.workers;
   if (sharded) {
     options.shard_count = args.shards;
     options.shard_index = args.shard;
@@ -138,7 +149,8 @@ int run_mode(const Args& args, bool sharded) {
   }
   std::cout << (sharded ? "shard " : "single process ");
   if (sharded) std::cout << args.shard << "/" << args.shards << " ";
-  std::cout << "(" << suite.loops.size() << " loops x " << points.size() << " points"
+  std::cout << "(" << suite.loops.size() << " loops x " << points.size() << " points, "
+            << resolved_sweep_workers(options) << " worker(s)"
             << (args.warm ? ", warm ladders" : "")
             << (args.store.empty() ? "" : ", shared store ") << args.store << ")...\n";
   const SweepResult sweep = SweepRunner(options).run(suite.loops, points);

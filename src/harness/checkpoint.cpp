@@ -242,6 +242,48 @@ void TaskJournal::append_heartbeat() {
   append_record(kHeartbeatRecord, bytes);
 }
 
+TaskCommitter::TaskCommitter(TaskJournal* journal, std::size_t capacity, Sink sink)
+    : journal_(journal), sink_(std::move(sink)), channel_(capacity) {
+  thread_ = std::thread(&TaskCommitter::commit_loop, this);
+}
+
+TaskCommitter::~TaskCommitter() {
+  try {
+    finish();
+  } catch (...) {
+    // An unwind is already in flight (or the caller never checked);
+    // the error was reported through finish() if anyone asked.
+  }
+}
+
+void TaskCommitter::commit_loop() {
+  TaskCommit commit;
+  while (channel_.pop(commit)) {
+    if (error_) continue;  // drain + discard: producers must never block
+    try {
+      if (journal_ != nullptr && !commit.payload.empty()) {
+        journal_->append_task(commit.task_id, commit.payload);
+        journal_->append_heartbeat();
+      }
+      ++committed_;
+      if (sink_) sink_(commit, committed_);
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+  }
+}
+
+void TaskCommitter::submit(TaskCommit commit) { channel_.push(std::move(commit)); }
+
+void TaskCommitter::finish() {
+  if (!finished_) {
+    finished_ = true;
+    channel_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
 JournalStatus read_journal_status(const std::string& path) {
   JournalStatus status;
   const std::string bytes = read_file(path);

@@ -39,14 +39,18 @@
 
 #include <array>
 #include <cstdint>
+#include <exception>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "harness/sweep.h"
+#include "support/parallel.h"
 
 namespace qvliw {
 
@@ -134,6 +138,72 @@ class TaskJournal {
   std::uint64_t bytes_ = 0;
   std::uint64_t truncated_ = 0;
   std::uint64_t appended_tasks_ = 0;
+};
+
+/// One completed task en route to the committer: the accounting deltas
+/// the sweep merges (cache-stats counters, front-end seconds) plus —
+/// when a journal is attached — the encoded TaskPayload to append.  The
+/// executing worker fills it from task-local state, so nothing in it is
+/// shared until the committer thread takes ownership.
+struct TaskCommit {
+  std::uint64_t task_id = 0;
+  /// encode_task_payload output; empty when the sweep runs unjournaled
+  /// (the committer then only merges accounting).
+  std::string payload;
+  SweepCacheStats stats;
+  std::array<double, 4> front_seconds{};
+};
+
+/// The single serialization point of a multi-threaded sweep: one
+/// dedicated thread drains a bounded channel of TaskCommits, appends each
+/// to the journal (task record + heartbeat, exactly the serial runner's
+/// cadence — the append-only checksum format and replay semantics are
+/// untouched), and then runs the caller's sink.  Workers submit() from
+/// any thread; the bounded channel back-pressures them when the journal
+/// is the bottleneck.
+///
+/// Error contract: the first journal-append or sink exception is
+/// captured, every later commit is drained but *discarded* (producers
+/// never block on a dead committer, and a ledger that failed once appends
+/// nothing more), and finish() rethrows it on the caller.  finish() must
+/// be called before the results are used; the destructor finishes too but
+/// swallows the rethrow — only for unwinds already in flight.
+class TaskCommitter {
+ public:
+  /// Runs on the committer thread after the journal append, once per
+  /// commit in submission order; `committed` counts commits so far
+  /// (1-based).  Never concurrent with itself.
+  using Sink = std::function<void(const TaskCommit& commit, std::uint64_t committed)>;
+
+  /// `journal` may be null (accounting-only committer); it must outlive
+  /// this object and receives appends from the committer thread only.
+  TaskCommitter(TaskJournal* journal, std::size_t capacity, Sink sink);
+  ~TaskCommitter();
+
+  TaskCommitter(const TaskCommitter&) = delete;
+  TaskCommitter& operator=(const TaskCommitter&) = delete;
+
+  /// Enqueues one completed task; blocks while the channel is full.
+  /// Thread-safe.  Safe (a no-op beyond the drain) after an error.
+  void submit(TaskCommit commit);
+
+  /// Closes the channel, joins the committer thread, and rethrows the
+  /// first captured error.  Idempotent (later calls just rethrow again).
+  void finish();
+
+  /// Commits applied so far; stable only after finish().
+  [[nodiscard]] std::uint64_t committed() const { return committed_; }
+
+ private:
+  void commit_loop();
+
+  TaskJournal* journal_;
+  Sink sink_;
+  BoundedChannel<TaskCommit> channel_;
+  std::exception_ptr error_;       // committer-thread-only until joined
+  std::uint64_t committed_ = 0;    // committer-thread-only until joined
+  bool finished_ = false;
+  std::thread thread_;
 };
 
 /// Read-only probe of a journal file — the dispatcher's liveness view.

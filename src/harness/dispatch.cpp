@@ -4,6 +4,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <deque>
@@ -17,6 +18,7 @@
 
 #include "harness/checkpoint.h"
 #include "support/diagnostics.h"
+#include "support/parallel.h"
 #include "support/strings.h"
 
 namespace qvliw {
@@ -81,6 +83,13 @@ struct ActiveWorker {
 
 std::string dispatch_shard_path(std::string_view dir, int shard_index) {
   return cat(dir, "/shard-", shard_index, ".qshard");
+}
+
+int resolved_worker_threads(int requested, int processes) {
+  if (requested <= 1) return 1;
+  const int procs = std::max(1, processes);
+  const int share = static_cast<int>(worker_count()) / procs;
+  return std::max(1, std::min(requested, share));
 }
 
 DispatchReport dispatch_shards(const DispatchOptions& options, const ShardWorker& worker) {
@@ -295,9 +304,16 @@ ShardWorker make_sweep_worker(const std::vector<Loop>& loops,
     sweep_options.store_dir = options.store_dir;
     sweep_options.checkpoint_dir = options.checkpoint_dir;
     sweep_options.warm_start = options.warm_start;
-    // Forked child: the parent's thread pool did not survive the fork.
-    // The dispatcher's parallelism is its N worker processes.
-    sweep_options.parallel = false;
+    // Forked child: the parent's thread pool did not survive the fork, so
+    // the child must build its own.  An explicit SweepOptions::workers
+    // count does exactly that (a fresh private pool); worker_threads <= 1
+    // keeps the historical serial worker where the dispatcher's
+    // parallelism is its N processes alone.  The oversubscription guard
+    // keeps procs x threads within the machine.
+    const int processes = options.max_workers > 0 ? options.max_workers : options.shard_count;
+    const int threads = resolved_worker_threads(options.worker_threads, processes);
+    sweep_options.parallel = threads > 1;
+    sweep_options.workers = threads;
     SweepResult result = SweepRunner(sweep_options).run(loops, points);
 
     if (options.before_emit) options.before_emit(ctx);

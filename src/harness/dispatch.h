@@ -15,9 +15,11 @@
 // unfinished work.
 //
 // Workers are forked, not exec'd: the worker body is a ShardWorker
-// closure run in the child (which must therefore never touch the parent's
-// thread pool — make_sweep_worker runs its sweep with parallel = false;
-// the dispatcher's parallelism is the N processes themselves).
+// closure run in the child, which must never touch the parent's thread
+// pool (its threads do not survive the fork).  make_sweep_worker
+// therefore gives each child its *own* pool when worker_threads asks for
+// one — the dispatcher's parallelism composes as N processes x M threads,
+// capped by the resolved_worker_threads oversubscription guard.
 #pragma once
 
 #include <functional>
@@ -45,6 +47,14 @@ struct DispatchOptions {
   int shard_count = 2;
   int max_workers = 0;  // concurrent worker processes; 0 = shard_count
   ShardAxis axis = ShardAxis::kLoops;
+
+  /// Worker *threads* per forked worker process (SweepOptions::workers in
+  /// the child — each child builds its own pool after the fork; the
+  /// parent's threads never survive into it).  Capped by the
+  /// procs x threads oversubscription guard resolved_worker_threads(), so
+  /// N processes of M threads never exceed the machine; <= 1 keeps the
+  /// historical single-threaded worker.
+  int worker_threads = 1;
 
   /// Required: journals and shard files live here.  Also the resume seam:
   /// re-dispatching with the same directory replays every completed task
@@ -101,6 +111,16 @@ struct DispatchReport {
 /// Canonical shard-file path under `dir`: shard-<index>.qshard.
 [[nodiscard]] std::string dispatch_shard_path(std::string_view dir, int shard_index);
 
+/// The procs x threads oversubscription guard: the worker-thread count a
+/// child process may actually use, given `requested` threads and
+/// `processes` concurrent workers.  Clamps to the machine's per-process
+/// share (hardware threads / processes), never below 1 — so
+/// processes x result never exceeds the core count (unless the core
+/// count is below the process count, where each process still gets its
+/// mandatory 1).  requested <= 1 is always 1: single-threaded workers
+/// are never inflated.
+[[nodiscard]] int resolved_worker_threads(int requested, int processes);
+
 /// Dispatches `worker` over every shard index and merges the resulting
 /// shard files.  Throws Error when a shard exhausts max_attempts (the
 /// message carries the per-attempt failure log) or a shard file fails to
@@ -109,9 +129,10 @@ struct DispatchReport {
 [[nodiscard]] DispatchReport dispatch_shards(const DispatchOptions& options,
                                              const ShardWorker& worker);
 
-/// The worker dispatch_sweep uses: a checkpointed, store-sharing,
-/// single-threaded SweepRunner over (loops, points) that emits its shard
-/// file atomically.  Exposed so drivers can decorate it.
+/// The worker dispatch_sweep uses: a checkpointed, store-sharing
+/// SweepRunner over (loops, points) — worker_threads threads on a pool
+/// built inside the child, after the guard — that emits its shard file
+/// atomically.  Exposed so drivers can decorate it.
 [[nodiscard]] ShardWorker make_sweep_worker(const std::vector<Loop>& loops,
                                             const std::vector<SweepPoint>& points,
                                             const DispatchOptions& options);

@@ -5,7 +5,6 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "harness/checkpoint.h"
@@ -525,6 +524,13 @@ std::vector<SweepTask> sweep_tasks(const SweepOptions& options, std::size_t loop
   return tasks;
 }
 
+int resolved_sweep_workers(const SweepOptions& options) {
+  if (!options.parallel) return 1;
+  if (options.pool != nullptr) return static_cast<int>(options.pool->workers());
+  if (options.workers > 0) return options.workers;
+  return static_cast<int>(worker_count());
+}
+
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
 
 SweepResult SweepRunner::run(const std::vector<Loop>& loops,
@@ -608,7 +614,8 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
   const bool persist_sched = warm && persist;
   const bool cross_machine = warm && options_.cross_machine_seeds;
 
-  std::mutex merge_mutex;
+  // Merged on the committer thread (workers > 1) or inline (serial) —
+  // never touched by two threads at once.
   FrontSeconds front_seconds{};
 
   // Checkpoint ledger: open (or resume) this runner's journal, replay the
@@ -658,7 +665,12 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
     if (!replayed) pending.push_back(&task);
   }
 
-  auto run_task = [&](const SweepTask& task) {
+  // Executes one task and returns its commit record.  Runs on any worker
+  // thread: everything it touches is either task-local (LoopCache,
+  // stats, seconds, warm-start chain seeds), read-only sweep state (keys,
+  // exec_order, the store's striped index), or this task's own by_point
+  // cells — disjoint from every other task's.
+  auto execute_task = [&](const SweepTask& task) -> TaskCommit {
     const std::size_t i = task.loop_index;
     std::vector<char> owned(points.size(), 0);
     for (const std::size_t p : task.point_indices) owned[p] = 1;
@@ -767,11 +779,12 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
       sweep.by_point[p][i] = std::move(out);
     }
 
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    sweep.cache += local_stats;
-    for (std::size_t k = 0; k < front_seconds.size(); ++k) front_seconds[k] += local_seconds[k];
+    TaskCommit commit;
+    commit.task_id = i;
+    commit.stats = local_stats;
+    commit.front_seconds = local_seconds;
     if (journal != nullptr) {
-      // Commit the completed task: its cells plus the accounting deltas,
+      // The journal record: this task's cells plus the accounting deltas,
       // so a replay restores both exactly.
       TaskPayload payload;
       payload.loop_index = i;
@@ -781,18 +794,63 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
       }
       payload.stats = local_stats;
       payload.front_seconds = local_seconds;
-      journal->append_task(i, encode_task_payload(payload));
-      journal->append_heartbeat();
+      commit.payload = encode_task_payload(payload);
+    }
+    return commit;
+  };
+
+  // Merges one commit into the sweep.  Single-threaded by construction:
+  // the committer thread is its only caller in the threaded path, the
+  // executing thread in the serial one.
+  auto apply_commit = [&](const TaskCommit& commit) {
+    sweep.cache += commit.stats;
+    for (std::size_t k = 0; k < front_seconds.size(); ++k) {
+      front_seconds[k] += commit.front_seconds[k];
+    }
+    if (journal != nullptr) {
       ++sweep.checkpoint.tasks_executed;
       if (options_.on_task_committed) options_.on_task_committed(sweep.checkpoint.tasks_executed);
     }
   };
 
+  const int workers = resolved_sweep_workers(options_);
   if (!pending.empty()) {
-    if (options_.parallel) {
-      parallel_for(pending.size(), [&](std::size_t t) { run_task(*pending[t]); });
+    if (workers <= 1) {
+      // Serial: execute, append, merge inline — a hook exception aborts
+      // between tasks with exactly the committed prefix journaled.
+      for (const SweepTask* task : pending) {
+        TaskCommit commit = execute_task(*task);
+        if (journal != nullptr) {
+          journal->append_task(commit.task_id, commit.payload);
+          journal->append_heartbeat();
+        }
+        apply_commit(commit);
+      }
     } else {
-      for (const SweepTask* task : pending) run_task(*task);
+      // Threaded: workers execute tasks and submit commits; the committer
+      // thread serialises journal appends + merges.  Channel capacity
+      // 2x workers bounds the completed-but-uncommitted backlog while
+      // keeping the journal fed.
+      TaskCommitter committer(
+          journal.get(), static_cast<std::size_t>(workers) * 2,
+          [&](const TaskCommit& commit, std::uint64_t) { apply_commit(commit); });
+      ThreadPool* pool = options_.pool;
+      std::unique_ptr<ThreadPool> private_pool;
+      if (pool == nullptr) {
+        if (options_.workers > 0) {
+          // An explicit count means exactly that many threads, even
+          // above the core count — determinism tests depend on it.
+          private_pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(workers));
+          pool = private_pool.get();
+        } else {
+          pool = &ThreadPool::shared();
+        }
+      }
+      // Grain 1: tasks are whole loops (many pipeline runs each), so
+      // per-claim overhead is noise and load balancing wins.
+      parallel_for_on(*pool, pending.size(), 1,
+                      [&](std::size_t t) { committer.submit(execute_task(*pending[t])); });
+      committer.finish();  // rethrows the first journal/hook error
     }
   }
   if (journal != nullptr) sweep.checkpoint.journal_bytes = journal->bytes();

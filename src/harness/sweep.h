@@ -12,7 +12,12 @@
 //
 // Caching is per loop and lives on the worker that owns the loop, so it
 // needs no locks; results are bit-identical with the cache on or off (a
-// golden-equivalence test enforces this).
+// golden-equivalence test enforces this).  With SweepOptions::workers
+// tasks run on a thread pool (support/parallel.h) and every completed
+// task is handed to a single committer thread (harness/checkpoint.h
+// TaskCommitter) that owns journal appends, accounting merges, and the
+// on_task_committed hook — results and cache accounting stay
+// sweep_result_fingerprint-identical at every worker count.
 //
 // With SweepOptions::warm_start the back end is cached across *budget
 // ladders* too: points sharing (front prefix, machine, scheduler-backend
@@ -31,6 +36,8 @@
 #include "harness/pipeline.h"
 
 namespace qvliw {
+
+class ThreadPool;  // support/parallel.h
 
 /// One point of a sweep: a machine plus pipeline options, with a label
 /// for reporting.
@@ -145,7 +152,28 @@ enum class ShardAxis {
 
 struct SweepOptions {
   bool use_cache = true;  // prefix-artifact caching across points
-  bool parallel = true;   // fan loops across the worker pool
+  bool parallel = true;   // false forces serial regardless of `workers`
+
+  /// Worker threads executing SweepTasks inside this process.  0 = auto
+  /// (one per hardware thread, on the shared pool); 1 = serial; N > 1 =
+  /// exactly N threads on a private pool, even when the machine has fewer
+  /// cores (how tests exercise real concurrency on small runners).
+  /// Composes with process sharding: a dispatcher running P worker
+  /// processes of W threads each should keep P*W near the core count —
+  /// resolved_worker_threads (harness/dispatch.h) is that guard.
+  ///
+  /// Determinism: a task (one loop, its owned points) is the unit of
+  /// scheduling, and everything order-sensitive — per-loop caches,
+  /// warm-start ladders — lives inside one task, so results are
+  /// sweep_result_fingerprint-identical at every worker count.  The
+  /// worker count is deliberately *not* part of sweep_config_hash: a
+  /// checkpointed sweep may resume under a different count.
+  int workers = 0;
+
+  /// Optional externally-owned pool to run tasks on (its size then wins
+  /// over `workers`).  Null = pick per `workers` above.  The pool must
+  /// outlive run().
+  ThreadPool* pool = nullptr;
 
   /// Process-sharded execution: this runner computes only the cells of
   /// the (loop x point) cross product that `shard_index` owns under the
@@ -200,9 +228,16 @@ struct SweepOptions {
   /// Instrumentation/test hook: invoked right after each executed task
   /// commits to the journal (never for replays; only fires when
   /// checkpoint_dir is set), with the number of tasks this run has
-  /// committed so far.  Runs under the journal lock — keep it cheap.  The
-  /// SIGKILL-resume test and the dispatcher's straggler injection are the
-  /// intended users.
+  /// committed so far.  Threading contract: with workers <= 1 it runs
+  /// inline on the executing thread, right after the journal append; with
+  /// workers > 1 it runs on the *committer thread* only (never on a task
+  /// worker, never concurrently with itself), serialised with — and
+  /// ordered identically to — the journal appends.  Keep it cheap: it
+  /// stalls the commit pipeline, not the workers.  An exception aborts
+  /// the sweep (serial: immediately; threaded: no further tasks commit,
+  /// and run() rethrows once in-flight tasks drain).  The SIGKILL-resume
+  /// tests and the dispatcher's straggler injection are the intended
+  /// users.
   std::function<void(std::uint64_t committed)> on_task_committed;
 
   /// Additionally seed the *first* point of a warm-start ladder with the
@@ -217,6 +252,13 @@ struct SweepOptions {
   /// for exactly that reason.  Requires warm_start.
   bool cross_machine_seeds = false;
 };
+
+/// The worker-thread count SweepRunner::run will actually use under
+/// `options`: 1 when parallel is false, the pool's size when one is
+/// supplied, `workers` when explicit, hardware concurrency otherwise.
+/// This (not SweepOptions::workers) is what benches report as their
+/// `workers` field.
+[[nodiscard]] int resolved_sweep_workers(const SweepOptions& options);
 
 /// Level-by-level option-prefix hashes of one sweep point.  Derived once
 /// per point by the runner; exposed so tests can assert key-domain

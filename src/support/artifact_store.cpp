@@ -51,17 +51,45 @@ std::string ArtifactStore::path_for(std::uint64_t key) const {
   return root_ + "/" + hex.substr(0, 2) + "/" + hex + ".qart";
 }
 
+ArtifactStore::Stripe& ArtifactStore::stripe_for(std::uint64_t key) const {
+  // Keys are content hashes — already uniform; the top bits pick the
+  // on-disk fan-out directory, so take stripe bits from the other end.
+  return stripes_[static_cast<std::size_t>(key) % kStripes];
+}
+
+void ArtifactStore::memoize(std::uint64_t key, std::shared_ptr<const std::string> blob) const {
+  Stripe& stripe = stripe_for(key);
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (stripe.blobs.size() >= kStripeCap) stripe.blobs.clear();
+  stripe.blobs[key] = std::move(blob);
+}
+
 bool ArtifactStore::load(std::uint64_t key, std::string& blob) const {
+  {
+    Stripe& stripe = stripe_for(key);
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (const auto it = stripe.blobs.find(key); it != stripe.blobs.end()) {
+      blob = *it->second;
+      return true;
+    }
+  }
+  // Disk I/O stays outside the stripe lock; misses are never memoised, so
+  // entries installed by other processes are picked up on the next probe.
   std::ifstream in(path_for(key), std::ios::binary);
   if (!in) return false;
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (!in.good() && !in.eof()) return false;
   blob = std::move(buffer).str();
+  memoize(key, std::make_shared<const std::string>(blob));
   return true;
 }
 
 void ArtifactStore::save(std::uint64_t key, std::string_view blob) const {
+  // Memoise up front: the bytes are this key's content either way, and a
+  // failed disk write should not also cost in-process re-reads.
+  memoize(key, std::make_shared<const std::string>(blob));
+
   std::error_code ec;  // all failures degrade to "no cache entry written"
   const fs::path target = path_for(key);
   fs::create_directories(target.parent_path(), ec);

@@ -14,11 +14,26 @@
 // agnostic; callers bring their own serialisation, for which BlobWriter /
 // BlobReader provide a minimal portable binary format (fixed-width
 // little-endian integers, length-prefixed strings).
+//
+// Thread safety: one ArtifactStore may be shared by every worker thread
+// of a sweep.  Reads go through a read-mostly in-memory index — 16 lock
+// stripes over key -> blob, filled on first load and on save — so a hot
+// key costs one short stripe lock instead of a filesystem round trip, and
+// disk I/O always happens *outside* the stripe lock.  Only *positive*
+// results are memoised: a miss is re-probed on disk every time, so
+// entries installed by concurrent processes become visible without any
+// invalidation protocol.  Because keys are content hashes, a memoised
+// blob can never go stale — at worst the index re-serves bytes another
+// writer just re-installed identically.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace qvliw {
@@ -44,14 +59,22 @@ class ArtifactStore {
   /// Opens (and lazily creates) the store rooted at `root`.
   explicit ArtifactStore(std::string root);
 
+  /// Non-copyable: the striped index carries mutexes, and two copies
+  /// would silently stop sharing their memoisation.
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
   /// Reads the blob stored under `key` into `blob`; false when absent or
   /// unreadable (a corrupt entry is indistinguishable from a miss by
-  /// design — callers revalidate through their own decoding).
+  /// design — callers revalidate through their own decoding).  A hit is
+  /// memoised in the striped index; thread-safe.
   [[nodiscard]] bool load(std::uint64_t key, std::string& blob) const;
 
   /// Atomically installs `blob` under `key`, overwriting any previous
-  /// value.  Failures (full disk, permissions) are swallowed: the store is
-  /// a cache, and losing a write only costs a future recomputation.
+  /// value, and memoises it so later loads through this object skip the
+  /// disk.  Failures (full disk, permissions) are swallowed: the store is
+  /// a cache, and losing a write only costs a future recomputation (the
+  /// memoised copy still serves this process).  Thread-safe.
   void save(std::uint64_t key, std::string_view blob) const;
 
   [[nodiscard]] const std::string& root() const { return root_; }
@@ -73,9 +96,25 @@ class ArtifactStore {
   [[nodiscard]] static std::string default_dir();
 
  private:
+  /// One lock stripe of the in-memory index.  Blobs are shared_ptr so a
+  /// reader can copy the bytes out after dropping the stripe lock even if
+  /// an eviction sweeps the stripe meanwhile.
+  struct Stripe {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const std::string>> blobs;
+  };
+
+  static constexpr std::size_t kStripes = 16;
+  /// Per-stripe entry cap; a stripe that grows past it is cleared (the
+  /// index is a cache of a cache — wholesale eviction is always correct).
+  static constexpr std::size_t kStripeCap = 4096;
+
   [[nodiscard]] std::string path_for(std::uint64_t key) const;
+  [[nodiscard]] Stripe& stripe_for(std::uint64_t key) const;
+  void memoize(std::uint64_t key, std::shared_ptr<const std::string> blob) const;
 
   std::string root_;
+  mutable std::array<Stripe, kStripes> stripes_;
 };
 
 /// Append-only builder of the store's portable binary blob format.

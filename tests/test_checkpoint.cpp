@@ -69,6 +69,82 @@ std::string demo_payload(std::uint64_t task_id) {
   return encode_task_payload(payload);
 }
 
+// --- TaskCommitter ----------------------------------------------------------
+
+TEST(Checkpoint, CommitterRunsSinkInOrderWithoutJournal) {
+  std::vector<std::uint64_t> ids;
+  std::vector<std::uint64_t> committed_counts;
+  {
+    TaskCommitter committer(nullptr, 2, [&](const TaskCommit& commit, std::uint64_t committed) {
+      ids.push_back(commit.task_id);
+      committed_counts.push_back(committed);
+    });
+    for (std::uint64_t id = 0; id < 10; ++id) {
+      TaskCommit commit;
+      commit.task_id = id;
+      committer.submit(std::move(commit));
+    }
+    committer.finish();
+    EXPECT_EQ(committer.committed(), 10u);
+  }
+  ASSERT_EQ(ids.size(), 10u);
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    EXPECT_EQ(ids[id], id);                    // submission order preserved
+    EXPECT_EQ(committed_counts[id], id + 1u);  // the running count the hook sees
+  }
+}
+
+TEST(Checkpoint, CommitterJournalsPayloadsDurably) {
+  const fs::path dir = scratch_dir("committer_journal");
+  const JournalHeader header = demo_header();
+  const std::string path = checkpoint_journal_path(dir.string(), header);
+  {
+    TaskJournal journal(path, header);
+    TaskCommitter committer(&journal, 4, {});
+    for (const std::uint64_t id : {2u, 4u, 6u}) {
+      TaskCommit commit;
+      commit.task_id = id;
+      commit.payload = demo_payload(id);
+      committer.submit(std::move(commit));
+    }
+    // An unjournaled commit (empty payload — e.g. a replayed task) must
+    // count without appending a record.
+    committer.submit(TaskCommit{});
+    committer.finish();
+    EXPECT_EQ(committer.committed(), 4u);
+  }
+  TaskJournal reopened(path, header);
+  EXPECT_EQ(reopened.completed().size(), 3u);
+  for (const std::uint64_t id : {2u, 4u, 6u}) {
+    EXPECT_NE(reopened.completed().find(id), reopened.completed().end()) << id;
+  }
+}
+
+// A sink failure freezes the ledger: the failing commit's record is
+// already durable, but nothing after it is appended — producers drain
+// without blocking and finish() rethrows the error.
+TEST(Checkpoint, CommitterSinkErrorStopsJournalGrowth) {
+  const fs::path dir = scratch_dir("committer_error");
+  const JournalHeader header = demo_header();
+  const std::string path = checkpoint_journal_path(dir.string(), header);
+  {
+    TaskJournal journal(path, header);
+    TaskCommitter committer(&journal, 2, [](const TaskCommit&, std::uint64_t committed) {
+      if (committed == 2) fail("test: sink failure");
+    });
+    for (std::uint64_t id = 0; id < 6; ++id) {
+      TaskCommit commit;
+      commit.task_id = id;
+      commit.payload = demo_payload(id);
+      committer.submit(std::move(commit));
+    }
+    EXPECT_THROW(committer.finish(), Error);
+    EXPECT_EQ(committer.committed(), 2u);
+  }
+  TaskJournal reopened(path, header);
+  EXPECT_EQ(reopened.completed().size(), 2u);  // ids 0 and 1; nothing after the failure
+}
+
 TEST(Checkpoint, JournalRoundTripsTasksAcrossReopen) {
   const fs::path dir = scratch_dir("journal_roundtrip");
   const JournalHeader header = demo_header();
@@ -304,6 +380,127 @@ TEST(Checkpoint, SigkilledWorkerResumesBitIdentical) {
   const SweepResult resumed = SweepRunner(resume).run(suite.loops, points);
   EXPECT_EQ(resumed.checkpoint.tasks_replayed, kKillAfter);
   EXPECT_EQ(resumed.checkpoint.tasks_executed, suite.loops.size() - kKillAfter);
+
+  const SweepResult oracle = SweepRunner().run(suite.loops, points);
+  EXPECT_EQ(sweep_result_fingerprint(resumed), sweep_result_fingerprint(oracle));
+  fs::remove_all(dir);
+}
+
+// A checkpointed sweep on worker threads journals through the committer
+// thread and stays fingerprint-identical to the serial checkpointed
+// sweep; the journal it leaves replays cleanly under a different count.
+TEST(Checkpoint, ThreadedCheckpointMatchesSerialAndReplays) {
+  const fs::path threaded_dir = scratch_dir("ckpt_threaded");
+  const fs::path serial_dir = scratch_dir("ckpt_threaded_serial");
+  const Suite suite = small_suite(7, 109);
+  const std::vector<SweepPoint> points = ladder_points();
+
+  SweepOptions threaded;
+  threaded.checkpoint_dir = threaded_dir.string();
+  threaded.workers = 4;
+  const SweepResult cold = SweepRunner(threaded).run(suite.loops, points);
+  EXPECT_EQ(cold.checkpoint.tasks_executed, suite.loops.size());
+
+  SweepOptions serial;
+  serial.checkpoint_dir = serial_dir.string();
+  serial.parallel = false;
+  const SweepResult serial_cold = SweepRunner(serial).run(suite.loops, points);
+  EXPECT_EQ(sweep_result_fingerprint(cold), sweep_result_fingerprint(serial_cold));
+  EXPECT_EQ(cold.checkpoint.journal_bytes, serial_cold.checkpoint.journal_bytes);
+
+  // Resume the threaded journal with a *different* worker count.
+  SweepOptions resume = threaded;
+  resume.workers = 2;
+  const SweepResult replayed = SweepRunner(resume).run(suite.loops, points);
+  EXPECT_EQ(replayed.checkpoint.tasks_replayed, suite.loops.size());
+  EXPECT_EQ(replayed.checkpoint.tasks_executed, 0u);
+  EXPECT_EQ(sweep_result_fingerprint(replayed), sweep_result_fingerprint(serial_cold));
+  fs::remove_all(threaded_dir);
+  fs::remove_all(serial_dir);
+}
+
+// A hook exception during a threaded run freezes the ledger after the
+// failing commit; the resume replays at least those tasks and finishes
+// bit-identical.
+TEST(Checkpoint, ThreadedHookAbortResumesBitIdentical) {
+  const fs::path dir = scratch_dir("ckpt_threaded_abort");
+  const Suite suite = small_suite(8, 113);
+  const std::vector<SweepPoint> points = ladder_points();
+  constexpr std::uint64_t kAbortAfter = 3;
+
+  SweepOptions interrupted;
+  interrupted.checkpoint_dir = dir.string();
+  interrupted.workers = 4;
+  interrupted.on_task_committed = [](std::uint64_t committed) {
+    if (committed == kAbortAfter) fail("test: simulated interruption");
+  };
+  EXPECT_THROW((void)SweepRunner(interrupted).run(suite.loops, points), Error);
+
+  SweepOptions resume;
+  resume.checkpoint_dir = dir.string();
+  resume.workers = 2;
+  const SweepResult resumed = SweepRunner(resume).run(suite.loops, points);
+  EXPECT_GE(resumed.checkpoint.tasks_replayed, kAbortAfter);
+  EXPECT_EQ(resumed.checkpoint.tasks_executed,
+            suite.loops.size() - resumed.checkpoint.tasks_replayed);
+
+  const SweepResult oracle = SweepRunner().run(suite.loops, points);
+  EXPECT_EQ(sweep_result_fingerprint(resumed), sweep_result_fingerprint(oracle));
+  fs::remove_all(dir);
+}
+
+// The concurrent variant of the SIGKILL drill: the killed worker runs a
+// *multi-threaded* checkpointed sweep, and the resume — under a different
+// worker count — replays every journaled task and finishes bit-identical
+// to the uninterrupted run.
+TEST(Checkpoint, SigkilledConcurrentWorkerResumesBitIdentical) {
+  const fs::path dir = scratch_dir("ckpt_sigkill_mt");
+  const Suite suite = small_suite(6, 127);
+  const std::vector<SweepPoint> points = ladder_points();
+  constexpr std::uint64_t kKillAfter = 2;
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Worker: 4 worker threads on a pool built inside the child (explicit
+    // workers never touch the parent's shared pool).  The hook runs on
+    // the committer thread, after its task's journal append: signalling
+    // the parent and pausing freezes the ledger at kKillAfter durable
+    // tasks while the executor threads keep racing — exactly the state a
+    // SIGKILL mid-concurrent-sweep leaves behind.
+    close(fds[0]);
+    SweepOptions child_options;
+    child_options.checkpoint_dir = dir.string();
+    child_options.workers = 4;
+    child_options.on_task_committed = [&](std::uint64_t committed) {
+      if (committed == kKillAfter) {
+        const char byte = 'x';
+        (void)!write(fds[1], &byte, 1);
+        for (;;) pause();
+      }
+    };
+    (void)SweepRunner(child_options).run(suite.loops, points);
+    _exit(7);  // unreachable: the parent kills us mid-sweep
+  }
+  close(fds[1]);
+  char byte = 0;
+  ASSERT_EQ(read(fds[0], &byte, 1), 1);  // >= kKillAfter tasks are durable
+  close(fds[0]);
+  ASSERT_EQ(kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  // Resume under a different worker count: the journal is count-agnostic.
+  SweepOptions resume;
+  resume.checkpoint_dir = dir.string();
+  resume.workers = 2;
+  const SweepResult resumed = SweepRunner(resume).run(suite.loops, points);
+  EXPECT_GE(resumed.checkpoint.tasks_replayed, kKillAfter);
+  EXPECT_EQ(resumed.checkpoint.tasks_executed,
+            suite.loops.size() - resumed.checkpoint.tasks_replayed);
 
   const SweepResult oracle = SweepRunner().run(suite.loops, points);
   EXPECT_EQ(sweep_result_fingerprint(resumed), sweep_result_fingerprint(oracle));

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "harness/checkpoint.h"
 #include "harness/dispatch.h"
+#include "support/parallel.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
 #include "workload/suite.h"
@@ -172,6 +174,49 @@ TEST(Dispatch, RequiresCheckpointDir) {
   const Suite suite = small_suite(2, 139);
   DispatchOptions options;
   EXPECT_THROW((void)dispatch_sweep(suite.loops, ladder_points(), options), Error);
+}
+
+TEST(Dispatch, ResolvedWorkerThreadsGuardsOversubscription) {
+  // Single-threaded requests are never inflated, whatever the process count.
+  EXPECT_EQ(resolved_worker_threads(0, 4), 1);
+  EXPECT_EQ(resolved_worker_threads(1, 1), 1);
+  EXPECT_EQ(resolved_worker_threads(-3, 2), 1);
+
+  const int hw = static_cast<int>(worker_count());
+  // One process may use every hardware thread, but no more than asked.
+  EXPECT_EQ(resolved_worker_threads(hw, 1), hw);
+  EXPECT_EQ(resolved_worker_threads(hw + 7, 1), std::max(1, hw));
+  // processes x threads never exceeds the machine (each process keeps
+  // its mandatory 1 even when processes outnumber cores).
+  for (const int procs : {1, 2, 4, 8}) {
+    for (const int req : {2, 4, 16}) {
+      const int threads = resolved_worker_threads(req, procs);
+      EXPECT_GE(threads, 1) << procs << "x" << req;
+      EXPECT_LE(threads, req) << procs << "x" << req;
+      if (threads > 1) EXPECT_LE(procs * threads, hw) << procs << "x" << req;
+    }
+  }
+}
+
+// Worker processes running multi-threaded sweeps (N procs x M threads)
+// still merge bit-identical to the serial single-process sweep.
+TEST(Dispatch, MultiThreadedWorkersMatchSingleProcess) {
+  const fs::path dir = scratch_dir("threads");
+  const Suite suite = small_suite(6, 149);
+  const std::vector<SweepPoint> points = ladder_points();
+
+  DispatchOptions options;
+  options.shard_count = 2;
+  options.worker_threads = 2;  // the guard may clamp this on small machines
+  options.checkpoint_dir = dir.string();
+  options.poll_interval_seconds = 0.005;
+  const DispatchReport report = dispatch_sweep(suite.loops, points, options);
+
+  EXPECT_EQ(report.requeues, 0);
+  const SweepResult single = SweepRunner().run(suite.loops, points);
+  EXPECT_EQ(sweep_result_fingerprint(report.merged), sweep_result_fingerprint(single));
+  EXPECT_EQ(report.merged.pipelines, single.pipelines);
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "support/artifact_store.h"
@@ -338,6 +339,126 @@ TEST(Parallel, RngZeroCountIsNoop) {
   EXPECT_FALSE(ran);
 }
 
+// --- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, ExplicitWorkerCountCoversAllIndices) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  const std::size_t n = 257;  // not a multiple of any grain
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_on(pool, n, 1, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, RunsChunksConcurrently) {
+  // Four workers (three pool threads + the caller) can hold four grain-1
+  // chunks in flight at once: each chunk spins until all four have
+  // started.  A pool that failed to fan out would deadlock here (caught
+  // by the test timeout), not pass by accident.
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  parallel_for_on(pool, 4, 1, [&](std::size_t) {
+    started.fetch_add(1);
+    while (started.load() < 4) std::this_thread::yield();
+  });
+  EXPECT_EQ(started.load(), 4);
+}
+
+TEST(ThreadPool, PropagatesExceptionAndStaysUsable) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for_on(pool, 64, 1,
+                               [](std::size_t i) {
+                                 if (i == 13) throw Error("chunk failed");
+                               }),
+               Error);
+  // The pool survives a failed job: the next job runs to completion.
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for_on(pool, hits.size(), 1, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, NestedFanOutRunsInline) {
+  // A body that itself calls parallel_for must not deadlock waiting for
+  // pool threads that are all busy running the outer job: nested
+  // fan-outs run inline on the calling worker.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(32 * 8);
+  parallel_for_on(pool, 32, 1, [&](std::size_t outer) {
+    parallel_for(8, [&](std::size_t inner) { hits[outer * 8 + inner].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsSerially) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1u);
+  std::vector<int> hits(100, 0);  // no atomics needed: serial by contract
+  parallel_for_on(pool, hits.size(), 1, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, ForkedChildDegradesToCallerDraining) {
+  // A forked child inherits the pool object but none of its threads; a
+  // run() in the child must complete (caller drains every chunk) rather
+  // than wait forever on workers that do not exist.
+  (void)ThreadPool::shared();  // ensure the shared pool predates the fork
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    std::atomic<std::size_t> sum{0};
+    parallel_for(100, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    _exit(sum.load() == 5050 ? 0 : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "child exited " << status;
+}
+
+// --- bounded channel --------------------------------------------------------
+
+TEST(BoundedChannel, FifoWithinCapacity) {
+  BoundedChannel<int> channel(4);
+  EXPECT_TRUE(channel.push(1));
+  EXPECT_TRUE(channel.push(2));
+  EXPECT_TRUE(channel.push(3));
+  int v = 0;
+  EXPECT_TRUE(channel.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(channel.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(channel.pop(v));
+  EXPECT_EQ(v, 3);
+}
+
+TEST(BoundedChannel, CloseDrainsThenReportsEmpty) {
+  BoundedChannel<int> channel(4);
+  EXPECT_TRUE(channel.push(7));
+  channel.close();
+  EXPECT_FALSE(channel.push(8));  // rejected after close
+  int v = 0;
+  EXPECT_TRUE(channel.pop(v));  // buffered value still drains
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(channel.pop(v));  // closed and empty
+}
+
+TEST(BoundedChannel, BackPressuredProducerPreservesOrder) {
+  // Capacity 2 forces the producer to block on a slow consumer; every
+  // value must still arrive exactly once, in order.
+  BoundedChannel<int> channel(2);
+  constexpr int kValues = 500;
+  std::thread producer([&] {
+    for (int i = 0; i < kValues; ++i) ASSERT_TRUE(channel.push(int{i}));
+    channel.close();
+  });
+  std::vector<int> received;
+  int v = 0;
+  while (channel.pop(v)) received.push_back(v);
+  producer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kValues));
+  for (int i = 0; i < kValues; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i) << i;
+}
+
 TEST(Rng, HashBytesStableAndSensitive) {
   const std::uint64_t empty = hash_bytes("");
   EXPECT_EQ(empty, hash_bytes(""));  // deterministic
@@ -468,6 +589,91 @@ TEST(ArtifactStore, RequireExhaustedRejectsTrailingBytes) {
   EXPECT_THROW(reader.require_exhausted("entry"), Error);
   EXPECT_TRUE(reader.get_bool());
   reader.require_exhausted("entry");  // all consumed: no throw
+}
+
+TEST(ArtifactStore, MemoisedLoadSurvivesDiskEviction) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "qvliw_test_artifacts_memo";
+  std::filesystem::remove_all(root);
+  const ArtifactStore store(root.string());
+
+  store.save(99, "memoised bytes");
+  std::filesystem::remove_all(root);  // disk copy gone; the index serves it
+  std::string blob;
+  ASSERT_TRUE(store.load(99, blob));
+  EXPECT_EQ(blob, "memoised bytes");
+
+  // A fresh store object has no index: the miss goes to (absent) disk.
+  const ArtifactStore cold(root.string());
+  EXPECT_FALSE(cold.load(99, blob));
+}
+
+TEST(ArtifactStore, MissesAreReprobedSoCrossProcessFillsAppear) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "qvliw_test_artifacts_reprobe";
+  std::filesystem::remove_all(root);
+  const ArtifactStore reader(root.string());
+
+  std::string blob;
+  EXPECT_FALSE(reader.load(5, blob));  // a miss must not be memoised
+
+  // Another process (simulated by a second store object) installs the
+  // entry; the same reader's next probe finds it on disk.
+  const ArtifactStore writer(root.string());
+  writer.save(5, "filled elsewhere");
+  ASSERT_TRUE(reader.load(5, blob));
+  EXPECT_EQ(blob, "filled elsewhere");
+  std::filesystem::remove_all(root);
+}
+
+// One ArtifactStore shared by every worker thread of a sweep: hammer
+// load/save on overlapping keys from many threads.  All writers write
+// the same payload per key, so any successful load must return exactly
+// that payload — a torn read, stale index entry, or data race under TSan
+// fails the test.
+TEST(ArtifactStore, ConcurrentThreadedLoadsAndSavesAreCoherent) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "qvliw_test_artifacts_threads";
+  std::filesystem::remove_all(root);
+  const ArtifactStore store(root.string());
+
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 32;
+  constexpr int kRounds = 40;
+  const auto payload = [](int key) {
+    std::string bytes(256 + static_cast<std::size_t>(key), static_cast<char>('a' + key % 26));
+    bytes += "|k" + std::to_string(key);
+    return bytes;
+  };
+
+  std::atomic<int> bad_loads{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int key = 0; key < kKeys; ++key) {
+          if ((t + round + key) % 3 == 0) {
+            store.save(static_cast<std::uint64_t>(key), payload(key));
+          } else {
+            std::string blob;
+            if (store.load(static_cast<std::uint64_t>(key), blob) && blob != payload(key)) {
+              bad_loads.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad_loads.load(), 0);
+
+  for (int key = 0; key < kKeys; ++key) {
+    std::string blob;
+    ASSERT_TRUE(store.load(static_cast<std::uint64_t>(key), blob)) << key;
+    EXPECT_EQ(blob, payload(key)) << key;
+  }
+  std::filesystem::remove_all(root);
 }
 
 // Sharded sweeps point several *processes* at one store directory, so

@@ -6,7 +6,9 @@
 #include <fstream>
 
 #include "harness/experiment.h"
+#include "harness/shard.h"
 #include "harness/sweep.h"
+#include "support/parallel.h"
 #include "support/strings.h"
 #include "workload/kernels.h"
 #include "workload/suite.h"
@@ -169,6 +171,95 @@ TEST(Sweep, SerialMatchesParallel) {
   for (std::size_t i = 0; i < suite.loops.size(); ++i) {
     expect_identical(parallel.by_point[0][i], serial.by_point[0][i], suite.loops[i].name);
   }
+}
+
+// The tentpole determinism contract: the multi-threaded sweep is
+// fingerprint-identical to the serial sweep at every worker count.
+// Explicit worker counts build that many real threads even above the
+// core count, so this exercises true concurrency on any machine.
+TEST(Sweep, FingerprintIdenticalAcrossWorkerCounts) {
+  const Suite suite = small_suite(8, 41);
+  const std::vector<SweepPoint> points = demo_points();
+
+  SweepOptions serial_options;
+  serial_options.parallel = false;
+  const SweepResult serial = SweepRunner(serial_options).run(suite.loops, points);
+  const std::string oracle = sweep_result_fingerprint(serial);
+
+  for (const int workers : {1, 2, 4, 8}) {
+    SweepOptions options;
+    options.workers = workers;
+    EXPECT_EQ(resolved_sweep_workers(options), workers);
+    const SweepResult threaded = SweepRunner(options).run(suite.loops, points);
+    EXPECT_EQ(sweep_result_fingerprint(threaded), oracle) << workers << " workers";
+    // Per-thread accounting sums to the serial totals: the cache counters
+    // are task-local, so the merge order cannot change them.
+    EXPECT_EQ(threaded.cache.probes(), serial.cache.probes()) << workers << " workers";
+    EXPECT_EQ(threaded.cache.hits(), serial.cache.hits()) << workers << " workers";
+    EXPECT_EQ(threaded.pipelines, serial.pipelines) << workers << " workers";
+  }
+}
+
+// The same contract through the disk store and warm-start ladders: each
+// worker count gets its own scratch store (a shared one would let an
+// earlier count warm a later one), runs cold then warm, and both
+// fingerprints must match the serial oracle's.
+TEST(Sweep, WarmStoreFingerprintIdenticalAcrossWorkerCounts) {
+  const Suite suite = small_suite(6, 43);
+  std::vector<SweepPoint> points;
+  for (const int budget : {6, 12}) {
+    SweepPoint ring{cat("ring4-aff-", budget), MachineConfig::clustered_machine(4), {}};
+    ring.options.unroll = true;
+    ring.options.scheduler = SchedulerKind::kClustered;
+    ring.options.ims.budget_ratio = budget;
+    points.push_back(ring);
+  }
+
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() / "qvliw_test_workers_store";
+  std::filesystem::remove_all(scratch);
+
+  std::string cold_oracle;
+  std::string warm_oracle;
+  for (const int workers : {1, 2, 4, 8}) {
+    SweepOptions options;
+    options.workers = workers;
+    options.parallel = workers > 1;
+    options.store_dir = (scratch / cat("w", workers)).string();
+    options.warm_start = true;
+    const SweepResult cold = SweepRunner(options).run(suite.loops, points);
+    const SweepResult warm = SweepRunner(options).run(suite.loops, points);
+    EXPECT_EQ(cold.cache.disk_hits, 0u) << workers << " workers";
+    EXPECT_GT(warm.cache.disk_hits, 0u) << workers << " workers";
+    if (workers == 1) {
+      cold_oracle = sweep_result_fingerprint(cold);
+      warm_oracle = sweep_result_fingerprint(warm);
+    } else {
+      EXPECT_EQ(sweep_result_fingerprint(cold), cold_oracle) << workers << " workers cold";
+      EXPECT_EQ(sweep_result_fingerprint(warm), warm_oracle) << workers << " workers warm";
+    }
+  }
+  std::filesystem::remove_all(scratch);
+}
+
+// An explicit pool composes with the workers knob: a caller-owned pool
+// wins over both the workers count and the shared pool, and the results
+// still match serial.
+TEST(Sweep, CallerOwnedPoolMatchesSerial) {
+  const Suite suite = small_suite(6, 47);
+  SweepPoint point{"single-6fu", MachineConfig::single_cluster_machine(6), {}};
+
+  ThreadPool pool(3);
+  SweepOptions pool_options;
+  pool_options.pool = &pool;
+  pool_options.workers = 8;  // ignored: the pool's own width wins
+  EXPECT_EQ(resolved_sweep_workers(pool_options), 3);
+
+  SweepOptions serial_options;
+  serial_options.parallel = false;
+  const SweepResult pooled = SweepRunner(pool_options).run(suite.loops, {point});
+  const SweepResult serial = SweepRunner(serial_options).run(suite.loops, {point});
+  EXPECT_EQ(sweep_result_fingerprint(pooled), sweep_result_fingerprint(serial));
 }
 
 TEST(Sweep, StageTotalsCoverBackEnd) {

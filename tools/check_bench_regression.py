@@ -2,18 +2,30 @@
 """Gate CI on BENCH_pipeline.json throughput regressions.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.30]
+                                 [--scaling BENCH_sweep_scaling.json]
 
 Compares a fresh perf_micro run against the committed baseline and fails
 (exit 1) when:
 
   - the fresh run reports results_identical: false,
-    warm_iis_never_worse: false, or checkpoint_results_identical: false
-    — correctness signals, never tolerable;
+    warm_iis_never_worse: false, checkpoint_results_identical: false, or
+    parallel_results_identical: false — correctness signals, never
+    tolerable;
   - the cached sweep's loops_per_second is more than `tolerance` slower;
   - the warm sweep's backend_loops_per_second (back-end-only throughput,
     the figure warm starting improves) is more than `tolerance` slower;
   - the warm sweep's warm_start_hit_rate dropped by more than 0.10
-    absolute vs the baseline (the budget-ladder seeding stopped landing).
+    absolute vs the baseline (the budget-ladder seeding stopped landing);
+  - the fresh run used 2+ workers on a machine with 2+ hardware threads
+    but parallel_speedup fell below the --speedup-floor (default 1.5):
+    the thread pool stopped paying for itself.  Single-threaded runs and
+    single-core machines skip this floor — there is no parallelism to
+    measure — but never the identity checks.
+
+With --scaling, a fresh sweep_scaling run is additionally gated: every
+worker count must be fingerprint-identical to the serial run
+(scaling_results_identical), and on 2+ hardware threads its
+parallel_speedup must also clear the floor.
 
 A baseline predating the current JSON schema (missing a required field)
 fails with a clear "regenerate the baseline" message instead of a
@@ -55,7 +67,7 @@ def require(obj, source, *path):
     return obj
 
 
-def check(baseline, fresh, tolerance):
+def check(baseline, fresh, tolerance, speedup_floor=1.5):
     if not fresh.get("results_identical", False):
         print("FAIL: fresh run reports results_identical: false (cache correctness bug)")
         return 1
@@ -72,6 +84,32 @@ def check(baseline, fresh, tolerance):
         print("FAIL: fresh run reports checkpoint_results_identical: false "
               "(checkpoint replay diverged from the uninterrupted sweep)")
         return 1
+
+    if not require(fresh, "fresh", "parallel_results_identical"):
+        print("FAIL: fresh run reports parallel_results_identical: false "
+              "(multi-threaded sweep diverged from the serial sweep)")
+        return 1
+
+    # The speedup floor only means something when the run was actually
+    # parallel on actual parallel hardware; the identity checks above
+    # apply unconditionally.
+    workers = require(fresh, "fresh", "workers")
+    hardware = fresh.get("hardware_threads", workers)
+    if workers >= 2 and hardware >= 2:
+        speedup = fresh.get("parallel_speedup", 0.0)
+        verdict = "OK" if speedup >= speedup_floor else "FAIL"
+        print(
+            f"{verdict}: parallel speedup {speedup:.2f}x with {workers} workers "
+            f"on {hardware} hardware threads (floor {speedup_floor:.2f}x)"
+        )
+        if speedup < speedup_floor:
+            print("the thread pool no longer pays for itself; investigate contention")
+            return 1
+    else:
+        print(
+            f"info: parallel speedup floor skipped ({workers} worker(s), "
+            f"{hardware} hardware thread(s))"
+        )
 
     if require(baseline, "baseline", "cached").get("disk_hits", 0) > 0:
         print(
@@ -132,10 +170,44 @@ def check(baseline, fresh, tolerance):
     return 0
 
 
-def run(baseline, fresh, tolerance):
-    """check() with SchemaError rendered as a clean FAIL line."""
+def check_scaling(scaling, speedup_floor=1.5):
+    """Gates a fresh sweep_scaling run: identity always, speedup on 2+ cores."""
+    if not require(scaling, "scaling", "scaling_results_identical"):
+        print("FAIL: sweep_scaling reports scaling_results_identical: false "
+              "(some worker count diverged from the serial fingerprint)")
+        return 1
+    for entry in require(scaling, "scaling", "counts"):
+        if not entry.get("identical", False):
+            print(f"FAIL: sweep_scaling count workers={entry.get('workers')} "
+                  "is not fingerprint-identical to the serial run")
+            return 1
+
+    hardware = require(scaling, "scaling", "hardware_threads")
+    multi = [e for e in scaling["counts"] if e.get("workers", 0) >= 2]
+    if hardware >= 2 and multi:
+        speedup = scaling.get("parallel_speedup", 0.0)
+        verdict = "OK" if speedup >= speedup_floor else "FAIL"
+        print(
+            f"{verdict}: scaling parallel speedup {speedup:.2f}x "
+            f"on {hardware} hardware threads (floor {speedup_floor:.2f}x)"
+        )
+        if speedup < speedup_floor:
+            return 1
+    else:
+        print(
+            f"info: scaling speedup floor skipped ({hardware} hardware thread(s), "
+            f"{len(multi)} multi-worker count(s))"
+        )
+    return 0
+
+
+def run(baseline, fresh, tolerance, speedup_floor=1.5, scaling=None):
+    """check() (+ optional check_scaling) with SchemaError as a clean FAIL line."""
     try:
-        return check(baseline, fresh, tolerance)
+        code = check(baseline, fresh, tolerance, speedup_floor)
+        if code == 0 and scaling is not None:
+            code = check_scaling(scaling, speedup_floor)
+        return code
     except SchemaError as error:
         print(f"FAIL: {error}")
         return 1
@@ -151,14 +223,29 @@ def main(argv=None) -> int:
         default=float(os.environ.get("QVLIW_BENCH_TOLERANCE", "0.30")),
         help="allowed fractional slowdown of cached loops/sec (default 0.30)",
     )
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=float(os.environ.get("QVLIW_SPEEDUP_FLOOR", "1.5")),
+        help="minimum parallel_speedup on 2+ core machines (default 1.5)",
+    )
+    parser.add_argument(
+        "--scaling",
+        default=None,
+        help="also gate a fresh BENCH_sweep_scaling.json",
+    )
     args = parser.parse_args(argv)
 
     with open(args.baseline, encoding="utf-8") as f:
         baseline = json.load(f)
     with open(args.fresh, encoding="utf-8") as f:
         fresh = json.load(f)
+    scaling = None
+    if args.scaling is not None:
+        with open(args.scaling, encoding="utf-8") as f:
+            scaling = json.load(f)
 
-    return run(baseline, fresh, args.tolerance)
+    return run(baseline, fresh, args.tolerance, args.speedup_floor, scaling)
 
 
 if __name__ == "__main__":

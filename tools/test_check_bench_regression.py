@@ -19,12 +19,18 @@ import check_bench_regression as gate  # noqa: E402
 
 
 def bench_json(cached_lps=100.0, warm_blps=500.0, warm_rate=0.9, disk_hits=0,
-               identical=True, never_worse=True, checkpoint_identical=True):
+               identical=True, never_worse=True, checkpoint_identical=True,
+               workers=1, hardware=1, parallel_speedup=1.0,
+               parallel_identical=True):
     return {
         "results_identical": identical,
         "warm_iis_never_worse": never_worse,
         "checkpoint_results_identical": checkpoint_identical,
+        "parallel_results_identical": parallel_identical,
+        "workers": workers,
+        "hardware_threads": hardware,
         "cache_speedup": 5.0,
+        "parallel_speedup": parallel_speedup,
         "warm_backend_speedup": 1.2,
         "cached": {
             "loops_per_second": cached_lps,
@@ -105,6 +111,110 @@ class GateVerdicts(unittest.TestCase):
         self.assertEqual(code, 0, out)
 
 
+def scaling_json(identical=True, speedup=2.0, hardware=4, counts=(1, 2, 4)):
+    return {
+        "bench": "sweep_scaling",
+        "hardware_threads": hardware,
+        "counts": [
+            {"workers": w, "loops_per_second": 100.0 * (w if identical else 1),
+             "fingerprint": "abc", "identical": identical or w == 1}
+            for w in counts
+        ],
+        "parallel_speedup": speedup,
+        "scaling_results_identical": identical,
+    }
+
+
+class ParallelVerdicts(unittest.TestCase):
+    """The threading gates: identity unconditionally, speedup on 2+ cores."""
+
+    def test_parallel_divergence_fails(self):
+        code, out = run_gate(bench_json(), bench_json(parallel_identical=False))
+        self.assertEqual(code, 1)
+        self.assertIn("parallel_results_identical", out)
+
+    def test_fresh_missing_parallel_identity_fails(self):
+        fresh = bench_json()
+        del fresh["parallel_results_identical"]
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("fresh missing field parallel_results_identical", out)
+
+    def test_fresh_missing_workers_fails(self):
+        fresh = bench_json()
+        del fresh["workers"]
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("fresh missing field workers", out)
+
+    def test_low_speedup_on_multicore_fails(self):
+        fresh = bench_json(workers=4, hardware=4, parallel_speedup=1.1)
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: parallel speedup", out)
+
+    def test_healthy_speedup_on_multicore_passes(self):
+        fresh = bench_json(workers=4, hardware=4, parallel_speedup=2.7)
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK: parallel speedup", out)
+
+    def test_single_core_skips_speedup_floor(self):
+        # Oversubscribed workers on one hardware thread cannot speed up;
+        # the floor must not fire (the identity checks still apply).
+        fresh = bench_json(workers=4, hardware=1, parallel_speedup=0.9)
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("speedup floor skipped", out)
+
+    def test_serial_run_skips_speedup_floor(self):
+        code, out = run_gate(bench_json(), bench_json(workers=1, hardware=8))
+        self.assertEqual(code, 0, out)
+        self.assertIn("speedup floor skipped", out)
+
+
+class ScalingVerdicts(unittest.TestCase):
+    def run_scaling(self, scaling, floor=1.5):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = gate.run(bench_json(), bench_json(), 0.30, floor, scaling)
+        return code, out.getvalue()
+
+    def test_healthy_scaling_passes(self):
+        code, out = self.run_scaling(scaling_json())
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK: scaling parallel speedup", out)
+
+    def test_divergent_fingerprint_fails(self):
+        code, out = self.run_scaling(scaling_json(identical=False))
+        self.assertEqual(code, 1)
+        self.assertIn("scaling_results_identical", out)
+
+    def test_divergent_count_entry_fails(self):
+        scaling = scaling_json()
+        scaling["counts"][1]["identical"] = False
+        code, out = self.run_scaling(scaling)
+        self.assertEqual(code, 1)
+        self.assertIn("workers=2", out)
+
+    def test_low_scaling_speedup_fails_on_multicore(self):
+        code, out = self.run_scaling(scaling_json(speedup=1.2))
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: scaling parallel speedup", out)
+
+    def test_single_core_scaling_skips_floor(self):
+        code, out = self.run_scaling(scaling_json(speedup=0.9, hardware=1))
+        self.assertEqual(code, 0, out)
+        self.assertIn("scaling speedup floor skipped", out)
+
+    def test_scaling_missing_counts_fails(self):
+        scaling = scaling_json()
+        del scaling["counts"]
+        code, out = self.run_scaling(scaling)
+        self.assertEqual(code, 1)
+        self.assertIn("scaling missing field counts", out)
+
+
 class StaleSchemas(unittest.TestCase):
     """Baselines predating a schema change must fail clearly, not crash."""
 
@@ -156,6 +266,23 @@ class MainEntry(unittest.TestCase):
                 code = gate.main([base_path, fresh_path])
             self.assertEqual(code, 1)
             self.assertIn("FAIL: baseline missing field", out.getvalue())
+
+    def test_main_gates_scaling_file(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            fresh_path = os.path.join(tmp, "fresh.json")
+            scaling_path = os.path.join(tmp, "scaling.json")
+            with open(base_path, "w", encoding="utf-8") as f:
+                json.dump(bench_json(), f)
+            with open(fresh_path, "w", encoding="utf-8") as f:
+                json.dump(bench_json(), f)
+            with open(scaling_path, "w", encoding="utf-8") as f:
+                json.dump(scaling_json(identical=False), f)
+            out = io.StringIO()
+            with redirect_stdout(out):
+                code = gate.main([base_path, fresh_path, "--scaling", scaling_path])
+            self.assertEqual(code, 1)
+            self.assertIn("scaling_results_identical", out.getvalue())
 
     def test_main_passes_on_healthy_files(self):
         with tempfile.TemporaryDirectory() as tmp:
