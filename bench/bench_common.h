@@ -147,7 +147,9 @@ inline void write_results_json(std::ostream& os, const std::vector<SweepPoint>& 
          << ", \"queues\": " << r.total_queues << ", \"registers\": " << r.registers
          << ", \"ipc_static\": " << fixed(r.ipc_static, 9) << ", \"ipc_dynamic\": "
          << fixed(r.ipc_dynamic, 9) << ", \"fits\": " << (r.fits_machine_queues ? "true" : "false")
-         << ", \"fit_retries\": " << r.queue_fit_retries << "}";
+         << ", \"fit_retries\": " << r.queue_fit_retries
+         << ", \"verify_checked\": " << (r.verify_checked ? "true" : "false")
+         << ", \"verify_violations\": " << r.verify_violations << "}";
     }
     os << "\n    ]}";
   }

@@ -63,7 +63,8 @@ bool results_identical(const SweepResult& a, const SweepResult& b) {
           x.registers != y.registers || x.sched_ops != y.sched_ops ||
           x.unroll_factor != y.unroll_factor || x.ipc_static != y.ipc_static ||
           x.ipc_dynamic != y.ipc_dynamic || x.fits_machine_queues != y.fits_machine_queues ||
-          x.queue_fit_retries != y.queue_fit_retries) {
+          x.queue_fit_retries != y.queue_fit_retries || x.verify_checked != y.verify_checked ||
+          x.verify_violations != y.verify_violations) {
         return false;
       }
     }
@@ -125,6 +126,8 @@ void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
      << "    \"warm_hits\": " << sweep.cache.warm_hits << ",\n"
      << "    \"unroll_probe_factors\": " << sweep.cache.probe_factors << ",\n"
      << "    \"unroll_probe_naive_fallbacks\": " << sweep.cache.probe_fallbacks << ",\n"
+     << "    \"verify_checked\": " << sweep.verify_checked() << ",\n"
+     << "    \"verify_violations\": " << sweep.verify_violations() << ",\n"
      << "    \"tasks_replayed\": " << sweep.checkpoint.tasks_replayed << ",\n"
      << "    \"tasks_executed\": " << sweep.checkpoint.tasks_executed << ",\n"
      << "    \"journal_bytes\": " << sweep.checkpoint.journal_bytes << ",\n"
@@ -170,6 +173,10 @@ int run(int argc, char** argv) {
   SweepOptions uncached_options;
   uncached_options.use_cache = false;
   uncached_options.workers = workers_request;
+  // Every run of this bench re-verifies every emitted artifact with the
+  // independent legality checker and fails the loop on any violation, so
+  // results_identical doubles as a translation-validation gate.
+  uncached_options.verify_mode = SweepVerifyMode::kStrict;
   const int workers = resolved_sweep_workers(uncached_options);
 
   const std::vector<SweepPoint> points = bench::perf_sweep_points();
@@ -200,6 +207,7 @@ int run(int argc, char** argv) {
   SweepOptions cached_options;
   cached_options.store_dir = ArtifactStore::default_dir();
   cached_options.workers = workers_request;
+  cached_options.verify_mode = SweepVerifyMode::kStrict;
   std::cout << "running cached (prefix artifacts shared across points; persisted to "
             << cached_options.store_dir << ")...\n";
   const SweepResult cached = SweepRunner(cached_options).run(suite.loops, points);
@@ -267,7 +275,10 @@ int run(int argc, char** argv) {
             << " front entries + " << cached.cache.mii_disk_hits << "/"
             << cached.cache.mii_disk_probes << " MII maps + " << warm.cache.sched_disk_hits
             << "/" << warm.cache.sched_disk_probes
-            << " warm schedules warm (rerun the bench for a fully warm start)\n";
+            << " warm schedules warm (rerun the bench for a fully warm start)\n"
+            << "verify: strict on every run; " << cached.verify_checked()
+            << " artifact bundles checked cold, " << warm.verify_checked() << " warm, "
+            << cached.verify_violations() + warm.verify_violations() << " violation(s)\n";
   bench::print_sweep_footer(std::cout, warm);
 
   const char* env_path = std::getenv("QVLIW_BENCH_JSON");

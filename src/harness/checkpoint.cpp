@@ -22,7 +22,8 @@ namespace {
 // LoopResult / cache-stats record layout (harness/shard.h) changes: a
 // stale journal replayed under a new layout would resurrect results the
 // current build cannot have produced.
-constexpr std::uint64_t kJournalMagic = 0x514a524e4c000001ULL;  // "QJRNL" + v1
+// v2: LoopResult gained verify_checked/verify_violations (kShardMagic v4).
+constexpr std::uint64_t kJournalMagic = 0x514a524e4c000002ULL;  // "QJRNL" + v2
 
 constexpr std::int32_t kTaskRecord = 1;
 constexpr std::int32_t kHeartbeatRecord = 2;

@@ -4,6 +4,18 @@
 
 namespace qvliw {
 
+std::string_view verify_policy_name(VerifyPolicy policy) {
+  switch (policy) {
+    case VerifyPolicy::kOff:
+      return "off";
+    case VerifyPolicy::kAudit:
+      return "audit";
+    case VerifyPolicy::kStrict:
+      return "strict";
+  }
+  return "unknown";
+}
+
 LoopResult run_pipeline(const Loop& source, const MachineConfig& machine,
                         const PipelineOptions& options) {
   PipelineContext ctx(source, machine, options);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/partition.h"
@@ -26,6 +27,14 @@
 #include "xform/invariants.h"
 
 namespace qvliw {
+
+/// How the pipeline's VerifyStage treats the independent legality checker
+/// (src/verify): off, audit (record violation counts, keep the result), or
+/// strict (a violation fails the loop like any other stage failure).
+/// Ordered so std::max picks the stronger of two policies.
+enum class VerifyPolicy : std::uint8_t { kOff = 0, kAudit = 1, kStrict = 2 };
+
+[[nodiscard]] std::string_view verify_policy_name(VerifyPolicy policy);
 
 struct PipelineOptions {
   InvariantStrategy invariants = InvariantStrategy::kImmediate;
@@ -59,6 +68,10 @@ struct PipelineOptions {
   /// QRFs.
   bool enforce_queue_limits = false;
   int queue_fit_attempts = 16;
+
+  /// Translation validation of the emitted artifacts (DDG, schedule,
+  /// routing, queue allocation) by the independent verifier.
+  VerifyPolicy verify = VerifyPolicy::kOff;
 };
 
 /// Wall time spent in one pipeline stage (see harness/stage.h).
@@ -111,6 +124,10 @@ struct LoopResult {
   // Simulation (when requested).
   bool sim_ok = false;
   long long sim_cycles = 0;
+
+  // Translation validation (when requested).
+  bool verify_checked = false;  // the verify stage ran the legality passes
+  int verify_violations = 0;    // diagnostics found (0 on a legal artifact set)
 
   ImsStats sched_stats;
 

@@ -15,7 +15,8 @@ namespace {
 // a shard file is exchanged between processes that are expected to run
 // the same build, so version skew is an error, not a silent miss.
 // v3: CheckpointStats joined the result accounting.
-constexpr std::uint64_t kShardMagic = 0x5153484152440003ULL;  // "QSHARD" + v3
+// v4: verify_checked/verify_violations joined LoopResult's semantic fields.
+constexpr std::uint64_t kShardMagic = 0x5153484152440004ULL;  // "QSHARD" + v4
 
 }  // namespace
 
@@ -46,6 +47,8 @@ void serialize_loop_result(BlobWriter& out, const LoopResult& r, bool provenance
   out.put_i32(r.queue_fit_retries);
   out.put_bool(r.sim_ok);
   out.put_i64(r.sim_cycles);
+  out.put_bool(r.verify_checked);
+  out.put_i32(r.verify_violations);
   out.put_string(r.backend);
   if (!provenance) return;
   out.put_i32(r.sched_stats.placements);
@@ -87,6 +90,8 @@ LoopResult deserialize_loop_result(BlobReader& in) {
   r.queue_fit_retries = in.get_i32();
   r.sim_ok = in.get_bool();
   r.sim_cycles = in.get_i64();
+  r.verify_checked = in.get_bool();
+  r.verify_violations = in.get_i32();
   r.backend = in.get_string();
   r.sched_stats.placements = in.get_i32();
   r.sched_stats.evictions = in.get_i32();

@@ -8,6 +8,7 @@
 #include "sim/vliwsim.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
+#include "verify/verify.h"
 #include "xform/unroll.h"
 
 namespace qvliw {
@@ -158,6 +159,24 @@ bool SimStage::run(PipelineContext& ctx) {
   return true;
 }
 
+bool VerifyStage::run(PipelineContext& ctx) {
+  if (ctx.options->verify == VerifyPolicy::kOff) return true;
+  // Earlier-stage failures stop the plan before this stage, so a complete
+  // artifact set (loop, graph, schedule, allocation) is guaranteed here.
+  // `must_fit` verifies the producer's capacity *claim*: only when the
+  // pipeline reported a fitting allocation must queues/depths check out.
+  const VerifyReport report =
+      verify_artifacts(ctx.loop, *ctx.graph, *ctx.machine, ctx.sched.schedule, &ctx.allocation,
+                       ctx.options->insert_copies, ctx.result.fits_machine_queues);
+  ctx.result.verify_checked = true;
+  ctx.result.verify_violations = report.violations();
+  if (!report.ok() && ctx.options->verify == VerifyPolicy::kStrict) {
+    ctx.result.failure = cat("legality verification failed: ", report.summary());
+    return false;
+  }
+  return true;
+}
+
 // --- plans and the runner --------------------------------------------------
 
 namespace {
@@ -168,6 +187,7 @@ CopyInsertStage copy_insert_stage;
 ScheduleStage schedule_stage;
 QueueAllocStage queue_alloc_stage;
 SimStage sim_stage;
+VerifyStage verify_stage;
 
 }  // namespace
 
@@ -177,7 +197,8 @@ const std::vector<Stage*>& front_stage_plan() {
 }
 
 const std::vector<Stage*>& back_stage_plan() {
-  static const std::vector<Stage*> plan = {&schedule_stage, &queue_alloc_stage, &sim_stage};
+  static const std::vector<Stage*> plan = {&schedule_stage, &queue_alloc_stage, &sim_stage,
+                                           &verify_stage};
   return plan;
 }
 

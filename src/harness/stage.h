@@ -1,7 +1,7 @@
 // The compile pipeline as an explicit stage graph.
 //
 //   InvariantStage -> UnrollStage -> CopyInsertStage ->          (front end)
-//   ScheduleStage -> QueueAllocStage -> SimStage                 (back end)
+//   ScheduleStage -> QueueAllocStage -> SimStage -> VerifyStage  (back end)
 //
 // A `PipelineContext` carries the typed artifacts between stages: the
 // working Loop after each transform, the DDG, the schedule, the queue
@@ -68,6 +68,7 @@ inline constexpr std::string_view kStageCopyInsert = "copy_insert";
 inline constexpr std::string_view kStageSchedule = "schedule";
 inline constexpr std::string_view kStageQueueAlloc = "queue_alloc";
 inline constexpr std::string_view kStageSim = "sim";
+inline constexpr std::string_view kStageVerify = "verify";
 
 /// Applies the loop-invariant strategy to ctx.loop.
 class InvariantStage final : public Stage {
@@ -117,7 +118,17 @@ class SimStage final : public Stage {
   bool run(PipelineContext& ctx) override;
 };
 
-/// The full six-stage plan, and its two halves around the caching seam.
+/// Translation validation of the emitted artifacts by the independent
+/// static verifier (src/verify), governed by PipelineOptions::verify:
+/// audit records verify_checked/verify_violations and keeps the result;
+/// strict additionally fails the loop on the first violation.
+class VerifyStage final : public Stage {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kStageVerify; }
+  bool run(PipelineContext& ctx) override;
+};
+
+/// The full seven-stage plan, and its two halves around the caching seam.
 [[nodiscard]] const std::vector<Stage*>& full_stage_plan();
 [[nodiscard]] const std::vector<Stage*>& front_stage_plan();
 [[nodiscard]] const std::vector<Stage*>& back_stage_plan();

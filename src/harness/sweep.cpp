@@ -76,6 +76,40 @@ double SweepResult::stage_seconds(std::string_view stage) const {
   return 0.0;
 }
 
+std::uint64_t SweepResult::verify_checked() const {
+  std::uint64_t checked = 0;
+  for (const auto& row : by_point) {
+    for (const LoopResult& result : row) {
+      if (result.verify_checked) ++checked;
+    }
+  }
+  return checked;
+}
+
+std::uint64_t SweepResult::verify_violations() const {
+  std::uint64_t violations = 0;
+  for (const auto& row : by_point) {
+    for (const LoopResult& result : row) {
+      violations += static_cast<std::uint64_t>(result.verify_violations);
+    }
+  }
+  return violations;
+}
+
+std::string_view sweep_verify_mode_name(SweepVerifyMode mode) {
+  switch (mode) {
+    case SweepVerifyMode::kOff:
+      return "off";
+    case SweepVerifyMode::kSample:
+      return "sample";
+    case SweepVerifyMode::kFull:
+      return "full";
+    case SweepVerifyMode::kStrict:
+      return "strict";
+  }
+  return "unknown";
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -479,7 +513,7 @@ SweepPrefixKeys sweep_prefix_keys(const SweepPoint& point) {
 std::vector<StageTotal> ordered_stage_totals(std::map<std::string, double, std::less<>> totals) {
   static constexpr std::string_view kOrder[] = {kStageInvariants, kStageUnroll, kStageCopyInsert,
                                                 "mii",            kStageSchedule, kStageQueueAlloc,
-                                                kStageSim};
+                                                kStageSim,        kStageVerify};
   std::vector<StageTotal> out;
   for (std::string_view stage : kOrder) {
     if (auto it = totals.find(stage); it != totals.end()) {
@@ -626,6 +660,19 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
   if (!options_.checkpoint_dir.empty()) {
     JournalHeader header;
     header.config_hash = sweep_config_hash(loops, points);
+    // Verification strictness changes what a cell can report (strict
+    // fails loops on violations), so a resumed sweep must verify exactly
+    // as the crashed one did; journals written with verify off keep
+    // their pre-verifier hashes.
+    if (options_.verify_mode != SweepVerifyMode::kOff) {
+      header.config_hash = hash_combine(header.config_hash, hash64(0x7e81f7ULL));
+      header.config_hash = hash_combine(
+          header.config_hash, hash64(static_cast<std::uint64_t>(options_.verify_mode)));
+      if (options_.verify_mode == SweepVerifyMode::kSample) {
+        header.config_hash = hash_combine(
+            header.config_hash, hash64(static_cast<std::uint64_t>(options_.verify_sample_rate)));
+      }
+    }
     header.shard_count = options_.shard_count;
     header.shard_index = options_.shard_index;
     header.axis = options_.shard_axis;
@@ -665,6 +712,30 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
     if (!replayed) pending.push_back(&task);
   }
 
+  // Effective per-cell verify policy: the sweep mode can only strengthen
+  // what the point itself asked for.  The kSample subset hashes the cell
+  // coordinates, so it is identical at every worker count, shard
+  // partition, and resume.
+  auto verify_policy_for = [&](std::size_t loop_index, std::size_t point_index,
+                               VerifyPolicy base) -> VerifyPolicy {
+    switch (options_.verify_mode) {
+      case SweepVerifyMode::kOff:
+        return base;
+      case SweepVerifyMode::kSample: {
+        const std::uint64_t rate =
+            static_cast<std::uint64_t>(std::max(1, options_.verify_sample_rate));
+        const std::uint64_t cell = hash_combine(hash64(static_cast<std::uint64_t>(loop_index)),
+                                                hash64(static_cast<std::uint64_t>(point_index)));
+        return cell % rate == 0 ? std::max(base, VerifyPolicy::kAudit) : base;
+      }
+      case SweepVerifyMode::kFull:
+        return std::max(base, VerifyPolicy::kAudit);
+      case SweepVerifyMode::kStrict:
+        return VerifyPolicy::kStrict;
+    }
+    return base;
+  };
+
   // Executes one task and returns its commit record.  Runs on any worker
   // thread: everything it touches is either task-local (LoopCache,
   // stats, seconds, warm-start chain seeds), read-only sweep state (keys,
@@ -689,6 +760,15 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
       const std::size_t p = exec_order[o];
       if (owned[p] == 0) continue;
       const SweepPoint& point = points[p];
+      // The override copy must outlive the PipelineContext referencing it.
+      const VerifyPolicy cell_policy = verify_policy_for(i, p, point.options.verify);
+      PipelineOptions verified_options;
+      const PipelineOptions* cell_options = &point.options;
+      if (cell_policy != point.options.verify) {
+        verified_options = point.options;
+        verified_options.verify = cell_policy;
+        cell_options = &verified_options;
+      }
       LoopResult out;
       bool produced = false;
       if (options_.use_cache) {
@@ -697,7 +777,7 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
           FrontEntry& front = front_for(loops[i], point, keys[p], cache, store, disk_key,
                                         local_stats, local_seconds);
           if (front.ok) {
-            PipelineContext ctx(loops[i], point.machine, point.options);
+            PipelineContext ctx(loops[i], point.machine, *cell_options);
             ctx.loop = front.loop;
             ctx.graph = front.graph;
             ctx.result.unroll_factor = front.factor;
@@ -775,7 +855,7 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
         }
         if (!produced) ++local_stats.fallback_runs;
       }
-      if (!produced) out = run_pipeline(loops[i], point.machine, point.options);
+      if (!produced) out = run_pipeline(loops[i], point.machine, *cell_options);
       sweep.by_point[p][i] = std::move(out);
     }
 

@@ -150,6 +150,18 @@ enum class ShardAxis {
   kPoints,
 };
 
+/// Sweep-level translation validation (see PipelineOptions::verify).
+/// Applied on top of each point's own verify policy — a mode can only
+/// ever *strengthen* what the point asked for, never weaken it.
+enum class SweepVerifyMode : std::uint8_t {
+  kOff,     // leave every point's own policy untouched
+  kSample,  // audit a deterministic 1-in-verify_sample_rate cell sample
+  kFull,    // audit every cell
+  kStrict,  // verify every cell; a violation fails the loop
+};
+
+[[nodiscard]] std::string_view sweep_verify_mode_name(SweepVerifyMode mode);
+
 struct SweepOptions {
   bool use_cache = true;  // prefix-artifact caching across points
   bool parallel = true;   // false forces serial regardless of `workers`
@@ -251,6 +263,16 @@ struct SweepOptions {
   /// no longer guaranteed bit-identical to a cold sweep.  Off by default
   /// for exactly that reason.  Requires warm_start.
   bool cross_machine_seeds = false;
+
+  /// Sweep-level translation validation.  kSample audits a deterministic
+  /// 1-in-verify_sample_rate subset of cells, chosen by hashing (loop
+  /// index, point index) so the sample is identical at every worker
+  /// count, shard partition, and resume — verification never perturbs
+  /// determinism contracts.  kFull/kStrict cover every cell.  The mode is
+  /// folded into the checkpoint journal's config hash: a resumed sweep
+  /// must re-verify (or not) exactly as the crashed one did.
+  SweepVerifyMode verify_mode = SweepVerifyMode::kOff;
+  int verify_sample_rate = 16;  // kSample: 1 cell in N is audited
 };
 
 /// The worker-thread count SweepRunner::run will actually use under
@@ -323,6 +345,11 @@ struct SweepResult {
 
   [[nodiscard]] double pipelines_per_second() const;
   [[nodiscard]] double stage_seconds(std::string_view stage) const;
+
+  /// Translation-validation roll-up over by_point: cells whose verify
+  /// stage ran, and the summed violation count (0 on a legal sweep).
+  [[nodiscard]] std::uint64_t verify_checked() const;
+  [[nodiscard]] std::uint64_t verify_violations() const;
 };
 
 class SweepRunner {

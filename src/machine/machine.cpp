@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "support/artifact_store.h"
 #include "support/diagnostics.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -116,6 +117,37 @@ std::uint64_t MachineConfig::signature() const {
   sig = hash_combine(sig, hash64(static_cast<std::uint64_t>(ring.queues_per_direction)));
   sig = hash_combine(sig, hash64(static_cast<std::uint64_t>(ring.queue_depth)));
   return sig;
+}
+
+void serialize_machine(BlobWriter& out, const MachineConfig& machine) {
+  out.put_string(machine.name);
+  out.put_i32(machine.cluster_count());
+  for (const ClusterConfig& cc : machine.clusters) {
+    for (int n : cc.fu_count) out.put_i32(n);
+    out.put_i32(cc.private_queues);
+    out.put_i32(cc.queue_depth);
+  }
+  out.put_i32(machine.ring.queues_per_direction);
+  out.put_i32(machine.ring.queue_depth);
+  for (int l : machine.latency.latency) out.put_i32(l);
+}
+
+MachineConfig deserialize_machine(BlobReader& in) {
+  MachineConfig machine;
+  machine.name = in.get_string();
+  const std::int32_t clusters = in.get_i32();
+  check(clusters >= 0 && clusters <= (1 << 16),
+        cat("deserialize_machine: implausible cluster count ", clusters));
+  machine.clusters.resize(static_cast<std::size_t>(clusters));
+  for (ClusterConfig& cc : machine.clusters) {
+    for (int& n : cc.fu_count) n = in.get_i32();
+    cc.private_queues = in.get_i32();
+    cc.queue_depth = in.get_i32();
+  }
+  machine.ring.queues_per_direction = in.get_i32();
+  machine.ring.queue_depth = in.get_i32();
+  for (int& l : machine.latency.latency) l = in.get_i32();
+  return machine;
 }
 
 }  // namespace qvliw

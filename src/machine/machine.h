@@ -109,4 +109,19 @@ class MachineConfig {
 /// consumes, so DDGs are shareable across machines with equal values.
 [[nodiscard]] std::uint64_t latency_signature(const LatencyModel& latency);
 
+class BlobReader;
+class BlobWriter;
+
+/// Serialises `machine` into the portable blob format
+/// (support/artifact_store.h): name, per-cluster FU mix and queue
+/// configuration, ring config, and the latency model.  Used by the
+/// qvliw_verify bundle so a dumped artifact names the exact machine it
+/// claims legality against.
+void serialize_machine(BlobWriter& out, const MachineConfig& machine);
+
+/// Inverse of serialize_machine; throws Error on truncation or an
+/// implausible cluster count.  The result is *not* validated — run
+/// MachineConfig::validate before trusting a deserialised machine.
+[[nodiscard]] MachineConfig deserialize_machine(BlobReader& in);
+
 }  // namespace qvliw

@@ -233,12 +233,8 @@ ImsResult ims_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& 
     result.ii = ii;
     result.ok = true;
 
-    const auto dep_errors = dependence_violations(graph, result.schedule);
-    QVLIW_ASSERT(dep_errors.empty(),
-                 cat("IMS produced a dependence-violating schedule: ", dep_errors.front()));
-    const auto res_errors = resource_violations(loop, machine, result.schedule);
-    QVLIW_ASSERT(res_errors.empty(),
-                 cat("IMS produced a resource-violating schedule: ", res_errors.front()));
+    const auto errors = verify_schedule(loop, graph, machine, result.schedule);
+    QVLIW_ASSERT(errors.empty(), cat("IMS produced an illegal schedule: ", errors.front()));
     return result;
   }
 

@@ -4,10 +4,11 @@
 #include <sstream>
 
 #include "ir/printer.h"
-#include "sched/reservation.h"
+#include "machine/fu.h"
 #include "support/artifact_store.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
+#include "verify/verify.h"
 
 namespace qvliw {
 
@@ -68,75 +69,18 @@ long long Schedule::total_cycles(const Loop& loop, const LatencyModel& lat, long
   return (trip - 1) * static_cast<long long>(ii_) + span;
 }
 
-std::vector<std::string> dependence_violations(const Ddg& graph, const Schedule& schedule) {
-  std::vector<std::string> violations;
-  for (const DepEdge& e : graph.edges()) {
-    if (!schedule.scheduled(e.src) || !schedule.scheduled(e.dst)) {
-      violations.push_back(cat("edge ", e.src, "->", e.dst, ": endpoint not scheduled"));
-      continue;
-    }
-    const int lhs = schedule.cycle(e.dst);
-    const int rhs = schedule.cycle(e.src) + e.latency - schedule.ii() * e.distance;
-    if (lhs < rhs) {
-      violations.push_back(cat(dep_kind_name(e.kind), " edge ", e.src, "->", e.dst,
-                               " violated: sigma(dst)=", lhs, " < ", rhs, " (lat=", e.latency,
-                               ", dist=", e.distance, ", ii=", schedule.ii(), ")"));
-    }
-  }
-  return violations;
-}
-
-std::vector<std::string> resource_violations(const Loop& loop, const MachineConfig& machine,
-                                             const Schedule& schedule) {
-  std::vector<std::string> violations;
-  if (loop.op_count() != schedule.op_count()) {
-    violations.push_back("loop/schedule op count mismatch");
-    return violations;
-  }
-  // occupancy[(cluster, kind, fu, slot)] -> op
-  ReservationTable table(machine, schedule.ii());
-  for (int op = 0; op < loop.op_count(); ++op) {
-    if (!schedule.scheduled(op)) {
-      violations.push_back(cat("op ", op, " not scheduled"));
-      continue;
-    }
-    const Placement& p = schedule.place(op);
-    const FuKind kind = fu_for(loop.ops[static_cast<std::size_t>(op)].opcode);
-    if (p.cluster < 0 || p.cluster >= machine.cluster_count()) {
-      violations.push_back(cat("op ", op, ": cluster ", p.cluster, " out of range"));
-      continue;
-    }
-    if (p.fu < 0 || p.fu >= machine.fu_count(p.cluster, kind)) {
-      violations.push_back(cat("op ", op, ": ", fu_kind_name(kind), " instance ", p.fu,
-                               " out of range in cluster ", p.cluster));
-      continue;
-    }
-    const int other = table.occupant(p.cluster, kind, p.fu, p.cycle);
-    if (other >= 0) {
-      violations.push_back(cat("op ", op, " and op ", other, " double-book cluster ", p.cluster,
-                               " ", fu_kind_name(kind), "[", p.fu, "] slot ",
-                               p.cycle % schedule.ii()));
-      continue;
-    }
-    table.place(p.cluster, kind, p.fu, p.cycle, op);
-  }
-  return violations;
-}
-
 std::vector<std::string> verify_schedule(const Loop& loop, const Ddg& graph,
                                          const MachineConfig& machine, const Schedule& schedule) {
+  // One implementation of schedule legality: the independent verifier's
+  // pass (src/verify).  The scheduler-side helpers this file used to carry
+  // (dependence_violations / resource_violations) duplicated a subset of
+  // those rules against the producer's own ReservationTable; they are gone.
+  const VerifyReport report = verify_modulo_schedule(loop, graph, machine, schedule);
   std::vector<std::string> violations;
-  if (loop.op_count() != graph.node_count()) {
-    violations.push_back("loop/DDG op count mismatch");
-    return violations;
+  violations.reserve(report.diagnostics.size());
+  for (const VerifyDiagnostic& diagnostic : report.diagnostics) {
+    violations.push_back(diagnostic.message);
   }
-  if (loop.op_count() != schedule.op_count()) {
-    violations.push_back("loop/schedule op count mismatch");
-    return violations;
-  }
-  violations = dependence_violations(graph, schedule);
-  const std::vector<std::string> resources = resource_violations(loop, machine, schedule);
-  violations.insert(violations.end(), resources.begin(), resources.end());
   return violations;
 }
 

@@ -57,21 +57,13 @@ class Schedule {
   std::vector<std::optional<Placement>> places_;
 };
 
-/// Dependence-constraint check: sigma(dst) >= sigma(src) + lat - II*dist
-/// for every edge.  Returns human-readable violations (empty == valid).
-[[nodiscard]] std::vector<std::string> dependence_violations(const Ddg& graph,
-                                                             const Schedule& schedule);
-
-/// Resource check: rebuilds an MRT and reports double bookings, FU-kind
-/// mismatches and out-of-range placements (empty == valid).
-[[nodiscard]] std::vector<std::string> resource_violations(const Loop& loop,
-                                                           const MachineConfig& machine,
-                                                           const Schedule& schedule);
-
 /// Full verification of a candidate schedule: op-count agreement with the
 /// loop/DDG, every dependence constraint, and every resource constraint.
 /// Empty == the schedule is valid for this (loop, graph, machine).  Used
 /// to vet warm-start seeds before the scheduler adopts them, and by tests.
+/// A thin wrapper over the independent verifier's schedule-legality pass
+/// (verify_modulo_schedule in verify/verify.h), which is the single
+/// implementation of these rules.
 [[nodiscard]] std::vector<std::string> verify_schedule(const Loop& loop, const Ddg& graph,
                                                        const MachineConfig& machine,
                                                        const Schedule& schedule);

@@ -1,0 +1,819 @@
+#include "verify/verify.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <utility>
+
+#include "ir/memdep.h"  // kMemDepMaxDistance only; the derivation is redone here
+#include "machine/fu.h"
+#include "support/artifact_store.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace qvliw {
+
+std::string_view verify_rule_name(VerifyRule rule) {
+  switch (rule) {
+    case VerifyRule::kArtifactShape:
+      return "artifact-shape";
+    case VerifyRule::kLoopStructure:
+      return "loop-structure";
+    case VerifyRule::kDdgFlow:
+      return "ddg-flow";
+    case VerifyRule::kDdgMem:
+      return "ddg-mem";
+    case VerifyRule::kSchedIncomplete:
+      return "sched-incomplete";
+    case VerifyRule::kSchedDependence:
+      return "sched-dependence";
+    case VerifyRule::kSchedPlacement:
+      return "sched-placement";
+    case VerifyRule::kSchedResource:
+      return "sched-resource";
+    case VerifyRule::kRouteAdjacency:
+      return "route-adjacency";
+    case VerifyRule::kRouteFanout:
+      return "route-fanout";
+    case VerifyRule::kQueueIi:
+      return "queue-ii";
+    case VerifyRule::kQueueLifetime:
+      return "queue-lifetime";
+    case VerifyRule::kQueueDomain:
+      return "queue-domain";
+    case VerifyRule::kQueueAssignment:
+      return "queue-assignment";
+    case VerifyRule::kQueueReadBeforeWrite:
+      return "queue-read-before-write";
+    case VerifyRule::kQueueFifo:
+      return "queue-fifo";
+    case VerifyRule::kQueuePort:
+      return "queue-port";
+    case VerifyRule::kQueueCapacity:
+      return "queue-capacity";
+  }
+  return "unknown-rule";
+}
+
+bool VerifyReport::has_rule(VerifyRule rule) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [rule](const VerifyDiagnostic& d) { return d.rule == rule; });
+}
+
+std::string VerifyReport::summary(int limit) const {
+  std::string out;
+  const int shown = limit > 0 ? std::min<int>(limit, violations()) : violations();
+  for (int i = 0; i < shown; ++i) {
+    if (i > 0) out += "; ";
+    out += diagnostics[static_cast<std::size_t>(i)].message;
+  }
+  if (shown < violations()) out += cat(" (+", violations() - shown, " more)");
+  return out;
+}
+
+void VerifyReport::add(VerifyRule rule, std::string message) {
+  diagnostics.push_back({rule, cat(verify_rule_name(rule), ": ", message)});
+}
+
+void VerifyReport::merge(VerifyReport other) {
+  for (auto& d : other.diagnostics) diagnostics.push_back(std::move(d));
+}
+
+namespace {
+
+std::string op_label(const Loop& loop, int op) {
+  const Op& o = loop.ops[static_cast<std::size_t>(op)];
+  std::string label = cat("op ", op, " (", opcode_name(o.opcode));
+  if (!o.name.empty()) label += cat(" ", o.name);
+  return label + ")";
+}
+
+/// Shared shape guard: the three artifact passes all require the loop, the
+/// graph and the schedule to agree on the op count before any per-op
+/// reasoning makes sense.
+bool shapes_agree(const Loop& loop, const Ddg& graph, const Schedule& schedule,
+                  VerifyReport& report) {
+  if (graph.node_count() != loop.op_count()) {
+    report.add(VerifyRule::kArtifactShape, cat("DDG has ", graph.node_count(), " nodes for a ",
+                                               loop.op_count(), "-op loop"));
+    return false;
+  }
+  if (schedule.op_count() != loop.op_count()) {
+    report.add(VerifyRule::kArtifactShape, cat("schedule covers ", schedule.op_count(),
+                                               " ops but the loop has ", loop.op_count()));
+    return false;
+  }
+  return true;
+}
+
+/// Re-derives the memory order edges a correct DDG must contain, from the
+/// affine reference model alone: A[stride*i + off_a] and
+/// A[stride*i + off_b] touch the same element exactly when the offsets
+/// differ by a whole number of strides, and that number is the distance.
+struct ExpectedMemDep {
+  DepKind kind = DepKind::kMemFlow;
+  bool seen = false;
+};
+std::map<std::tuple<int, int, int>, ExpectedMemDep> expected_memory_edges(const Loop& loop) {
+  std::map<std::tuple<int, int, int>, ExpectedMemDep> expected;
+  std::vector<int> mem_ops;
+  for (int i = 0; i < loop.op_count(); ++i) {
+    if (is_memory(loop.ops[static_cast<std::size_t>(i)].opcode)) mem_ops.push_back(i);
+  }
+  for (std::size_t x = 0; x < mem_ops.size(); ++x) {
+    for (std::size_t y = x + 1; y < mem_ops.size(); ++y) {
+      const int a = mem_ops[x];
+      const int b = mem_ops[y];
+      const Op& op_a = loop.ops[static_cast<std::size_t>(a)];
+      const Op& op_b = loop.ops[static_cast<std::size_t>(b)];
+      if (op_a.array != op_b.array) continue;
+      const bool a_store = op_a.opcode == Opcode::kStore;
+      const bool b_store = op_b.opcode == Opcode::kStore;
+      if (!a_store && !b_store) continue;
+      const int delta = op_a.mem_offset - op_b.mem_offset;
+      if (delta % loop.stride != 0) continue;
+      // b's aliasing iteration lags a's by `iters`; the dependence runs
+      // from the earlier-touching op (ties break to program order).
+      const int iters = delta / loop.stride;
+      const int src = iters >= 0 ? a : b;
+      const int dst = iters >= 0 ? b : a;
+      const int distance = iters >= 0 ? iters : -iters;
+      if (distance > kMemDepMaxDistance) continue;
+      const bool src_store = loop.ops[static_cast<std::size_t>(src)].opcode == Opcode::kStore;
+      const bool dst_store = loop.ops[static_cast<std::size_t>(dst)].opcode == Opcode::kStore;
+      DepKind kind = DepKind::kMemAnti;
+      if (src_store) kind = dst_store ? DepKind::kMemOutput : DepKind::kMemFlow;
+      expected[{src, dst, distance}] = {kind, false};
+    }
+  }
+  return expected;
+}
+
+/// Queue domain a flow between two placed clusters must live in,
+/// re-derived from the ring topology (clockwise segment c: c -> c+1,
+/// counter-clockwise segment c: c+1 -> c; clockwise wins the k == 2 tie).
+std::optional<QueueDomain> expected_domain(int cluster_count, int producer_cluster,
+                                           int consumer_cluster) {
+  if (producer_cluster == consumer_cluster) {
+    return QueueDomain{QueueDomain::Kind::kPrivate, producer_cluster};
+  }
+  if ((producer_cluster + 1) % cluster_count == consumer_cluster) {
+    return QueueDomain{QueueDomain::Kind::kRingCw, producer_cluster};
+  }
+  if ((consumer_cluster + 1) % cluster_count == producer_cluster) {
+    return QueueDomain{QueueDomain::Kind::kRingCcw, consumer_cluster};
+  }
+  return std::nullopt;
+}
+
+/// Queue count / depth limits of one domain on a concrete machine.
+void domain_limits(const MachineConfig& machine, const QueueDomain& domain, int& queue_limit,
+                   int& depth_limit) {
+  if (domain.kind == QueueDomain::Kind::kPrivate) {
+    queue_limit = machine.cluster(domain.index).private_queues;
+    depth_limit = machine.cluster(domain.index).queue_depth;
+  } else {
+    queue_limit = machine.ring.queues_per_direction;
+    depth_limit = machine.ring.queue_depth;
+  }
+}
+
+}  // namespace
+
+VerifyReport verify_ddg(const Loop& loop, const Ddg& graph, const LatencyModel& latency) {
+  VerifyReport report;
+  try {
+    loop.validate();
+  } catch (const Error& error) {
+    report.add(VerifyRule::kLoopStructure, error.what());
+    return report;
+  }
+  if (graph.node_count() != loop.op_count()) {
+    report.add(VerifyRule::kArtifactShape, cat("DDG has ", graph.node_count(), " nodes for a ",
+                                               loop.op_count(), "-op loop"));
+    return report;
+  }
+
+  // Expected register flow: one edge per value operand, carrying the
+  // producing opcode's latency and the operand's distance.
+  struct ExpectedFlow {
+    int src = -1;
+    int latency = 0;
+    int distance = 0;
+    bool seen = false;
+  };
+  std::vector<std::vector<std::optional<ExpectedFlow>>> expected_flow(
+      static_cast<std::size_t>(loop.op_count()));
+  for (int d = 0; d < loop.op_count(); ++d) {
+    const Op& op = loop.ops[static_cast<std::size_t>(d)];
+    auto& slots = expected_flow[static_cast<std::size_t>(d)];
+    slots.resize(op.args.size());
+    for (std::size_t a = 0; a < op.args.size(); ++a) {
+      const Operand& arg = op.args[a];
+      if (!arg.is_value()) continue;
+      const Opcode producer = loop.ops[static_cast<std::size_t>(arg.value_op)].opcode;
+      slots[a] = ExpectedFlow{arg.value_op, latency.of(producer), arg.distance, false};
+    }
+  }
+
+  auto expected_mem = expected_memory_edges(loop);
+
+  for (int e = 0; e < graph.edge_count(); ++e) {
+    const DepEdge& edge = graph.edge(e);
+    if (edge.kind == DepKind::kFlow) {
+      auto& slots = expected_flow[static_cast<std::size_t>(edge.dst)];
+      if (edge.dst_arg < 0 || edge.dst_arg >= static_cast<int>(slots.size()) ||
+          !slots[static_cast<std::size_t>(edge.dst_arg)].has_value()) {
+        report.add(VerifyRule::kDdgFlow, cat("flow edge ", edge.src, "->", edge.dst,
+                                             " targets non-value operand slot ", edge.dst_arg,
+                                             " of ", op_label(loop, edge.dst)));
+        continue;
+      }
+      ExpectedFlow& want = *slots[static_cast<std::size_t>(edge.dst_arg)];
+      if (want.seen) {
+        report.add(VerifyRule::kDdgFlow, cat("duplicate flow edge into operand ", edge.dst_arg,
+                                             " of ", op_label(loop, edge.dst)));
+        continue;
+      }
+      want.seen = true;
+      if (edge.src != want.src) {
+        report.add(VerifyRule::kDdgFlow,
+                   cat("flow edge into operand ", edge.dst_arg, " of ", op_label(loop, edge.dst),
+                       " names producer ", edge.src, ", operand names ", want.src));
+      }
+      if (edge.latency != want.latency) {
+        report.add(VerifyRule::kDdgFlow,
+                   cat("flow edge ", edge.src, "->", edge.dst, " carries latency ", edge.latency,
+                       ", producer opcode implies ", want.latency));
+      }
+      if (edge.distance != want.distance) {
+        report.add(VerifyRule::kDdgFlow,
+                   cat("flow edge ", edge.src, "->", edge.dst, " carries distance ",
+                       edge.distance, ", operand reads @", want.distance));
+      }
+    } else {
+      if (edge.latency != 1) {
+        report.add(VerifyRule::kDdgMem, cat("memory edge ", edge.src, "->", edge.dst,
+                                            " carries latency ", edge.latency, ", must be 1"));
+      }
+      if (edge.distance < 0 || edge.distance > kMemDepMaxDistance) {
+        report.add(VerifyRule::kDdgMem,
+                   cat("memory edge ", edge.src, "->", edge.dst, " distance ", edge.distance,
+                       " outside [0, ", kMemDepMaxDistance, "]"));
+        continue;
+      }
+      auto it = expected_mem.find({edge.src, edge.dst, edge.distance});
+      if (it == expected_mem.end()) {
+        report.add(VerifyRule::kDdgMem,
+                   cat("memory ", dep_kind_name(edge.kind), " edge ", edge.src, "->", edge.dst,
+                       " @", edge.distance, " has no aliasing justification"));
+        continue;
+      }
+      if (it->second.seen) {
+        report.add(VerifyRule::kDdgMem, cat("duplicate memory edge ", edge.src, "->", edge.dst,
+                                            " @", edge.distance));
+        continue;
+      }
+      it->second.seen = true;
+      if (it->second.kind != edge.kind) {
+        report.add(VerifyRule::kDdgMem,
+                   cat("memory edge ", edge.src, "->", edge.dst, " @", edge.distance,
+                       " labelled ", dep_kind_name(edge.kind), ", opcodes imply ",
+                       dep_kind_name(it->second.kind)));
+      }
+    }
+  }
+
+  for (int d = 0; d < loop.op_count(); ++d) {
+    const auto& slots = expected_flow[static_cast<std::size_t>(d)];
+    for (std::size_t a = 0; a < slots.size(); ++a) {
+      if (slots[a].has_value() && !slots[a]->seen) {
+        report.add(VerifyRule::kDdgFlow, cat("value operand ", a, " of ", op_label(loop, d),
+                                             " has no flow edge"));
+      }
+    }
+  }
+  for (const auto& [key, dep] : expected_mem) {
+    if (!dep.seen) {
+      report.add(VerifyRule::kDdgMem,
+                 cat("missing memory ", dep_kind_name(dep.kind), " edge ", std::get<0>(key),
+                     "->", std::get<1>(key), " @", std::get<2>(key)));
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_modulo_schedule(const Loop& loop, const Ddg& graph,
+                                    const MachineConfig& machine, const Schedule& schedule) {
+  VerifyReport report;
+  if (!shapes_agree(loop, graph, schedule, report)) return report;
+  const int ii = schedule.ii();
+
+  // Completeness + placement ranges, then conflict freedom on a freshly
+  // built modulo occupancy map (one owner per (cluster, class, instance,
+  // cycle mod II) slot).
+  std::map<std::tuple<int, FuKind, int, int>, int> slot_owner;
+  for (int i = 0; i < loop.op_count(); ++i) {
+    if (!schedule.scheduled(i)) {
+      report.add(VerifyRule::kSchedIncomplete, cat(op_label(loop, i), " has no placement"));
+      continue;
+    }
+    const Placement& at = schedule.place(i);
+    const FuKind kind = fu_for(loop.ops[static_cast<std::size_t>(i)].opcode);
+    bool placed_ok = true;
+    if (at.cycle < 0) {
+      report.add(VerifyRule::kSchedPlacement, cat(op_label(loop, i), " at negative cycle ",
+                                                  at.cycle));
+      placed_ok = false;
+    }
+    if (at.cluster < 0 || at.cluster >= machine.cluster_count()) {
+      report.add(VerifyRule::kSchedPlacement,
+                 cat(op_label(loop, i), " on cluster ", at.cluster, ", machine has ",
+                     machine.cluster_count()));
+      placed_ok = false;
+    }
+    if (placed_ok && (at.fu < 0 || at.fu >= machine.fu_count(at.cluster, kind))) {
+      report.add(VerifyRule::kSchedPlacement,
+                 cat(op_label(loop, i), " on ", fu_kind_name(kind), " instance ", at.fu,
+                     ", cluster ", at.cluster, " has ", machine.fu_count(at.cluster, kind)));
+      placed_ok = false;
+    }
+    if (!placed_ok) continue;
+    const int slot = at.cycle % ii;
+    auto [it, inserted] = slot_owner.try_emplace({at.cluster, kind, at.fu, slot}, i);
+    if (!inserted) {
+      report.add(VerifyRule::kSchedResource,
+                 cat(op_label(loop, i), " and ", op_label(loop, it->second), " double-book ",
+                     fu_kind_name(kind), " instance ", at.fu, " of cluster ", at.cluster,
+                     " at modulo slot ", slot));
+    }
+  }
+
+  for (int e = 0; e < graph.edge_count(); ++e) {
+    const DepEdge& edge = graph.edge(e);
+    if (!schedule.scheduled(edge.src) || !schedule.scheduled(edge.dst)) continue;
+    const int earliest = schedule.cycle(edge.src) + edge.latency - ii * edge.distance;
+    if (schedule.cycle(edge.dst) < earliest) {
+      report.add(VerifyRule::kSchedDependence,
+                 cat(dep_kind_name(edge.kind), " edge ", edge.src, "->", edge.dst,
+                     " violated: sigma(dst)=", schedule.cycle(edge.dst), " < sigma(src)+lat-II*dist=",
+                     earliest));
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_routing(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
+                            const Schedule& schedule, bool check_fanout) {
+  VerifyReport report;
+  if (!shapes_agree(loop, graph, schedule, report)) return report;
+
+  for (int e = 0; e < graph.edge_count(); ++e) {
+    const DepEdge& edge = graph.edge(e);
+    if (!edge.is_value_flow()) continue;
+    if (!schedule.scheduled(edge.src) || !schedule.scheduled(edge.dst)) continue;
+    const int from = schedule.cluster(edge.src);
+    const int to = schedule.cluster(edge.dst);
+    if (from < 0 || from >= machine.cluster_count() || to < 0 || to >= machine.cluster_count()) {
+      continue;  // reported as sched-placement by the schedule pass
+    }
+    const int hops = machine.ring_distance(from, to);
+    if (hops > 1) {
+      report.add(VerifyRule::kRouteAdjacency,
+                 cat("value of ", op_label(loop, edge.src), " on cluster ", from,
+                     " consumed by ", op_label(loop, edge.dst), " on cluster ", to, " (", hops,
+                     " ring hops; only adjacent clusters share a segment)"));
+    }
+  }
+
+  if (check_fanout) {
+    // Queue fan-out discipline (Section 2): a popped instance is gone, so
+    // a value supports one consumer — two when produced by `copy`, whose
+    // unit has two write ports.  Copy insertion exists to restore exactly
+    // this; consumer counts come straight from the operands.
+    std::vector<int> consumers(static_cast<std::size_t>(loop.op_count()), 0);
+    for (const Op& op : loop.ops) {
+      for (const Operand& arg : op.args) {
+        if (arg.is_value()) ++consumers[static_cast<std::size_t>(arg.value_op)];
+      }
+    }
+    for (int d = 0; d < loop.op_count(); ++d) {
+      const Op& op = loop.ops[static_cast<std::size_t>(d)];
+      if (!op.defines_value()) continue;
+      const int limit = op.opcode == Opcode::kCopy ? 2 : 1;
+      if (consumers[static_cast<std::size_t>(d)] > limit) {
+        report.add(VerifyRule::kRouteFanout,
+                   cat("value of ", op_label(loop, d), " has ",
+                       consumers[static_cast<std::size_t>(d)], " consumers; ",
+                       opcode_name(op.opcode), " results support ", limit));
+      }
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
+                                     const MachineConfig& machine, const Schedule& schedule,
+                                     const QueueAllocation& allocation, bool must_fit) {
+  VerifyReport report;
+  if (!shapes_agree(loop, graph, schedule, report)) return report;
+  if (!schedule.complete()) {
+    report.add(VerifyRule::kArtifactShape,
+               "queue allocation checked against an incomplete schedule");
+    return report;
+  }
+  const int ii = schedule.ii();
+  if (allocation.ii != ii) {
+    report.add(VerifyRule::kQueueIi,
+               cat("allocation built for II=", allocation.ii, ", schedule has II=", ii));
+  }
+
+  // One lifetime per flow edge, with push/pop/endpoints/domain re-derived
+  // from the schedule.
+  std::vector<int> lifetime_of_edge(static_cast<std::size_t>(graph.edge_count()), -1);
+  std::vector<bool> lifetime_usable(allocation.lifetimes.size(), false);
+  for (std::size_t l = 0; l < allocation.lifetimes.size(); ++l) {
+    const Lifetime& lt = allocation.lifetimes[l];
+    if (lt.edge < 0 || lt.edge >= graph.edge_count() ||
+        !graph.edge(lt.edge).is_value_flow()) {
+      report.add(VerifyRule::kQueueLifetime,
+                 cat("lifetime ", l, " names edge ", lt.edge, ", not a flow edge"));
+      continue;
+    }
+    if (lifetime_of_edge[static_cast<std::size_t>(lt.edge)] >= 0) {
+      report.add(VerifyRule::kQueueLifetime, cat("flow edge ", lt.edge,
+                                                 " covered by two lifetimes"));
+      continue;
+    }
+    lifetime_of_edge[static_cast<std::size_t>(lt.edge)] = static_cast<int>(l);
+    const DepEdge& edge = graph.edge(lt.edge);
+    bool usable = true;
+    if (lt.producer != edge.src || lt.consumer != edge.dst) {
+      report.add(VerifyRule::kQueueLifetime,
+                 cat("lifetime of edge ", lt.edge, " records endpoints ", lt.producer, "->",
+                     lt.consumer, ", edge has ", edge.src, "->", edge.dst));
+      usable = false;
+    }
+    const int want_push =
+        schedule.cycle(edge.src) +
+        machine.latency.of(loop.ops[static_cast<std::size_t>(edge.src)].opcode);
+    const int want_pop = schedule.cycle(edge.dst) + ii * edge.distance;
+    if (lt.push != want_push || lt.pop != want_pop) {
+      report.add(VerifyRule::kQueueLifetime,
+                 cat("lifetime of edge ", lt.edge, " records [", lt.push, ", ", lt.pop,
+                     "], schedule implies [", want_push, ", ", want_pop, "]"));
+      usable = false;
+    }
+    if (want_pop < want_push) {
+      report.add(VerifyRule::kQueueReadBeforeWrite,
+                 cat("edge ", lt.edge, ": ", op_label(loop, edge.dst), " pops at cycle ",
+                     want_pop, " before ", op_label(loop, edge.src), " pushes at ", want_push));
+      usable = false;
+    }
+    const auto want_domain =
+        expected_domain(machine.cluster_count(), schedule.cluster(edge.src),
+                        schedule.cluster(edge.dst));
+    if (!want_domain.has_value()) {
+      report.add(VerifyRule::kQueueDomain,
+                 cat("edge ", lt.edge, " flows between non-adjacent clusters ",
+                     schedule.cluster(edge.src), " and ", schedule.cluster(edge.dst),
+                     "; no queue domain spans them"));
+      usable = false;
+    } else if (lt.domain != *want_domain) {
+      report.add(VerifyRule::kQueueDomain,
+                 cat("lifetime of edge ", lt.edge, " filed under ", domain_name(lt.domain),
+                     ", placement implies ", domain_name(*want_domain)));
+      usable = false;
+    }
+    lifetime_usable[l] = usable;
+  }
+  for (int e = 0; e < graph.edge_count(); ++e) {
+    if (graph.edge(e).is_value_flow() && lifetime_of_edge[static_cast<std::size_t>(e)] < 0) {
+      report.add(VerifyRule::kQueueLifetime, cat("flow edge ", e, " (", graph.edge(e).src, "->",
+                                                 graph.edge(e).dst, ") has no lifetime"));
+    }
+  }
+
+  // queue_of / queues bookkeeping must be two views of one assignment.
+  const int queue_count = static_cast<int>(allocation.queues.size());
+  if (allocation.queue_of.size() != allocation.lifetimes.size()) {
+    report.add(VerifyRule::kQueueAssignment,
+               cat("queue_of covers ", allocation.queue_of.size(), " lifetimes of ",
+                   allocation.lifetimes.size()));
+    return report;
+  }
+  std::vector<std::vector<int>> members_of(static_cast<std::size_t>(queue_count));
+  bool assignment_ok = true;
+  for (std::size_t l = 0; l < allocation.queue_of.size(); ++l) {
+    const int q = allocation.queue_of[l];
+    if (q < 0 || q >= queue_count) {
+      report.add(VerifyRule::kQueueAssignment,
+                 cat("lifetime ", l, " assigned to queue ", q, " of ", queue_count));
+      assignment_ok = false;
+      continue;
+    }
+    members_of[static_cast<std::size_t>(q)].push_back(static_cast<int>(l));
+  }
+  for (int q = 0; q < queue_count; ++q) {
+    const AllocatedQueue& queue = allocation.queues[static_cast<std::size_t>(q)];
+    std::vector<int> recorded = queue.members;
+    std::vector<int> derived = members_of[static_cast<std::size_t>(q)];
+    std::sort(recorded.begin(), recorded.end());
+    std::sort(derived.begin(), derived.end());
+    if (recorded != derived) {
+      report.add(VerifyRule::kQueueAssignment,
+                 cat("queue ", q, " member list disagrees with queue_of (", recorded.size(),
+                     " recorded, ", derived.size(), " derived)"));
+      assignment_ok = false;
+      continue;
+    }
+    for (int l : derived) {
+      if (lifetime_usable[static_cast<std::size_t>(l)] &&
+          allocation.lifetimes[static_cast<std::size_t>(l)].domain != queue.domain) {
+        report.add(VerifyRule::kQueueAssignment,
+                   cat("lifetime ", l, " lives in ",
+                       domain_name(allocation.lifetimes[static_cast<std::size_t>(l)].domain),
+                       " but its queue ", q, " belongs to ", domain_name(queue.domain)));
+        assignment_ok = false;
+      }
+    }
+  }
+
+  // Joint FIFO simulation per queue: replay every member instance's push
+  // and pop over a horizon long enough to reach steady state, enforcing
+  // the hardware's rules directly — pushes land at cycle start, pops
+  // retire at cycle end, one push and one pop per queue per cycle, and a
+  // pop must take the value at the front.  This deliberately does not use
+  // qrf/qcompat.h's closed-form test.
+  std::vector<int> sim_occupancy(static_cast<std::size_t>(queue_count), 0);
+  if (assignment_ok) {
+    for (int q = 0; q < queue_count; ++q) {
+      const std::vector<int>& members = members_of[static_cast<std::size_t>(q)];
+      if (members.empty()) continue;
+      const bool all_usable =
+          std::all_of(members.begin(), members.end(),
+                      [&](int l) { return lifetime_usable[static_cast<std::size_t>(l)]; });
+      if (!all_usable) continue;  // endpoint diagnostics already filed
+      long long horizon = 0;
+      for (int l : members) {
+        horizon = std::max<long long>(horizon,
+                                      allocation.lifetimes[static_cast<std::size_t>(l)].pop);
+      }
+      horizon += 2LL * ii;
+
+      struct Event {
+        long long time = 0;
+        bool is_pop = false;  // pushes sort before pops within a cycle
+        int lifetime = -1;
+        long long instance = 0;
+      };
+      std::vector<Event> events;
+      for (int l : members) {
+        const Lifetime& lt = allocation.lifetimes[static_cast<std::size_t>(l)];
+        for (long long k = 0; lt.push + k * ii <= horizon; ++k) {
+          events.push_back({lt.push + k * ii, false, l, k});
+          if (lt.pop + k * ii <= horizon) events.push_back({lt.pop + k * ii, true, l, k});
+        }
+      }
+      std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+        return std::tie(a.time, a.is_pop, a.lifetime, a.instance) <
+               std::tie(b.time, b.is_pop, b.lifetime, b.instance);
+      });
+
+      std::vector<std::pair<int, long long>> fifo;  // (lifetime, instance), front first
+      long long last_push_cycle = -1;
+      long long last_pop_cycle = -1;
+      bool queue_ok = true;
+      for (const Event& event : events) {
+        if (!queue_ok) break;
+        if (!event.is_pop) {
+          if (event.time == last_push_cycle) {
+            report.add(VerifyRule::kQueuePort,
+                       cat("queue ", q, " (", domain_name(
+                               allocation.queues[static_cast<std::size_t>(q)].domain),
+                           ") receives two pushes in cycle ", event.time));
+            queue_ok = false;
+            break;
+          }
+          last_push_cycle = event.time;
+          fifo.emplace_back(event.lifetime, event.instance);
+          sim_occupancy[static_cast<std::size_t>(q)] = std::max(
+              sim_occupancy[static_cast<std::size_t>(q)], static_cast<int>(fifo.size()));
+        } else {
+          if (event.time == last_pop_cycle) {
+            report.add(VerifyRule::kQueuePort,
+                       cat("queue ", q, " services two pops in cycle ", event.time));
+            queue_ok = false;
+            break;
+          }
+          last_pop_cycle = event.time;
+          if (fifo.empty()) {
+            report.add(VerifyRule::kQueueFifo,
+                       cat("queue ", q, ": pop of lifetime ", event.lifetime, " instance ",
+                           event.instance, " at cycle ", event.time, " finds the queue empty"));
+            queue_ok = false;
+            break;
+          }
+          if (fifo.front() != std::make_pair(event.lifetime, event.instance)) {
+            report.add(
+                VerifyRule::kQueueFifo,
+                cat("queue ", q, ": pop at cycle ", event.time, " expects lifetime ",
+                    event.lifetime, " instance ", event.instance, " but lifetime ",
+                    fifo.front().first, " instance ", fifo.front().second, " is at the front"));
+            queue_ok = false;
+            break;
+          }
+          fifo.erase(fifo.begin());
+        }
+      }
+    }
+  }
+
+  // Capacity against the machine, checked only when the producer claims
+  // the allocation fits: per-domain queue counts and simulated occupancy
+  // against configured depths.
+  if (must_fit && assignment_ok) {
+    std::map<QueueDomain, int> queues_per_domain;
+    for (const AllocatedQueue& queue : allocation.queues) {
+      ++queues_per_domain[queue.domain];
+    }
+    for (const auto& [domain, used] : queues_per_domain) {
+      if (domain.index < 0 || domain.index >= machine.cluster_count()) {
+        report.add(VerifyRule::kQueueDomain, cat("domain ", domain_name(domain),
+                                                 " names a cluster/segment out of range"));
+        continue;
+      }
+      int queue_limit = 0;
+      int depth_limit = 0;
+      domain_limits(machine, domain, queue_limit, depth_limit);
+      if (used > queue_limit) {
+        report.add(VerifyRule::kQueueCapacity, cat(domain_name(domain), " needs ", used,
+                                                   " queues, machine has ", queue_limit));
+      }
+    }
+    for (int q = 0; q < queue_count; ++q) {
+      const AllocatedQueue& queue = allocation.queues[static_cast<std::size_t>(q)];
+      if (queue.domain.index < 0 || queue.domain.index >= machine.cluster_count()) continue;
+      int queue_limit = 0;
+      int depth_limit = 0;
+      domain_limits(machine, queue.domain, queue_limit, depth_limit);
+      if (sim_occupancy[static_cast<std::size_t>(q)] > depth_limit) {
+        report.add(VerifyRule::kQueueCapacity,
+                   cat("queue ", q, " (", domain_name(queue.domain), ") needs depth ",
+                       sim_occupancy[static_cast<std::size_t>(q)], ", machine allows ",
+                       depth_limit));
+      }
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_artifacts(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
+                              const Schedule& schedule, const QueueAllocation* allocation,
+                              bool check_fanout, bool must_fit) {
+  VerifyReport report = verify_ddg(loop, graph, machine.latency);
+  report.merge(verify_modulo_schedule(loop, graph, machine, schedule));
+  report.merge(verify_routing(loop, graph, machine, schedule, check_fanout));
+  if (allocation != nullptr) {
+    report.merge(verify_queue_allocation(loop, graph, machine, schedule, *allocation, must_fit));
+  }
+  return report;
+}
+
+// --- bundle codec ----------------------------------------------------------
+
+namespace {
+
+// "QVBNDL" + format version.  Bump on any layout change below.
+constexpr std::uint64_t kVerifyBundleMagic = 0x5156424e444c0001ULL;
+constexpr int kMaxBundleItems = 1 << 24;
+
+void put_domain(BlobWriter& out, const QueueDomain& domain) {
+  out.put_i32(static_cast<std::int32_t>(domain.kind));
+  out.put_i32(domain.index);
+}
+
+QueueDomain get_domain(BlobReader& in) {
+  const std::int32_t kind = in.get_i32();
+  if (kind < 0 || kind > 2) fail(cat("verify bundle: bad queue-domain kind ", kind));
+  QueueDomain domain;
+  domain.kind = static_cast<QueueDomain::Kind>(kind);
+  domain.index = in.get_i32();
+  return domain;
+}
+
+int get_count(BlobReader& in, std::string_view what) {
+  const std::int32_t n = in.get_i32();
+  if (n < 0 || n > kMaxBundleItems) fail(cat("verify bundle: implausible ", what, " count ", n));
+  return n;
+}
+
+void put_allocation(BlobWriter& out, const QueueAllocation& allocation) {
+  out.put_i32(allocation.ii);
+  out.put_i32(static_cast<std::int32_t>(allocation.lifetimes.size()));
+  for (const Lifetime& lt : allocation.lifetimes) {
+    out.put_i32(lt.edge);
+    out.put_i32(lt.producer);
+    out.put_i32(lt.consumer);
+    out.put_i32(lt.push);
+    out.put_i32(lt.pop);
+    put_domain(out, lt.domain);
+  }
+  out.put_i32(static_cast<std::int32_t>(allocation.queue_of.size()));
+  for (int q : allocation.queue_of) out.put_i32(q);
+  out.put_i32(static_cast<std::int32_t>(allocation.queues.size()));
+  for (const AllocatedQueue& queue : allocation.queues) {
+    put_domain(out, queue.domain);
+    out.put_i32(queue.index_in_domain);
+    out.put_i32(queue.max_occupancy);
+    out.put_i32(static_cast<std::int32_t>(queue.members.size()));
+    for (int member : queue.members) out.put_i32(member);
+  }
+}
+
+QueueAllocation get_allocation(BlobReader& in) {
+  QueueAllocation allocation;
+  allocation.ii = in.get_i32();
+  if (allocation.ii < 1) fail(cat("verify bundle: allocation II ", allocation.ii));
+  const int lifetimes = get_count(in, "lifetime");
+  allocation.lifetimes.reserve(static_cast<std::size_t>(lifetimes));
+  for (int l = 0; l < lifetimes; ++l) {
+    Lifetime lt;
+    lt.edge = in.get_i32();
+    lt.producer = in.get_i32();
+    lt.consumer = in.get_i32();
+    lt.push = in.get_i32();
+    lt.pop = in.get_i32();
+    lt.domain = get_domain(in);
+    allocation.lifetimes.push_back(lt);
+  }
+  const int assignments = get_count(in, "queue_of");
+  allocation.queue_of.reserve(static_cast<std::size_t>(assignments));
+  for (int l = 0; l < assignments; ++l) allocation.queue_of.push_back(in.get_i32());
+  const int queues = get_count(in, "queue");
+  allocation.queues.reserve(static_cast<std::size_t>(queues));
+  for (int q = 0; q < queues; ++q) {
+    AllocatedQueue queue;
+    queue.domain = get_domain(in);
+    queue.index_in_domain = in.get_i32();
+    queue.max_occupancy = in.get_i32();
+    const int members = get_count(in, "queue member");
+    queue.members.reserve(static_cast<std::size_t>(members));
+    for (int m = 0; m < members; ++m) queue.members.push_back(in.get_i32());
+    allocation.queues.push_back(std::move(queue));
+  }
+  return allocation;
+}
+
+}  // namespace
+
+VerifyReport verify_bundle(const VerifyBundle& bundle) {
+  VerifyReport report;
+  try {
+    bundle.machine.validate();
+  } catch (const Error& error) {
+    report.add(VerifyRule::kArtifactShape, cat("machine config invalid: ", error.what()));
+    return report;
+  }
+  Ddg graph;
+  try {
+    graph = Ddg::build(bundle.loop, bundle.machine.latency);
+  } catch (const Error& error) {
+    report.add(VerifyRule::kLoopStructure, error.what());
+    return report;
+  }
+  return verify_artifacts(bundle.loop, graph, bundle.machine, bundle.schedule,
+                          bundle.has_allocation ? &bundle.allocation : nullptr,
+                          bundle.check_fanout, bundle.must_fit);
+}
+
+std::string encode_verify_bundle(const VerifyBundle& bundle) {
+  BlobWriter out;
+  out.put_u64(kVerifyBundleMagic);
+  serialize_loop(out, bundle.loop);
+  serialize_machine(out, bundle.machine);
+  serialize_schedule(out, bundle.schedule);
+  out.put_bool(bundle.has_allocation);
+  if (bundle.has_allocation) put_allocation(out, bundle.allocation);
+  out.put_bool(bundle.check_fanout);
+  out.put_bool(bundle.must_fit);
+  return out.take();
+}
+
+VerifyBundle decode_verify_bundle(const std::string& blob) {
+  BlobReader in(blob);
+  if (in.get_u64() != kVerifyBundleMagic) fail("verify bundle: bad magic");
+  VerifyBundle bundle;
+  bundle.loop = deserialize_loop(in);
+  bundle.machine = deserialize_machine(in);
+  bundle.schedule = deserialize_schedule(in);
+  bundle.has_allocation = in.get_bool();
+  if (bundle.has_allocation) bundle.allocation = get_allocation(in);
+  bundle.check_fanout = in.get_bool();
+  bundle.must_fit = in.get_bool();
+  in.require_exhausted("verify bundle");
+  return bundle;
+}
+
+}  // namespace qvliw

@@ -2,6 +2,7 @@
 
 #include "ir/parser.h"
 #include "sched/ims.h"
+#include "sched/schedule.h"
 #include "workload/kernels.h"
 
 namespace qvliw {
@@ -50,8 +51,7 @@ TEST(Ims, WholeCorpusSchedulesOnPaperMachines) {
       EXPECT_GE(r.ii, r.mii.mii) << loop.name;
       EXPECT_TRUE(r.schedule.complete()) << loop.name;
       // Validators run inside ims_schedule; re-run them here explicitly.
-      EXPECT_TRUE(dependence_violations(graph, r.schedule).empty()) << loop.name;
-      EXPECT_TRUE(resource_violations(loop, machine, r.schedule).empty()) << loop.name;
+      EXPECT_TRUE(verify_schedule(loop, graph, machine, r.schedule).empty()) << loop.name;
     }
   }
 }

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "sched/ims.h"
+#include "sched/schedule.h"
 #include "workload/synth.h"
 #include "xform/copy_insert.h"
 
@@ -39,10 +40,8 @@ TEST_P(ImsProperty, ScheduleInvariantsHold) {
     EXPECT_GE(r.ii, r.mii.mii) << loop.name;
     EXPECT_GE(r.schedule.stage_count(), 1) << loop.name;
 
-    const auto dep_errors = dependence_violations(graph, r.schedule);
-    EXPECT_TRUE(dep_errors.empty()) << loop.name << ": " << (dep_errors.empty() ? "" : dep_errors[0]);
-    const auto res_errors = resource_violations(loop, machine, r.schedule);
-    EXPECT_TRUE(res_errors.empty()) << loop.name << ": " << (res_errors.empty() ? "" : res_errors[0]);
+    const auto errors = verify_schedule(loop, graph, machine, r.schedule);
+    EXPECT_TRUE(errors.empty()) << loop.name << ": " << (errors.empty() ? "" : errors[0]);
   }
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/partition.h"
+#include "sched/schedule.h"
 #include "ir/parser.h"
 #include "workload/kernels.h"
 #include "workload/synth.h"
@@ -43,8 +44,7 @@ TEST(Partition, WholeCorpusOnFourClusters) {
     const Ddg graph = Ddg::build(loop, machine.latency);
     const ImsResult r = partition_schedule(loop, graph, machine);
     ASSERT_TRUE(r.ok) << source.name << ": " << r.failure;
-    EXPECT_TRUE(dependence_violations(graph, r.schedule).empty()) << source.name;
-    EXPECT_TRUE(resource_violations(loop, machine, r.schedule).empty()) << source.name;
+    EXPECT_TRUE(verify_schedule(loop, graph, machine, r.schedule).empty()) << source.name;
     EXPECT_TRUE(communication_violations(graph, machine, r.schedule).empty()) << source.name;
   }
 }

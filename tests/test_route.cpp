@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/route.h"
+#include "sched/schedule.h"
 #include "sim/interp.h"
 #include "workload/kernels.h"
 #include "workload/synth.h"
@@ -54,7 +55,7 @@ TEST(Route, SyntheticSweepOnSixClusters) {
     ++succeeded;
     const Ddg graph = Ddg::build(r.loop, machine.latency);
     EXPECT_TRUE(communication_violations(graph, machine, r.ims.schedule).empty()) << source.name;
-    EXPECT_TRUE(dependence_violations(graph, r.ims.schedule).empty()) << source.name;
+    EXPECT_TRUE(verify_schedule(r.loop, graph, machine, r.ims.schedule).empty()) << source.name;
   }
   // The router should rescue nearly everything on 6 clusters.
   EXPECT_GE(succeeded, 13);

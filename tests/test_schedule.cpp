@@ -5,11 +5,20 @@
 #include "sched/schedule.h"
 #include "support/artifact_store.h"
 #include "support/diagnostics.h"
+#include "verify/verify.h"
 
 namespace qvliw {
 namespace {
 
 Loop two_op_loop() { return parse_loop("loop t { x = load X[i]; store Y[i], x; }"); }
+
+std::vector<std::string> messages_for(const VerifyReport& report, VerifyRule rule) {
+  std::vector<std::string> out;
+  for (const VerifyDiagnostic& d : report.diagnostics) {
+    if (d.rule == rule) out.push_back(d.message);
+  }
+  return out;
+}
 
 TEST(Schedule, BasicAccessors) {
   Schedule s(3, 2);
@@ -62,7 +71,9 @@ TEST(DependenceValidation, DetectsViolation) {
   s.set(0, {0, 0, 0});
   s.set(1, {1, 0, 0});  // too early: needs >= 2 (load latency)
   s.set(2, {5, 0, 0});
-  const auto violations = dependence_violations(graph, s);
+  const MachineConfig m = MachineConfig::single_cluster_machine(3);
+  const auto violations =
+      messages_for(verify_modulo_schedule(loop, graph, m, s), VerifyRule::kSchedDependence);
   ASSERT_FALSE(violations.empty());
   EXPECT_NE(violations[0].find("flow"), std::string::npos);
 }
@@ -74,12 +85,13 @@ TEST(DependenceValidation, LoopCarriedSlackCounts) {
   s.set(0, {0, 0, 0});
   s.set(1, {2, 0, 0});  // self edge: 2 >= 2 + 2 - 2*1 = 2 OK
   s.set(2, {4, 0, 0});
-  EXPECT_TRUE(dependence_violations(graph, s).empty());
+  const MachineConfig m = MachineConfig::single_cluster_machine(6);
+  EXPECT_FALSE(verify_modulo_schedule(loop, graph, m, s).has_rule(VerifyRule::kSchedDependence));
   Schedule bad(3, 1);  // II=1 below RecMII: self edge needs 2 <= 1
   bad.set(0, {0, 0, 0});
   bad.set(1, {2, 0, 0});
   bad.set(2, {4, 0, 0});
-  EXPECT_FALSE(dependence_violations(graph, bad).empty());
+  EXPECT_TRUE(verify_modulo_schedule(loop, graph, m, bad).has_rule(VerifyRule::kSchedDependence));
 }
 
 TEST(DependenceValidation, ReportsUnscheduled) {
@@ -87,7 +99,8 @@ TEST(DependenceValidation, ReportsUnscheduled) {
   const Ddg graph = Ddg::build(loop, LatencyModel::classic());
   Schedule s(2, 1);
   s.set(0, {0, 0, 0});
-  EXPECT_FALSE(dependence_violations(graph, s).empty());
+  const MachineConfig m = MachineConfig::single_cluster_machine(3);
+  EXPECT_TRUE(verify_modulo_schedule(loop, graph, m, s).has_rule(VerifyRule::kSchedIncomplete));
 }
 
 TEST(ResourceValidation, DetectsDoubleBooking) {
@@ -98,7 +111,9 @@ TEST(ResourceValidation, DetectsDoubleBooking) {
   s.set(1, {2, 0, 0});  // slot 0 again on the same L/S instance
   s.set(2, {4, 0, 0});
   s.set(3, {6, 0, 0});
-  const auto violations = resource_violations(loop, m, s);
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  const auto violations =
+      messages_for(verify_modulo_schedule(loop, graph, m, s), VerifyRule::kSchedResource);
   ASSERT_FALSE(violations.empty());
   EXPECT_NE(violations[0].find("double-book"), std::string::npos);
 }
@@ -111,7 +126,10 @@ TEST(ResourceValidation, AcceptsDistinctInstances) {
   s.set(1, {0, 0, 1});  // second instance
   s.set(2, {2, 0, 0});
   s.set(3, {5, 0, 0});  // store on the L/S at the other modulo slot
-  EXPECT_TRUE(resource_violations(loop, m, s).empty());
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  const VerifyReport report = verify_modulo_schedule(loop, graph, m, s);
+  EXPECT_FALSE(report.has_rule(VerifyRule::kSchedResource));
+  EXPECT_FALSE(report.has_rule(VerifyRule::kSchedPlacement));
 }
 
 TEST(ResourceValidation, DetectsBadFuIndex) {
@@ -120,7 +138,8 @@ TEST(ResourceValidation, DetectsBadFuIndex) {
   Schedule s(2, 2);
   s.set(0, {0, 0, 5});  // L/S instance 5 does not exist
   s.set(1, {2, 0, 0});
-  EXPECT_FALSE(resource_violations(loop, m, s).empty());
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  EXPECT_TRUE(verify_modulo_schedule(loop, graph, m, s).has_rule(VerifyRule::kSchedPlacement));
 }
 
 TEST(ResourceValidation, DetectsBadCluster) {
@@ -129,7 +148,8 @@ TEST(ResourceValidation, DetectsBadCluster) {
   Schedule s(2, 2);
   s.set(0, {0, 3, 0});
   s.set(1, {2, 0, 0});
-  EXPECT_FALSE(resource_violations(loop, m, s).empty());
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  EXPECT_TRUE(verify_modulo_schedule(loop, graph, m, s).has_rule(VerifyRule::kSchedPlacement));
 }
 
 TEST(Reservation, PlaceFindRemove) {

@@ -11,14 +11,15 @@ TEST(StageGraph, PlansComposeFrontAndBack) {
   const auto& back = back_stage_plan();
   const auto& full = full_stage_plan();
   ASSERT_EQ(front.size(), 3u);
-  ASSERT_EQ(back.size(), 3u);
-  ASSERT_EQ(full.size(), 6u);
+  ASSERT_EQ(back.size(), 4u);
+  ASSERT_EQ(full.size(), 7u);
   EXPECT_EQ(front[0]->name(), kStageInvariants);
   EXPECT_EQ(front[1]->name(), kStageUnroll);
   EXPECT_EQ(front[2]->name(), kStageCopyInsert);
   EXPECT_EQ(back[0]->name(), kStageSchedule);
   EXPECT_EQ(back[1]->name(), kStageQueueAlloc);
   EXPECT_EQ(back[2]->name(), kStageSim);
+  EXPECT_EQ(back[3]->name(), kStageVerify);
   for (std::size_t s = 0; s < full.size(); ++s) {
     EXPECT_EQ(full[s], s < 3 ? front[s] : back[s - 3]);
   }

@@ -1,0 +1,417 @@
+// Unit and mutation tests for the static legality verifier (src/verify).
+//
+// The mutation tests are the point: take a known-good artifact set from
+// the real pipeline, corrupt it in one targeted way, and require the
+// verifier to reject it with a diagnostic naming the violated rule.
+#include <gtest/gtest.h>
+
+#include "harness/stage.h"
+#include "harness/sweep.h"
+#include "ir/parser.h"
+#include "machine/fu.h"
+#include "support/artifact_store.h"
+#include "support/diagnostics.h"
+#include "verify/verify.h"
+#include "workload/kernels.h"
+
+namespace qvliw {
+namespace {
+
+/// Full-pipeline artifacts for one loop + machine, kept alive for
+/// mutation (run_pipeline alone discards everything but the result).
+struct Artifacts {
+  Loop loop;
+  std::shared_ptr<const Ddg> graph;
+  MachineConfig machine;
+  Schedule schedule{0, 1};
+  QueueAllocation allocation;
+  bool fits = false;
+};
+
+Artifacts prepare(const Loop& source, const MachineConfig& machine,
+                  PipelineOptions options = {}) {
+  PipelineContext ctx(source, machine, options);
+  run_stages(ctx, full_stage_plan());
+  EXPECT_TRUE(ctx.result.ok) << ctx.result.failure;
+  Artifacts a;
+  a.loop = ctx.loop;
+  a.graph = ctx.graph;
+  a.machine = machine;
+  a.schedule = ctx.sched.schedule;
+  a.allocation = ctx.allocation;
+  a.fits = ctx.result.fits_machine_queues;
+  return a;
+}
+
+Artifacts prepare_clustered(const Loop& source, int clusters) {
+  PipelineOptions options;
+  options.scheduler = SchedulerKind::kClustered;
+  return prepare(source, MachineConfig::clustered_machine(clusters), options);
+}
+
+TEST(Verify, CleanSingleClusterArtifactsPass) {
+  const Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  const VerifyReport report =
+      verify_artifacts(a.loop, *a.graph, a.machine, a.schedule, &a.allocation,
+                       /*check_fanout=*/true, a.fits);
+  EXPECT_TRUE(report.ok()) << report.summary(0);
+}
+
+TEST(Verify, CleanClusteredArtifactsPass) {
+  const Artifacts a = prepare_clustered(kernel_by_name("daxpy"), 4);
+  const VerifyReport report =
+      verify_artifacts(a.loop, *a.graph, a.machine, a.schedule, &a.allocation,
+                       /*check_fanout=*/true, a.fits);
+  EXPECT_TRUE(report.ok()) << report.summary(0);
+}
+
+// --- pass 1: DDG ----------------------------------------------------------
+
+TEST(VerifyDdg, CleanGraphPasses) {
+  const Loop loop = kernel_by_name("daxpy");
+  const Ddg graph = Ddg::build(loop, LatencyModel::classic());
+  EXPECT_TRUE(verify_ddg(loop, graph, LatencyModel::classic()).ok());
+}
+
+TEST(VerifyDdg, TamperedFlowLatencyCaught) {
+  const Loop loop = kernel_by_name("daxpy");
+  const Ddg real = Ddg::build(loop, LatencyModel::classic());
+  Ddg forged(loop.op_count());
+  bool tampered = false;
+  for (const DepEdge& edge : real.edges()) {
+    DepEdge copy = edge;
+    if (!tampered && copy.is_value_flow()) {
+      copy.latency += 1;  // claim the producer is one cycle slower
+      tampered = true;
+    }
+    forged.add_edge(copy);
+  }
+  ASSERT_TRUE(tampered);
+  const VerifyReport report = verify_ddg(loop, forged, LatencyModel::classic());
+  EXPECT_TRUE(report.has_rule(VerifyRule::kDdgFlow)) << report.summary(0);
+}
+
+TEST(VerifyDdg, DroppedMemoryEdgeCaught) {
+  // load X[i] then store X[i]: one anti dependence the graph must carry.
+  const Loop loop = parse_loop("loop t { x = load X[i]; store X[i], x; }");
+  const Ddg real = Ddg::build(loop, LatencyModel::classic());
+  Ddg forged(loop.op_count());
+  bool dropped = false;
+  for (const DepEdge& edge : real.edges()) {
+    if (!dropped && !edge.is_value_flow()) {
+      dropped = true;  // forget the memory ordering constraint
+      continue;
+    }
+    forged.add_edge(edge);
+  }
+  ASSERT_TRUE(dropped);
+  const VerifyReport report = verify_ddg(loop, forged, LatencyModel::classic());
+  EXPECT_TRUE(report.has_rule(VerifyRule::kDdgMem)) << report.summary(0);
+  EXPECT_NE(report.summary(0).find("missing"), std::string::npos);
+}
+
+// --- pass 2: schedule mutations -------------------------------------------
+
+TEST(VerifyScheduleMutation, ShiftedCycleBreaksDependence) {
+  const Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  // Drag a consumer to its producer's own cycle across a latency-carrying
+  // same-iteration edge.
+  int edge_index = -1;
+  for (int e = 0; e < a.graph->edge_count(); ++e) {
+    const DepEdge& edge = a.graph->edge(e);
+    if (edge.distance == 0 && edge.latency > 0 && edge.src != edge.dst) {
+      edge_index = e;
+      break;
+    }
+  }
+  ASSERT_GE(edge_index, 0);
+  const DepEdge& edge = a.graph->edge(edge_index);
+  Schedule bad = a.schedule;
+  Placement placement = bad.place(edge.dst);
+  placement.cycle = bad.cycle(edge.src);
+  bad.set(edge.dst, placement);
+  const VerifyReport report = verify_modulo_schedule(a.loop, *a.graph, a.machine, bad);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kSchedDependence)) << report.summary(0);
+}
+
+TEST(VerifyScheduleMutation, DoubleBookedSlotCaught) {
+  const Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  // Park one op on another same-class op's FU instance, II cycles later:
+  // the same modulo slot.
+  int first = -1;
+  int second = -1;
+  for (int i = 0; i < a.loop.op_count() && second < 0; ++i) {
+    for (int j = i + 1; j < a.loop.op_count(); ++j) {
+      if (fu_for(a.loop.ops[static_cast<std::size_t>(i)].opcode) ==
+          fu_for(a.loop.ops[static_cast<std::size_t>(j)].opcode)) {
+        first = i;
+        second = j;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(second, 0);
+  Schedule bad = a.schedule;
+  Placement clash = bad.place(first);
+  clash.cycle += bad.ii();
+  bad.set(second, clash);
+  const VerifyReport report = verify_modulo_schedule(a.loop, *a.graph, a.machine, bad);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kSchedResource)) << report.summary(0);
+  EXPECT_NE(report.summary(0).find("double-book"), std::string::npos);
+}
+
+// --- pass 3: routing ------------------------------------------------------
+
+TEST(VerifyRouting, MissingCopyTreeCaught) {
+  // Two consumers of one load with no copy tree: the queue fan-out
+  // discipline is violated exactly as if a copy had been dropped.
+  const Loop loop = parse_loop("loop t { x = load X[i]; s = fadd x, x; store Y[i], s; }");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  Schedule schedule(loop.op_count(), 2);
+  schedule.set(0, {0, 0, 0});
+  schedule.set(1, {2, 0, 0});
+  schedule.set(2, {4, 0, 0});
+  const VerifyReport strict = verify_routing(loop, graph, machine, schedule,
+                                             /*check_fanout=*/true);
+  EXPECT_TRUE(strict.has_rule(VerifyRule::kRouteFanout)) << strict.summary(0);
+  EXPECT_TRUE(verify_routing(loop, graph, machine, schedule, /*check_fanout=*/false).ok());
+}
+
+TEST(VerifyRouting, NonAdjacentFlowCaught) {
+  const Loop loop = parse_loop("loop t { x = load X[i]; store Y[i], x; }");
+  const MachineConfig machine = MachineConfig::clustered_machine(4);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+  Schedule schedule(loop.op_count(), 2);
+  schedule.set(0, {0, 0, 0});
+  schedule.set(1, {2, 2, 0});  // two ring hops away from its producer
+  const VerifyReport report = verify_routing(loop, graph, machine, schedule,
+                                             /*check_fanout=*/true);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kRouteAdjacency)) << report.summary(0);
+}
+
+// --- pass 4: queue-RF mutations -------------------------------------------
+
+TEST(VerifyQueueMutation, TamperedLifetimeCaught) {
+  Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  ASSERT_FALSE(a.allocation.lifetimes.empty());
+  a.allocation.lifetimes[0].push -= 1;
+  const VerifyReport report =
+      verify_queue_allocation(a.loop, *a.graph, a.machine, a.schedule, a.allocation, a.fits);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kQueueLifetime)) << report.summary(0);
+}
+
+TEST(VerifyQueueMutation, WrongDomainCaught) {
+  Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  ASSERT_FALSE(a.allocation.lifetimes.empty());
+  a.allocation.lifetimes[0].domain.kind = QueueDomain::Kind::kRingCw;
+  const VerifyReport report =
+      verify_queue_allocation(a.loop, *a.graph, a.machine, a.schedule, a.allocation, a.fits);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kQueueDomain)) << report.summary(0);
+}
+
+TEST(VerifyQueueMutation, InconsistentAssignmentCaught) {
+  Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  ASSERT_GE(a.allocation.queues.size(), 2u);
+  // Move one lifetime's queue_of without updating the member lists.
+  const int old_queue = a.allocation.queue_of[0];
+  a.allocation.queue_of[0] = old_queue == 0 ? 1 : 0;
+  const VerifyReport report =
+      verify_queue_allocation(a.loop, *a.graph, a.machine, a.schedule, a.allocation, a.fits);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kQueueAssignment)) << report.summary(0);
+}
+
+TEST(VerifyQueueMutation, MergedQueuesBreakFifoOrPortRule) {
+  Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  ASSERT_GE(a.allocation.lifetimes.size(), 2u);
+  // Cram every lifetime into queue 0 (consistently, so only the FIFO
+  // simulation itself can object).
+  a.allocation.queues[0].members.clear();
+  for (std::size_t l = 0; l < a.allocation.queue_of.size(); ++l) {
+    a.allocation.queue_of[l] = 0;
+    a.allocation.queues[0].members.push_back(static_cast<int>(l));
+  }
+  for (std::size_t q = 1; q < a.allocation.queues.size(); ++q) {
+    a.allocation.queues[q].members.clear();
+  }
+  const VerifyReport report =
+      verify_queue_allocation(a.loop, *a.graph, a.machine, a.schedule, a.allocation,
+                              /*must_fit=*/false);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kQueueFifo) ||
+              report.has_rule(VerifyRule::kQueuePort))
+      << report.summary(0);
+}
+
+TEST(VerifyQueueMutation, ShrunkenMachineQueuesCaught) {
+  Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  ASSERT_GT(a.allocation.total_queues(), 1);
+  MachineConfig tight = a.machine;
+  tight.clusters[0].private_queues = 1;
+  const VerifyReport report =
+      verify_queue_allocation(a.loop, *a.graph, tight, a.schedule, a.allocation,
+                              /*must_fit=*/true);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kQueueCapacity)) << report.summary(0);
+}
+
+TEST(VerifyQueueMutation, ShrunkenQueueDepthCaught) {
+  Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  MachineConfig shallow = a.machine;
+  shallow.clusters[0].queue_depth = 0;
+  const VerifyReport report =
+      verify_queue_allocation(a.loop, *a.graph, shallow, a.schedule, a.allocation,
+                              /*must_fit=*/true);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kQueueCapacity)) << report.summary(0);
+}
+
+// --- rule names -----------------------------------------------------------
+
+TEST(Verify, DiagnosticsNameTheViolatedRule) {
+  Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  a.allocation.lifetimes[0].push -= 1;
+  const VerifyReport report =
+      verify_queue_allocation(a.loop, *a.graph, a.machine, a.schedule, a.allocation, a.fits);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const VerifyDiagnostic& d : report.diagnostics) {
+    if (d.rule == VerifyRule::kQueueLifetime) {
+      EXPECT_EQ(d.message.rfind("queue-lifetime: ", 0), 0u) << d.message;
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- machine + bundle codecs ----------------------------------------------
+
+TEST(VerifyCodec, MachineRoundTrips) {
+  const MachineConfig machine = MachineConfig::clustered_machine(3);
+  BlobWriter writer;
+  serialize_machine(writer, machine);
+  const std::string bytes = writer.take();
+  BlobReader reader(bytes);
+  const MachineConfig copy = deserialize_machine(reader);
+  reader.require_exhausted("machine");
+  EXPECT_EQ(copy.name, machine.name);
+  EXPECT_EQ(copy.signature(), machine.signature());
+}
+
+TEST(VerifyCodec, BundleRoundTripsAndVerifies) {
+  const Artifacts a = prepare_clustered(kernel_by_name("daxpy"), 4);
+  VerifyBundle bundle;
+  bundle.loop = a.loop;
+  bundle.machine = a.machine;
+  bundle.schedule = a.schedule;
+  bundle.has_allocation = true;
+  bundle.allocation = a.allocation;
+  bundle.must_fit = a.fits;
+  const std::string blob = encode_verify_bundle(bundle);
+
+  const VerifyBundle copy = decode_verify_bundle(blob);
+  EXPECT_EQ(copy.loop.name, a.loop.name);
+  EXPECT_EQ(copy.schedule.ii(), a.schedule.ii());
+  EXPECT_EQ(copy.machine.signature(), a.machine.signature());
+  EXPECT_EQ(copy.allocation.total_queues(), a.allocation.total_queues());
+  const VerifyReport report = verify_bundle(copy);
+  EXPECT_TRUE(report.ok()) << report.summary(0);
+  EXPECT_EQ(encode_verify_bundle(copy), blob);
+}
+
+TEST(VerifyCodec, BundleRejectsCorruption) {
+  const Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  VerifyBundle bundle;
+  bundle.loop = a.loop;
+  bundle.machine = a.machine;
+  bundle.schedule = a.schedule;
+  const std::string blob = encode_verify_bundle(bundle);
+
+  EXPECT_THROW((void)decode_verify_bundle(std::string()), Error);
+  EXPECT_THROW((void)decode_verify_bundle(blob.substr(0, blob.size() / 2)), Error);
+  std::string flipped = blob;
+  flipped[0] ^= 0x5a;  // magic
+  EXPECT_THROW((void)decode_verify_bundle(flipped), Error);
+}
+
+TEST(VerifyCodec, TamperedBundleFailsVerification) {
+  const Artifacts a = prepare(kernel_by_name("daxpy"), MachineConfig::single_cluster_machine(6));
+  VerifyBundle bundle;
+  bundle.loop = a.loop;
+  bundle.machine = a.machine;
+  bundle.schedule = a.schedule;
+  bundle.has_allocation = true;
+  bundle.allocation = a.allocation;
+  bundle.allocation.lifetimes[0].pop += 1;
+  const VerifyBundle copy = decode_verify_bundle(encode_verify_bundle(bundle));
+  const VerifyReport report = verify_bundle(copy);
+  EXPECT_TRUE(report.has_rule(VerifyRule::kQueueLifetime)) << report.summary(0);
+}
+
+// --- pipeline + sweep wiring ----------------------------------------------
+
+TEST(VerifyStage, PolicyControlsChecking) {
+  const Loop loop = kernel_by_name("daxpy");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+
+  PipelineOptions off;
+  const LoopResult none = run_pipeline(loop, machine, off);
+  ASSERT_TRUE(none.ok) << none.failure;
+  EXPECT_FALSE(none.verify_checked);
+  EXPECT_EQ(none.verify_violations, 0);
+
+  PipelineOptions audit;
+  audit.verify = VerifyPolicy::kAudit;
+  const LoopResult audited = run_pipeline(loop, machine, audit);
+  ASSERT_TRUE(audited.ok) << audited.failure;
+  EXPECT_TRUE(audited.verify_checked);
+  EXPECT_EQ(audited.verify_violations, 0);
+
+  PipelineOptions strict;
+  strict.verify = VerifyPolicy::kStrict;
+  const LoopResult strict_result = run_pipeline(loop, machine, strict);
+  EXPECT_TRUE(strict_result.ok) << strict_result.failure;
+  EXPECT_TRUE(strict_result.verify_checked);
+}
+
+TEST(SweepVerify, FullModeChecksEveryCell) {
+  const std::vector<Loop> corpus = kernel_corpus();
+  const std::vector<Loop> loops(corpus.begin(), corpus.begin() + 6);
+  std::vector<SweepPoint> points;
+  points.push_back({"single-6", MachineConfig::single_cluster_machine(6), PipelineOptions{}});
+
+  SweepOptions options;
+  options.verify_mode = SweepVerifyMode::kFull;
+  const SweepResult sweep = SweepRunner(options).run(loops, points);
+  ASSERT_EQ(sweep.by_point.size(), 1u);
+  for (const LoopResult& r : sweep.by_point[0]) {
+    if (r.ok) EXPECT_TRUE(r.verify_checked) << r.name;
+    EXPECT_EQ(r.verify_violations, 0) << r.name;
+  }
+  EXPECT_EQ(sweep.verify_violations(), 0u);
+  EXPECT_GT(sweep.verify_checked(), 0u);
+
+  SweepOptions off;
+  const SweepResult unchecked = SweepRunner(off).run(loops, points);
+  EXPECT_EQ(unchecked.verify_checked(), 0u);
+}
+
+TEST(SweepVerify, SamplingIsDeterministic) {
+  const std::vector<Loop> corpus = kernel_corpus();
+  const std::vector<Loop> loops(corpus.begin(), corpus.begin() + 8);
+  std::vector<SweepPoint> points;
+  points.push_back({"single-6", MachineConfig::single_cluster_machine(6), PipelineOptions{}});
+
+  SweepOptions options;
+  options.verify_mode = SweepVerifyMode::kSample;
+  options.verify_sample_rate = 2;
+  const SweepResult first = SweepRunner(options).run(loops, points);
+  const SweepResult second = SweepRunner(options).run(loops, points);
+  ASSERT_EQ(first.by_point[0].size(), second.by_point[0].size());
+  for (std::size_t i = 0; i < first.by_point[0].size(); ++i) {
+    EXPECT_EQ(first.by_point[0][i].verify_checked, second.by_point[0][i].verify_checked)
+        << loops[i].name;
+  }
+  EXPECT_LE(first.verify_checked(), loops.size());
+  EXPECT_EQ(first.verify_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace qvliw

@@ -144,7 +144,7 @@ TEST(VliwSim, TamperedScheduleFailsChecks) {
       bad.set(op, placement);
     }
   }
-  EXPECT_FALSE(dependence_violations(p.graph, bad).empty());
+  EXPECT_FALSE(verify_schedule(p.loop, p.graph, p.machine, bad).empty());
 }
 
 TEST(VliwSim, RecirculatedInvariantsSimulate) {

@@ -90,6 +90,23 @@ def check(baseline, fresh, tolerance, speedup_floor=1.5):
               "(multi-threaded sweep diverged from the serial sweep)")
         return 1
 
+    # Translation validation: perf_micro runs every sweep under the strict
+    # independent verifier, so a fresh artifact must show work checked and
+    # zero violations on both the cold (cached) and warm runs.
+    for run_name in ("cached", "warm"):
+        checked = require(fresh, "fresh", run_name, "verify_checked")
+        violations = require(fresh, "fresh", run_name, "verify_violations")
+        if checked <= 0:
+            print(f"FAIL: fresh {run_name} run verified no artifacts "
+                  "(verify_checked == 0; the strict verifier did not run)")
+            return 1
+        if violations != 0:
+            print(f"FAIL: fresh {run_name} run reports {violations} legality "
+                  "violation(s) (the back end emitted an illegal artifact)")
+            return 1
+    print(f"OK: legality verifier checked {fresh['cached']['verify_checked']} cold / "
+          f"{fresh['warm']['verify_checked']} warm artifact bundles, 0 violations")
+
     # The speedup floor only means something when the run was actually
     # parallel on actual parallel hardware; the identity checks above
     # apply unconditionally.

@@ -21,7 +21,7 @@ import check_bench_regression as gate  # noqa: E402
 def bench_json(cached_lps=100.0, warm_blps=500.0, warm_rate=0.9, disk_hits=0,
                identical=True, never_worse=True, checkpoint_identical=True,
                workers=1, hardware=1, parallel_speedup=1.0,
-               parallel_identical=True):
+               parallel_identical=True, verify_checked=48, verify_violations=0):
     return {
         "results_identical": identical,
         "warm_iis_never_worse": never_worse,
@@ -37,11 +37,15 @@ def bench_json(cached_lps=100.0, warm_blps=500.0, warm_rate=0.9, disk_hits=0,
             "disk_hits": disk_hits,
             "disk_hit_rate": 0.0,
             "unroll_probe_naive_fallbacks": 0,
+            "verify_checked": verify_checked,
+            "verify_violations": verify_violations,
         },
         "warm": {
             "backend_loops_per_second": warm_blps,
             "warm_start_hit_rate": warm_rate,
             "sched_disk_hits": 0,
+            "verify_checked": verify_checked,
+            "verify_violations": verify_violations,
         },
         "checkpoint_replay": {
             "tasks_replayed": 48,
@@ -85,6 +89,31 @@ class GateVerdicts(unittest.TestCase):
         code, out = run_gate(bench_json(), fresh)
         self.assertEqual(code, 1)
         self.assertIn("fresh missing field checkpoint_results_identical", out)
+
+    def test_verify_violations_fail(self):
+        code, out = run_gate(bench_json(), bench_json(verify_violations=2))
+        self.assertEqual(code, 1)
+        self.assertIn("legality", out)
+        self.assertIn("violation", out)
+
+    def test_verify_nothing_checked_fails(self):
+        code, out = run_gate(bench_json(), bench_json(verify_checked=0))
+        self.assertEqual(code, 1)
+        self.assertIn("verify_checked == 0", out)
+
+    def test_fresh_missing_verify_counters_fails(self):
+        fresh = bench_json()
+        del fresh["warm"]["verify_checked"]
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("fresh missing field warm.verify_checked", out)
+
+    def test_warm_only_violations_fail(self):
+        fresh = bench_json()
+        fresh["warm"]["verify_violations"] = 1
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("warm run reports 1 legality", out)
 
     def test_warm_baseline_rejected(self):
         code, out = run_gate(bench_json(disk_hits=3), bench_json())
