@@ -128,6 +128,10 @@ void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
      << "    \"unroll_probe_naive_fallbacks\": " << sweep.cache.probe_fallbacks << ",\n"
      << "    \"verify_checked\": " << sweep.verify_checked() << ",\n"
      << "    \"verify_violations\": " << sweep.verify_violations() << ",\n"
+     << "    \"verify_memo_probes\": " << sweep.cache.verify_memo_probes << ",\n"
+     << "    \"verify_memo_hits\": " << sweep.cache.verify_memo_hits << ",\n"
+     << "    \"alloc_memo_probes\": " << sweep.cache.alloc_memo_probes << ",\n"
+     << "    \"alloc_memo_hits\": " << sweep.cache.alloc_memo_hits << ",\n"
      << "    \"tasks_replayed\": " << sweep.checkpoint.tasks_replayed << ",\n"
      << "    \"tasks_executed\": " << sweep.checkpoint.tasks_executed << ",\n"
      << "    \"journal_bytes\": " << sweep.checkpoint.journal_bytes << ",\n"

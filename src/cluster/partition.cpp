@@ -23,10 +23,31 @@ std::string_view cluster_heuristic_name(ClusterHeuristic heuristic) {
 RingClusterAssigner::RingClusterAssigner(const Loop& loop, const Ddg& graph,
                                          const MachineConfig& machine,
                                          ClusterHeuristic heuristic, bool strict)
-    : graph_(graph), machine_(machine), heuristic_(heuristic), strict_(strict) {
+    : machine_(machine), heuristic_(heuristic), strict_(strict) {
   check(loop.op_count() == graph.node_count(), "RingClusterAssigner: loop/DDG mismatch");
   kind_of_.reserve(loop.ops.size());
   for (const Op& op : loop.ops) kind_of_.push_back(fu_for(op.opcode));
+
+  // Flow-neighbour CSR: per op, out-edge consumers then in-edge producers,
+  // each group in edge-insertion order (counting sort over the edge list).
+  const std::size_t n = static_cast<std::size_t>(graph.node_count());
+  flow_off_.assign(n + 1, 0);
+  for (const DepEdge& edge : graph.edges()) {
+    if (!edge.is_value_flow() || edge.src == edge.dst) continue;
+    ++flow_off_[static_cast<std::size_t>(edge.src) + 1];
+    ++flow_off_[static_cast<std::size_t>(edge.dst) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) flow_off_[v + 1] += flow_off_[v];
+  flow_adj_.resize(static_cast<std::size_t>(flow_off_[n]));
+  std::vector<std::int32_t> cursor(flow_off_.begin(), flow_off_.end() - 1);
+  for (const DepEdge& edge : graph.edges()) {
+    if (!edge.is_value_flow() || edge.src == edge.dst) continue;
+    flow_adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(edge.src)]++)] = edge.dst;
+  }
+  for (const DepEdge& edge : graph.edges()) {
+    if (!edge.is_value_flow() || edge.src == edge.dst) continue;
+    flow_adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(edge.dst)]++)] = edge.src;
+  }
   reset(1);
 }
 
@@ -57,21 +78,14 @@ double RingClusterAssigner::score(int op, int cluster) const {
       // +2 for each scheduled flow neighbour in `cluster`, +1 when adjacent;
       // light pressure tie-break.
       double affinity = 0.0;
-      auto account = [&](int other) {
-        const int oc = cluster_of_[static_cast<std::size_t>(other)];
-        if (oc < 0) return;
+      for (std::int32_t idx = flow_off_[static_cast<std::size_t>(op)];
+           idx < flow_off_[static_cast<std::size_t>(op) + 1]; ++idx) {
+        const int oc = cluster_of_[static_cast<std::size_t>(flow_adj_[static_cast<std::size_t>(idx)])];
+        if (oc < 0) continue;
         const int dist = machine_.ring_distance(cluster, oc);
         if (dist == 0) affinity += 2.0;
         else if (dist == 1) affinity += 1.0;
         else affinity -= static_cast<double>(dist);  // relaxed mode: fewer hops
-      };
-      for (int e : graph_.out_edges(op)) {
-        const DepEdge& edge = graph_.edge(e);
-        if (edge.is_value_flow() && edge.dst != op) account(edge.dst);
-      }
-      for (int e : graph_.in_edges(op)) {
-        const DepEdge& edge = graph_.edge(e);
-        if (edge.is_value_flow() && edge.src != op) account(edge.src);
       }
       (void)k;
       return affinity - 0.25 * pressure;
@@ -93,17 +107,10 @@ void RingClusterAssigner::candidates(int op, std::vector<int>& out) {
 
 bool RingClusterAssigner::legal(int op, int cluster) {
   if (!strict_) return true;
-  auto reachable = [&](int other) {
-    const int oc = cluster_of_[static_cast<std::size_t>(other)];
-    return oc < 0 || machine_.ring_distance(cluster, oc) <= 1;
-  };
-  for (int e : graph_.out_edges(op)) {
-    const DepEdge& edge = graph_.edge(e);
-    if (edge.is_value_flow() && edge.dst != op && !reachable(edge.dst)) return false;
-  }
-  for (int e : graph_.in_edges(op)) {
-    const DepEdge& edge = graph_.edge(e);
-    if (edge.is_value_flow() && edge.src != op && !reachable(edge.src)) return false;
+  for (std::int32_t idx = flow_off_[static_cast<std::size_t>(op)];
+       idx < flow_off_[static_cast<std::size_t>(op) + 1]; ++idx) {
+    const int oc = cluster_of_[static_cast<std::size_t>(flow_adj_[static_cast<std::size_t>(idx)])];
+    if (oc >= 0 && machine_.ring_distance(cluster, oc) > 1) return false;
   }
   return true;
 }
@@ -111,17 +118,11 @@ bool RingClusterAssigner::legal(int op, int cluster) {
 void RingClusterAssigner::adjacency_evictions(int op, int cluster, std::vector<int>& out) {
   out.clear();
   if (!strict_) return;
-  auto collect = [&](int other) {
+  for (std::int32_t idx = flow_off_[static_cast<std::size_t>(op)];
+       idx < flow_off_[static_cast<std::size_t>(op) + 1]; ++idx) {
+    const int other = flow_adj_[static_cast<std::size_t>(idx)];
     const int oc = cluster_of_[static_cast<std::size_t>(other)];
     if (oc >= 0 && machine_.ring_distance(cluster, oc) > 1) out.push_back(other);
-  };
-  for (int e : graph_.out_edges(op)) {
-    const DepEdge& edge = graph_.edge(e);
-    if (edge.is_value_flow() && edge.dst != op) collect(edge.dst);
-  }
-  for (int e : graph_.in_edges(op)) {
-    const DepEdge& edge = graph_.edge(e);
-    if (edge.is_value_flow() && edge.src != op) collect(edge.src);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

@@ -10,6 +10,7 @@
 // degradation Fig. 6 quantifies.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,13 +50,20 @@ class RingClusterAssigner final : public ClusterAssigner {
  private:
   [[nodiscard]] double score(int op, int cluster) const;
 
-  const Ddg& graph_;
   const MachineConfig& machine_;
   ClusterHeuristic heuristic_;
   bool strict_;
   std::vector<FuKind> kind_of_;
   std::vector<int> cluster_of_;
   std::vector<std::vector<int>> load_;  // [cluster][fu kind] placed ops
+
+  // Flow-neighbour adjacency (CSR), extracted from the DDG once at
+  // construction: for each op, the other endpoints of its value-flow edges
+  // (self-dependences excluded).  Every per-op query — affinity scoring,
+  // adjacency legality, eviction collection — scans this contiguous array
+  // instead of chasing edge-id indirections into AoS DepEdge records.
+  std::vector<std::int32_t> flow_off_;
+  std::vector<std::int32_t> flow_adj_;
 };
 
 struct PartitionOptions {

@@ -23,7 +23,8 @@ namespace {
 // stale journal replayed under a new layout would resurrect results the
 // current build cannot have produced.
 // v2: LoopResult gained verify_checked/verify_violations (kShardMagic v4).
-constexpr std::uint64_t kJournalMagic = 0x514a524e4c000002ULL;  // "QJRNL" + v2
+// v3: SweepCacheStats gained the verify/alloc memo counters (kShardMagic v5).
+constexpr std::uint64_t kJournalMagic = 0x514a524e4c000003ULL;  // "QJRNL" + v3
 
 constexpr std::int32_t kTaskRecord = 1;
 constexpr std::int32_t kHeartbeatRecord = 2;

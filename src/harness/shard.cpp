@@ -16,7 +16,8 @@ namespace {
 // the same build, so version skew is an error, not a silent miss.
 // v3: CheckpointStats joined the result accounting.
 // v4: verify_checked/verify_violations joined LoopResult's semantic fields.
-constexpr std::uint64_t kShardMagic = 0x5153484152440004ULL;  // "QSHARD" + v4
+// v5: verify/alloc artifact-memo counters joined SweepCacheStats.
+constexpr std::uint64_t kShardMagic = 0x5153484152440005ULL;  // "QSHARD" + v5
 
 }  // namespace
 
@@ -114,7 +115,8 @@ void serialize_cache_stats(BlobWriter& out, const SweepCacheStats& c) {
        {c.invariant_probes, c.invariant_hits, c.unroll_probes, c.unroll_hits, c.front_probes,
         c.front_hits, c.mii_probes, c.mii_hits, c.disk_probes, c.disk_hits, c.mii_disk_probes,
         c.mii_disk_hits, c.sched_disk_probes, c.sched_disk_hits, c.warm_probes, c.warm_hits,
-        c.probe_factors, c.probe_fallbacks, c.fallback_runs}) {
+        c.probe_factors, c.probe_fallbacks, c.verify_memo_probes, c.verify_memo_hits,
+        c.alloc_memo_probes, c.alloc_memo_hits, c.fallback_runs}) {
     out.put_u64(v);
   }
 }
@@ -126,6 +128,7 @@ SweepCacheStats deserialize_cache_stats(BlobReader& in) {
         &c.front_probes, &c.front_hits, &c.mii_probes, &c.mii_hits, &c.disk_probes,
         &c.disk_hits, &c.mii_disk_probes, &c.mii_disk_hits, &c.sched_disk_probes,
         &c.sched_disk_hits, &c.warm_probes, &c.warm_hits, &c.probe_factors, &c.probe_fallbacks,
+        &c.verify_memo_probes, &c.verify_memo_hits, &c.alloc_memo_probes, &c.alloc_memo_hits,
         &c.fallback_runs}) {
     *v = in.get_u64();
   }

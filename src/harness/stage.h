@@ -17,8 +17,11 @@
 // `run_pipeline` is the degenerate case: full plan, no injected artifacts.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "harness/pipeline.h"
@@ -27,6 +30,27 @@
 #include "sched/mii.h"
 
 namespace qvliw {
+
+/// Content-hash memo of back-end artifacts, owned by one sweep task (one
+/// loop, all its owned sweep points).  Queue allocation and verification are
+/// pure functions of the artifact bundle, so each unique
+/// (loop, machine, schedule) — plus the verify flags — is computed once per
+/// task; repeats (e.g. budget-ladder points that accept the same schedule)
+/// replay the memoized outcome.  The probe/hit counters fold into
+/// SweepCacheStats before the task commits to the journal, keeping
+/// checkpoint-replay accounting identical to live execution.
+struct TaskMemo {
+  struct VerifyOutcome {
+    int violations = 0;
+    std::string summary;  // non-empty only when violations > 0
+  };
+  std::unordered_map<std::uint64_t, QueueAllocation> alloc;
+  std::unordered_map<std::uint64_t, VerifyOutcome> verify;
+  std::uint64_t alloc_probes = 0;
+  std::uint64_t alloc_hits = 0;
+  std::uint64_t verify_probes = 0;
+  std::uint64_t verify_hits = 0;
+};
 
 /// Artifact bundle flowing through the stage graph for one loop + one
 /// sweep point.
@@ -47,6 +71,14 @@ struct PipelineContext {
                                         // budget-ladder chaining (may be null)
   ImsResult sched;
   QueueAllocation allocation;
+
+  /// Optional per-task artifact memo (set by the sweep runner's cached
+  /// path).  When present, QueueAllocStage computes `artifact_key` — the
+  /// content hash of (loop, machine, schedule) for the accepted schedule —
+  /// and both allocation and verification consult the memo before
+  /// recomputing.
+  TaskMemo* memo = nullptr;
+  std::uint64_t artifact_key = 0;
 
   LoopResult result;
 };

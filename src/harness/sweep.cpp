@@ -54,6 +54,10 @@ SweepCacheStats& SweepCacheStats::operator+=(const SweepCacheStats& other) {
   warm_hits += other.warm_hits;
   probe_factors += other.probe_factors;
   probe_fallbacks += other.probe_fallbacks;
+  verify_memo_probes += other.verify_memo_probes;
+  verify_memo_hits += other.verify_memo_hits;
+  alloc_memo_probes += other.alloc_memo_probes;
+  alloc_memo_hits += other.alloc_memo_hits;
   fallback_runs += other.fallback_runs;
   return *this;
 }
@@ -415,10 +419,14 @@ FrontEntry& front_for(const Loop& source, const SweepPoint& point, const SweepPr
     const Clock::time_point start = Clock::now();
     entry.factor = unrolled.factor;
     if (point.options.insert_copies) {
-      CopyInsertResult copies = insert_copies(*unrolled.loop, point.options.copy_shape);
-      entry.copies = copies.copies_added;
-      entry.loop = std::move(copies.loop);
-      entry.graph = std::make_shared<const Ddg>(Ddg::build(entry.loop, point.machine.latency));
+      // Fused rewrite + incremental DDG derivation (see
+      // insert_copies_with_graph): same loop and graph as the two-step
+      // path, without recomputing memory dependences on the bigger loop.
+      CopyInsertWithGraph fused =
+          insert_copies_with_graph(*unrolled.loop, point.machine.latency, point.options.copy_shape);
+      entry.copies = fused.rewrite.copies_added;
+      entry.loop = std::move(fused.rewrite.loop);
+      entry.graph = std::make_shared<const Ddg>(std::move(fused.graph));
     } else {
       entry.loop = *unrolled.loop;
       // No copies inserted: the probe's DDG (same loop, same latencies) is
@@ -746,6 +754,7 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
     std::vector<char> owned(points.size(), 0);
     for (const std::size_t p : task.point_indices) owned[p] = 1;
     LoopCache cache;
+    TaskMemo memo;  // back-end artifact memo: one verify/alloc per unique bundle
     SweepCacheStats local_stats;
     FrontSeconds local_seconds{};
     const std::uint64_t loop_hash = persist ? loops[i].content_hash() : 0;
@@ -778,6 +787,7 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
                                         local_stats, local_seconds);
           if (front.ok) {
             PipelineContext ctx(loops[i], point.machine, *cell_options);
+            ctx.memo = &memo;
             ctx.loop = front.loop;
             ctx.graph = front.graph;
             ctx.result.unroll_factor = front.factor;
@@ -858,6 +868,13 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
       if (!produced) out = run_pipeline(loops[i], point.machine, *cell_options);
       sweep.by_point[p][i] = std::move(out);
     }
+
+    // Fold the memo counters into the task's stats *before* the journal
+    // payload is built, so checkpoint replay restores identical accounting.
+    local_stats.verify_memo_probes += memo.verify_probes;
+    local_stats.verify_memo_hits += memo.verify_hits;
+    local_stats.alloc_memo_probes += memo.alloc_probes;
+    local_stats.alloc_memo_hits += memo.alloc_hits;
 
     TaskCommit commit;
     commit.task_id = i;

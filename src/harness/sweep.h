@@ -86,6 +86,15 @@ struct SweepCacheStats {
   /// path because the incremental fast path could not be exact.
   std::uint64_t probe_factors = 0, probe_fallbacks = 0;
 
+  /// Back-end artifact memo (harness/stage.h TaskMemo): queue allocation
+  /// and verification keyed by the content hash of the accepted
+  /// (loop, machine, schedule) bundle, scoped to one task.  A verify hit
+  /// means an identical artifact bundle was verified earlier in the same
+  /// task (typically budget-ladder points accepting the same schedule) and
+  /// the verdict was replayed instead of re-simulating the FIFOs.
+  std::uint64_t verify_memo_probes = 0, verify_memo_hits = 0;
+  std::uint64_t alloc_memo_probes = 0, alloc_memo_hits = 0;
+
   /// Cached runs that abandoned the cached path entirely and re-ran the
   /// monolithic pipeline (exception escape hatch; 0 in normal operation —
   /// cached front-end *failures* are replayed from the cache, not re-run).

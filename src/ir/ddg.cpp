@@ -46,7 +46,12 @@ const std::vector<int>& Ddg::in_edges(int node) const {
 
 Ddg Ddg::build(const Loop& loop, const LatencyModel& lat) {
   loop.validate();
+  return build_from(loop, lat, memory_dependences(loop));
+}
+
+Ddg Ddg::build_from(const Loop& loop, const LatencyModel& lat, const std::vector<MemDep>& memdeps) {
   Ddg graph(loop.op_count());
+  graph.edges_.reserve(static_cast<std::size_t>(loop.value_use_count()) + memdeps.size());
 
   for (int u = 0; u < loop.op_count(); ++u) {
     const Op& op = loop.ops[static_cast<std::size_t>(u)];
@@ -65,7 +70,7 @@ Ddg Ddg::build(const Loop& loop, const LatencyModel& lat) {
     }
   }
 
-  for (const MemDep& dep : memory_dependences(loop)) {
+  for (const MemDep& dep : memdeps) {
     DepEdge edge;
     edge.src = dep.src;
     edge.dst = dep.dst;
@@ -86,6 +91,52 @@ Ddg Ddg::build(const Loop& loop, const LatencyModel& lat) {
   }
 
   return graph;
+}
+
+DdgFlat DdgFlat::from(const Ddg& graph) {
+  DdgFlat flat;
+  flat.node_count = graph.node_count();
+  const int edges = graph.edge_count();
+  const std::size_t n = static_cast<std::size_t>(flat.node_count);
+  const std::size_t m = static_cast<std::size_t>(edges);
+
+  flat.src.resize(m);
+  flat.dst.resize(m);
+  flat.latency.resize(m);
+  flat.distance.resize(m);
+  flat.kind.resize(m);
+  flat.dst_arg.resize(m);
+  flat.out_off.assign(n + 1, 0);
+  flat.in_off.assign(n + 1, 0);
+  flat.out_ids.resize(m);
+  flat.in_ids.resize(m);
+
+  for (int e = 0; e < edges; ++e) {
+    const DepEdge& edge = graph.edge(e);
+    const std::size_t i = static_cast<std::size_t>(e);
+    flat.src[i] = edge.src;
+    flat.dst[i] = edge.dst;
+    flat.latency[i] = edge.latency;
+    flat.distance[i] = edge.distance;
+    flat.kind[i] = edge.kind;
+    flat.dst_arg[i] = edge.dst_arg;
+    ++flat.out_off[static_cast<std::size_t>(edge.src) + 1];
+    ++flat.in_off[static_cast<std::size_t>(edge.dst) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    flat.out_off[v + 1] += flat.out_off[v];
+    flat.in_off[v + 1] += flat.in_off[v];
+  }
+  // Fill in ascending edge-id order: the per-node lists end up in the same
+  // insertion order Ddg keeps in out_/in_.
+  std::vector<std::int32_t> out_cursor(flat.out_off.begin(), flat.out_off.end() - 1);
+  std::vector<std::int32_t> in_cursor(flat.in_off.begin(), flat.in_off.end() - 1);
+  for (int e = 0; e < edges; ++e) {
+    const std::size_t i = static_cast<std::size_t>(e);
+    flat.out_ids[static_cast<std::size_t>(out_cursor[static_cast<std::size_t>(flat.src[i])]++)] = e;
+    flat.in_ids[static_cast<std::size_t>(in_cursor[static_cast<std::size_t>(flat.dst[i])]++)] = e;
+  }
+  return flat;
 }
 
 }  // namespace qvliw

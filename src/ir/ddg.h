@@ -44,6 +44,12 @@ class Ddg {
   /// Builds the complete DDG (register flow + memory order) of `loop`.
   [[nodiscard]] static Ddg build(const Loop& loop, const LatencyModel& lat);
 
+  /// Builds the DDG from an already-validated loop and precomputed memory
+  /// dependences.  Edge order is identical to build(): flow edges in
+  /// (dst op, operand slot) order, then `memdeps` in the given order.
+  [[nodiscard]] static Ddg build_from(const Loop& loop, const LatencyModel& lat,
+                                      const std::vector<MemDep>& memdeps);
+
   [[nodiscard]] int node_count() const { return node_count_; }
   [[nodiscard]] int edge_count() const { return static_cast<int>(edges_.size()); }
   [[nodiscard]] const std::vector<DepEdge>& edges() const { return edges_; }
@@ -68,6 +74,53 @@ class Ddg {
   std::vector<DepEdge> edges_;
   std::vector<std::vector<int>> out_;
   std::vector<std::vector<int>> in_;
+};
+
+/// Structure-of-arrays mirror of a Ddg with CSR adjacency.  Edge ids are
+/// identical to the source Ddg's, so `Lifetime.edge` and any diagnostic that
+/// names an edge index means the same thing in both representations.  The
+/// per-node id lists preserve the Ddg's insertion order (ids ascend within a
+/// node).  Hot inner loops (IMS placement, cluster scoring, queue lifetime
+/// extraction, FIFO verification) iterate these contiguous arrays instead of
+/// chasing vector<vector<int>> + AoS DepEdge pointers.
+struct DdgFlat {
+  int node_count = 0;
+
+  // Per-edge arrays, indexed by Ddg edge id.
+  std::vector<std::int32_t> src;
+  std::vector<std::int32_t> dst;
+  std::vector<std::int32_t> latency;
+  std::vector<std::int32_t> distance;
+  std::vector<DepKind> kind;
+  std::vector<std::int32_t> dst_arg;
+
+  // CSR adjacency: edge ids leaving node n are out_ids[out_off[n]..out_off[n+1]).
+  std::vector<std::int32_t> out_off;
+  std::vector<std::int32_t> out_ids;
+  std::vector<std::int32_t> in_off;
+  std::vector<std::int32_t> in_ids;
+
+  struct IdRange {
+    const std::int32_t* first;
+    const std::int32_t* last;
+    [[nodiscard]] const std::int32_t* begin() const { return first; }
+    [[nodiscard]] const std::int32_t* end() const { return last; }
+  };
+
+  [[nodiscard]] static DdgFlat from(const Ddg& graph);
+
+  [[nodiscard]] int edge_count() const { return static_cast<int>(src.size()); }
+  [[nodiscard]] IdRange out(int node) const {
+    return {out_ids.data() + out_off[static_cast<std::size_t>(node)],
+            out_ids.data() + out_off[static_cast<std::size_t>(node) + 1]};
+  }
+  [[nodiscard]] IdRange in(int node) const {
+    return {in_ids.data() + in_off[static_cast<std::size_t>(node)],
+            in_ids.data() + in_off[static_cast<std::size_t>(node) + 1]};
+  }
+  [[nodiscard]] bool is_value_flow(int e) const {
+    return kind[static_cast<std::size_t>(e)] == DepKind::kFlow;
+  }
 };
 
 }  // namespace qvliw

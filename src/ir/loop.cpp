@@ -166,53 +166,66 @@ std::uint64_t Loop::content_hash() const {
 }
 
 void Loop::validate() const {
-  check(stride >= 1, cat("loop '", name, "': stride must be >= 1"));
-  check(trip_hint >= 1, cat("loop '", name, "': trip_hint must be >= 1"));
+  // Hot path: validate() runs on every success of every transform, so the
+  // diagnostic strings must only be materialised on the (cold) failure
+  // branches — `fail(cat(...))` instead of eager `check(cond, cat(...))`.
+  if (stride < 1) fail(cat("loop '", name, "': stride must be >= 1"));
+  if (trip_hint < 1) fail(cat("loop '", name, "': trip_hint must be >= 1"));
 
-  std::unordered_set<std::string> names;
+  std::unordered_set<std::string_view> names;
+  names.reserve(ops.size());
   for (int i = 0; i < op_count(); ++i) {
     const Op& op = ops[static_cast<std::size_t>(i)];
-    const std::string where = cat("loop '", name, "', op #", i, " (", opcode_name(op.opcode), ")");
+    const auto where = [&] {
+      return cat("loop '", name, "', op #", i, " (", opcode_name(op.opcode), ")");
+    };
 
     if (op.defines_value()) {
-      check(!op.name.empty(), cat(where, ": value-defining op needs a name"));
-      check(names.insert(op.name).second, cat(where, ": duplicate value name '", op.name, "'"));
+      if (op.name.empty()) fail(cat(where(), ": value-defining op needs a name"));
+      if (!names.insert(op.name).second) {
+        fail(cat(where(), ": duplicate value name '", op.name, "'"));
+      }
     } else {
-      check(op.name.empty(), cat(where, ": store must not name a result"));
+      if (!op.name.empty()) fail(cat(where(), ": store must not name a result"));
     }
 
-    check(static_cast<int>(op.args.size()) == operand_count(op.opcode),
-          cat(where, ": expected ", operand_count(op.opcode), " operands, got ", op.args.size()));
+    if (static_cast<int>(op.args.size()) != operand_count(op.opcode)) {
+      fail(cat(where(), ": expected ", operand_count(op.opcode), " operands, got ",
+               op.args.size()));
+    }
 
     if (is_memory(op.opcode)) {
-      check(op.array >= 0 && op.array < static_cast<int>(arrays.size()),
-            cat(where, ": memory op with invalid array index"));
+      if (op.array < 0 || op.array >= static_cast<int>(arrays.size())) {
+        fail(cat(where(), ": memory op with invalid array index"));
+      }
     } else {
-      check(op.array == -1, cat(where, ": non-memory op must not reference an array"));
+      if (op.array != -1) fail(cat(where(), ": non-memory op must not reference an array"));
     }
 
-    check(op.init_invariant >= -1 && op.init_invariant < static_cast<int>(invariants.size()),
-          cat(where, ": init_invariant out of range"));
+    if (op.init_invariant < -1 || op.init_invariant >= static_cast<int>(invariants.size())) {
+      fail(cat(where(), ": init_invariant out of range"));
+    }
 
     for (std::size_t a = 0; a < op.args.size(); ++a) {
       const Operand& arg = op.args[a];
       switch (arg.kind) {
         case Operand::Kind::kValue: {
-          check(arg.value_op >= 0 && arg.value_op < op_count(),
-                cat(where, ": operand ", a, " references op out of range"));
+          if (arg.value_op < 0 || arg.value_op >= op_count()) {
+            fail(cat(where(), ": operand ", a, " references op out of range"));
+          }
           const Op& def = ops[static_cast<std::size_t>(arg.value_op)];
-          check(def.defines_value(), cat(where, ": operand ", a, " references a store"));
-          check(arg.distance >= 0, cat(where, ": operand ", a, " has negative distance"));
-          if (arg.distance == 0) {
-            check(arg.value_op < i,
-                  cat(where, ": operand ", a, " uses '", def.name,
-                      "' at distance 0 before it is defined"));
+          if (!def.defines_value()) fail(cat(where(), ": operand ", a, " references a store"));
+          if (arg.distance < 0) fail(cat(where(), ": operand ", a, " has negative distance"));
+          if (arg.distance == 0 && arg.value_op >= i) {
+            fail(cat(where(), ": operand ", a, " uses '", def.name,
+                     "' at distance 0 before it is defined"));
           }
           break;
         }
         case Operand::Kind::kInvariant:
-          check(arg.invariant >= 0 && arg.invariant < static_cast<int>(invariants.size()),
-                cat(where, ": operand ", a, " references invalid invariant"));
+          if (arg.invariant < 0 || arg.invariant >= static_cast<int>(invariants.size())) {
+            fail(cat(where(), ": operand ", a, " references invalid invariant"));
+          }
           break;
         case Operand::Kind::kImmediate:
         case Operand::Kind::kIndex:

@@ -1,6 +1,7 @@
 #include "qrf/queue_alloc.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "qrf/qcompat.h"
 #include "support/diagnostics.h"
@@ -76,6 +77,17 @@ QueueAllocation allocate_queues(const Loop& loop, const Ddg& graph, const Machin
   allocation.lifetimes = extract_lifetimes(loop, graph, machine, schedule);
   allocation.queue_of.assign(allocation.lifetimes.size(), -1);
 
+  // Flat (push, pop) mirrors of the lifetimes: the compatibility scans and
+  // the occupancy analysis below touch only these two ints per lifetime,
+  // so they iterate contiguous arrays instead of the full Lifetime records.
+  const std::size_t count = allocation.lifetimes.size();
+  std::vector<std::int32_t> push(count);
+  std::vector<std::int32_t> pop(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    push[i] = allocation.lifetimes[i].push;
+    pop[i] = allocation.lifetimes[i].pop;
+  }
+
   // Stable processing order: by domain, then push time, then pop, then edge.
   std::vector<int> order(allocation.lifetimes.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
@@ -97,7 +109,9 @@ QueueAllocation allocate_queues(const Loop& loop, const Ddg& graph, const Machin
       if (queue.domain != lt.domain) continue;
       bool fits = true;
       for (int member : queue.members) {
-        if (!q_compatible(allocation.lifetimes[static_cast<std::size_t>(member)], lt, ii)) {
+        const std::size_t m = static_cast<std::size_t>(member);
+        if (!q_compatible(push[m], pop[m], push[static_cast<std::size_t>(lt_index)],
+                          pop[static_cast<std::size_t>(lt_index)], ii)) {
           fits = false;
           break;
         }
@@ -126,14 +140,14 @@ QueueAllocation allocate_queues(const Loop& loop, const Ddg& graph, const Machin
   for (AllocatedQueue& queue : allocation.queues) {
     long long t0 = 0;
     for (int member : queue.members) {
-      t0 = std::max<long long>(t0, allocation.lifetimes[static_cast<std::size_t>(member)].pop);
+      t0 = std::max<long long>(t0, pop[static_cast<std::size_t>(member)]);
     }
     int best = 0;
     for (int phase = 0; phase < ii; ++phase) {
       int live = 0;
       for (int member : queue.members) {
-        const Lifetime& lt = allocation.lifetimes[static_cast<std::size_t>(member)];
-        live += live_instances(lt.push, lt.pop, ii, t0 + phase);
+        const std::size_t m = static_cast<std::size_t>(member);
+        live += live_instances(push[m], pop[m], ii, t0 + phase);
       }
       best = std::max(best, live);
     }

@@ -13,13 +13,15 @@ namespace qvliw {
 
 namespace {
 
-/// One II attempt of the iterative scheme.
+/// One II attempt of the iterative scheme.  Dependence scans (earliest
+/// start, post-placement eviction) iterate the flat CSR mirror of the DDG,
+/// which is built once per ims_schedule call and shared across attempts.
 class Attempt {
  public:
-  Attempt(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
+  Attempt(const Loop& loop, const Ddg& graph, const DdgFlat& flat, const MachineConfig& machine,
           ClusterAssigner& assigner, int ii, int budget_ratio, ImsStats& stats)
       : loop_(loop),
-        graph_(graph),
+        flat_(flat),
         assigner_(assigner),
         ii_(ii),
         stats_(stats),
@@ -29,7 +31,7 @@ class Attempt {
         prev_cycle_(static_cast<std::size_t>(graph.node_count()), -1),
         budget_(static_cast<long long>(budget_ratio) * graph.node_count()) {
     assigner_.reset(ii);
-    for (int op = 0; op < graph_.node_count(); ++op) ready_.insert(key(op));
+    for (int op = 0; op < flat_.node_count; ++op) ready_.insert(key(op));
   }
 
   bool run() {
@@ -56,12 +58,12 @@ class Attempt {
   /// Earliest start from currently scheduled predecessors.
   [[nodiscard]] int earliest_start(int op) const {
     int estart = 0;
-    for (int e : graph_.in_edges(op)) {
-      const DepEdge& edge = graph_.edge(e);
-      if (edge.src == op) continue;  // self-dependence never binds (lat <= ii*dist at ii >= RecMII)
-      if (!schedule_.scheduled(edge.src)) continue;
-      estart = std::max(estart,
-                        schedule_.cycle(edge.src) + edge.latency - ii_ * edge.distance);
+    for (const std::int32_t e : flat_.in(op)) {
+      const int src = flat_.src[static_cast<std::size_t>(e)];
+      if (src == op) continue;  // self-dependence never binds (lat <= ii*dist at ii >= RecMII)
+      if (!schedule_.scheduled(src)) continue;
+      estart = std::max(estart, schedule_.cycle(src) + flat_.latency[static_cast<std::size_t>(e)] -
+                                    ii_ * flat_.distance[static_cast<std::size_t>(e)]);
     }
     return estart;
   }
@@ -143,18 +145,20 @@ class Attempt {
 
     // Displace scheduled neighbours whose dependence constraints broke.
     evictions_.clear();
-    for (int e : graph_.out_edges(op)) {
-      const DepEdge& edge = graph_.edge(e);
-      if (edge.dst == op || !schedule_.scheduled(edge.dst)) continue;
-      if (schedule_.cycle(edge.dst) < chosen_cycle + edge.latency - ii_ * edge.distance) {
-        evictions_.push_back(edge.dst);
+    for (const std::int32_t e : flat_.out(op)) {
+      const std::size_t i = static_cast<std::size_t>(e);
+      const int dst = flat_.dst[i];
+      if (dst == op || !schedule_.scheduled(dst)) continue;
+      if (schedule_.cycle(dst) < chosen_cycle + flat_.latency[i] - ii_ * flat_.distance[i]) {
+        evictions_.push_back(dst);
       }
     }
-    for (int e : graph_.in_edges(op)) {
-      const DepEdge& edge = graph_.edge(e);
-      if (edge.src == op || !schedule_.scheduled(edge.src)) continue;
-      if (chosen_cycle < schedule_.cycle(edge.src) + edge.latency - ii_ * edge.distance) {
-        evictions_.push_back(edge.src);
+    for (const std::int32_t e : flat_.in(op)) {
+      const std::size_t i = static_cast<std::size_t>(e);
+      const int src = flat_.src[i];
+      if (src == op || !schedule_.scheduled(src)) continue;
+      if (chosen_cycle < schedule_.cycle(src) + flat_.latency[i] - ii_ * flat_.distance[i]) {
+        evictions_.push_back(src);
       }
     }
     // And neighbours whose value paths are no longer cluster-reachable.
@@ -164,7 +168,7 @@ class Attempt {
   }
 
   const Loop& loop_;
-  const Ddg& graph_;
+  const DdgFlat& flat_;
   ClusterAssigner& assigner_;
   const int ii_;
   ImsStats& stats_;
@@ -214,6 +218,9 @@ ImsResult ims_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& 
                            seed->schedule.ii() == seed->ii &&
                            verify_schedule(loop, graph, machine, seed->schedule).empty();
 
+  // One flat mirror serves every II attempt of this call.
+  const DdgFlat flat = DdgFlat::from(graph);
+
   for (int ii = first_ii; ii <= last_ii; ++ii) {
     if (result.stats.ii_attempts >= options.max_ii_attempts) break;
     ++result.stats.ii_attempts;
@@ -227,7 +234,7 @@ ImsResult ims_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& 
       result.warm_started = true;
       return result;
     }
-    Attempt attempt(loop, graph, machine, strategy, ii, options.budget_ratio, result.stats);
+    Attempt attempt(loop, graph, flat, machine, strategy, ii, options.budget_ratio, result.stats);
     if (!attempt.run()) continue;
     result.schedule = attempt.take_schedule();
     result.ii = ii;

@@ -111,12 +111,18 @@ bool shapes_agree(const Loop& loop, const Ddg& graph, const Schedule& schedule,
 /// affine reference model alone: A[stride*i + off_a] and
 /// A[stride*i + off_b] touch the same element exactly when the offsets
 /// differ by a whole number of strides, and that number is the distance.
+/// Returned sorted by (src, dst, distance) — lookups binary-search the flat
+/// array, and the "missing edge" sweep reports in the same order the old
+/// std::map-based implementation iterated.
 struct ExpectedMemDep {
+  int src = -1;
+  int dst = -1;
+  int distance = 0;
   DepKind kind = DepKind::kMemFlow;
   bool seen = false;
 };
-std::map<std::tuple<int, int, int>, ExpectedMemDep> expected_memory_edges(const Loop& loop) {
-  std::map<std::tuple<int, int, int>, ExpectedMemDep> expected;
+std::vector<ExpectedMemDep> expected_memory_edges(const Loop& loop) {
+  std::vector<ExpectedMemDep> expected;
   std::vector<int> mem_ops;
   for (int i = 0; i < loop.op_count(); ++i) {
     if (is_memory(loop.ops[static_cast<std::size_t>(i)].opcode)) mem_ops.push_back(i);
@@ -144,10 +150,29 @@ std::map<std::tuple<int, int, int>, ExpectedMemDep> expected_memory_edges(const 
       const bool dst_store = loop.ops[static_cast<std::size_t>(dst)].opcode == Opcode::kStore;
       DepKind kind = DepKind::kMemAnti;
       if (src_store) kind = dst_store ? DepKind::kMemOutput : DepKind::kMemFlow;
-      expected[{src, dst, distance}] = {kind, false};
+      // Each (src, dst, distance) key arises from exactly one (a, b) pair
+      // — (src, dst) determines the pair — so append-then-sort never
+      // produces duplicates.
+      expected.push_back({src, dst, distance, kind, false});
     }
   }
+  std::sort(expected.begin(), expected.end(), [](const ExpectedMemDep& p, const ExpectedMemDep& q) {
+    return std::tie(p.src, p.dst, p.distance) < std::tie(q.src, q.dst, q.distance);
+  });
   return expected;
+}
+
+ExpectedMemDep* find_expected_mem(std::vector<ExpectedMemDep>& expected, int src, int dst,
+                                  int distance) {
+  const auto it = std::lower_bound(
+      expected.begin(), expected.end(), std::make_tuple(src, dst, distance),
+      [](const ExpectedMemDep& e, const std::tuple<int, int, int>& key) {
+        return std::tie(e.src, e.dst, e.distance) < key;
+      });
+  if (it == expected.end() || it->src != src || it->dst != dst || it->distance != distance) {
+    return nullptr;
+  }
+  return &*it;
 }
 
 /// Queue domain a flow between two placed clusters must live in,
@@ -263,24 +288,24 @@ VerifyReport verify_ddg(const Loop& loop, const Ddg& graph, const LatencyModel& 
                        " outside [0, ", kMemDepMaxDistance, "]"));
         continue;
       }
-      auto it = expected_mem.find({edge.src, edge.dst, edge.distance});
-      if (it == expected_mem.end()) {
+      ExpectedMemDep* want = find_expected_mem(expected_mem, edge.src, edge.dst, edge.distance);
+      if (want == nullptr) {
         report.add(VerifyRule::kDdgMem,
                    cat("memory ", dep_kind_name(edge.kind), " edge ", edge.src, "->", edge.dst,
                        " @", edge.distance, " has no aliasing justification"));
         continue;
       }
-      if (it->second.seen) {
+      if (want->seen) {
         report.add(VerifyRule::kDdgMem, cat("duplicate memory edge ", edge.src, "->", edge.dst,
                                             " @", edge.distance));
         continue;
       }
-      it->second.seen = true;
-      if (it->second.kind != edge.kind) {
+      want->seen = true;
+      if (want->kind != edge.kind) {
         report.add(VerifyRule::kDdgMem,
                    cat("memory edge ", edge.src, "->", edge.dst, " @", edge.distance,
                        " labelled ", dep_kind_name(edge.kind), ", opcodes imply ",
-                       dep_kind_name(it->second.kind)));
+                       dep_kind_name(want->kind)));
       }
     }
   }
@@ -294,11 +319,10 @@ VerifyReport verify_ddg(const Loop& loop, const Ddg& graph, const LatencyModel& 
       }
     }
   }
-  for (const auto& [key, dep] : expected_mem) {
+  for (const ExpectedMemDep& dep : expected_mem) {
     if (!dep.seen) {
-      report.add(VerifyRule::kDdgMem,
-                 cat("missing memory ", dep_kind_name(dep.kind), " edge ", std::get<0>(key),
-                     "->", std::get<1>(key), " @", std::get<2>(key)));
+      report.add(VerifyRule::kDdgMem, cat("missing memory ", dep_kind_name(dep.kind), " edge ",
+                                          dep.src, "->", dep.dst, " @", dep.distance));
     }
   }
   return report;
@@ -312,8 +336,17 @@ VerifyReport verify_modulo_schedule(const Loop& loop, const Ddg& graph,
 
   // Completeness + placement ranges, then conflict freedom on a freshly
   // built modulo occupancy map (one owner per (cluster, class, instance,
-  // cycle mod II) slot).
-  std::map<std::tuple<int, FuKind, int, int>, int> slot_owner;
+  // cycle mod II) slot) — a dense array over the machine's slot space,
+  // indexed only after the placement checks passed.
+  int max_fu = 1;
+  for (int c = 0; c < machine.cluster_count(); ++c) {
+    for (int k = 0; k < kNumFuKinds; ++k) {
+      max_fu = std::max(max_fu, machine.fu_count(c, static_cast<FuKind>(k)));
+    }
+  }
+  std::vector<int> slot_owner(static_cast<std::size_t>(machine.cluster_count()) * kNumFuKinds *
+                                  static_cast<std::size_t>(max_fu) * static_cast<std::size_t>(ii),
+                              -1);
   for (int i = 0; i < loop.op_count(); ++i) {
     if (!schedule.scheduled(i)) {
       report.add(VerifyRule::kSchedIncomplete, cat(op_label(loop, i), " has no placement"));
@@ -341,12 +374,19 @@ VerifyReport verify_modulo_schedule(const Loop& loop, const Ddg& graph,
     }
     if (!placed_ok) continue;
     const int slot = at.cycle % ii;
-    auto [it, inserted] = slot_owner.try_emplace({at.cluster, kind, at.fu, slot}, i);
-    if (!inserted) {
+    const std::size_t index =
+        ((static_cast<std::size_t>(at.cluster) * kNumFuKinds + static_cast<std::size_t>(kind)) *
+             static_cast<std::size_t>(max_fu) +
+         static_cast<std::size_t>(at.fu)) *
+            static_cast<std::size_t>(ii) +
+        static_cast<std::size_t>(slot);
+    if (slot_owner[index] >= 0) {
       report.add(VerifyRule::kSchedResource,
-                 cat(op_label(loop, i), " and ", op_label(loop, it->second), " double-book ",
-                     fu_kind_name(kind), " instance ", at.fu, " of cluster ", at.cluster,
-                     " at modulo slot ", slot));
+                 cat(op_label(loop, i), " and ", op_label(loop, slot_owner[index]),
+                     " double-book ", fu_kind_name(kind), " instance ", at.fu, " of cluster ",
+                     at.cluster, " at modulo slot ", slot));
+    } else {
+      slot_owner[index] = i;
     }
   }
 
@@ -581,7 +621,12 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
                std::tie(b.time, b.is_pop, b.lifetime, b.instance);
       });
 
-      std::vector<std::pair<int, long long>> fifo;  // (lifetime, instance), front first
+      // The FIFO is an append-only buffer with a head cursor (values are
+      // never shifted; a pop just advances the head), so the whole replay
+      // is linear in the event count.
+      std::vector<std::pair<int, long long>> fifo;  // (lifetime, instance)
+      fifo.reserve(events.size() / 2 + 1);
+      std::size_t head = 0;
       long long last_push_cycle = -1;
       long long last_pop_cycle = -1;
       bool queue_ok = true;
@@ -598,8 +643,9 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
           }
           last_push_cycle = event.time;
           fifo.emplace_back(event.lifetime, event.instance);
-          sim_occupancy[static_cast<std::size_t>(q)] = std::max(
-              sim_occupancy[static_cast<std::size_t>(q)], static_cast<int>(fifo.size()));
+          sim_occupancy[static_cast<std::size_t>(q)] =
+              std::max(sim_occupancy[static_cast<std::size_t>(q)],
+                       static_cast<int>(fifo.size() - head));
         } else {
           if (event.time == last_pop_cycle) {
             report.add(VerifyRule::kQueuePort,
@@ -608,23 +654,23 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
             break;
           }
           last_pop_cycle = event.time;
-          if (fifo.empty()) {
+          if (head == fifo.size()) {
             report.add(VerifyRule::kQueueFifo,
                        cat("queue ", q, ": pop of lifetime ", event.lifetime, " instance ",
                            event.instance, " at cycle ", event.time, " finds the queue empty"));
             queue_ok = false;
             break;
           }
-          if (fifo.front() != std::make_pair(event.lifetime, event.instance)) {
+          if (fifo[head] != std::make_pair(event.lifetime, event.instance)) {
             report.add(
                 VerifyRule::kQueueFifo,
                 cat("queue ", q, ": pop at cycle ", event.time, " expects lifetime ",
                     event.lifetime, " instance ", event.instance, " but lifetime ",
-                    fifo.front().first, " instance ", fifo.front().second, " is at the front"));
+                    fifo[head].first, " instance ", fifo[head].second, " is at the front"));
             queue_ok = false;
             break;
           }
-          fifo.erase(fifo.begin());
+          ++head;
         }
       }
     }

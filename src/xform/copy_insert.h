@@ -12,10 +12,18 @@
 // Uses at iteration distance d keep their distance: a copy executes in the
 // same iteration as its source, so `u` reading `v@d` becomes `u` reading
 // `leaf@d`.
+//
+// The planner is fully analytic: per-value consumer counts determine every
+// tree size (a capacity-c producer with n > c uses costs n - c copies for
+// c == 2, n - 1 for c == 1), so the rewritten loop's layout — op_map and
+// total op count — is known before any op is materialised and the rewrite
+// is a single arena-backed pass with no intermediate Loop copies or
+// per-node map lookups.
 #pragma once
 
 #include <vector>
 
+#include "ir/ddg.h"
 #include "ir/loop.h"
 
 namespace qvliw {
@@ -37,6 +45,21 @@ struct CopyInsertResult {
 /// Idempotent on already-conforming loops.
 [[nodiscard]] CopyInsertResult insert_copies(const Loop& loop,
                                              CopyTreeShape shape = CopyTreeShape::kBalanced);
+
+struct CopyInsertWithGraph {
+  CopyInsertResult rewrite;
+  Ddg graph;
+};
+
+/// Fused rewrite + DDG construction.  Produces exactly the same loop as
+/// insert_copies() and exactly the same graph as Ddg::build() on it, but
+/// derives the post-copy DDG incrementally: the pre-copy memory dependences
+/// are computed once and mapped through op_map (copies are never memory ops
+/// and op_map is monotonic, so pair order, distances, and kinds are
+/// preserved), skipping the quadratic memdep recomputation and the
+/// redundant revalidation of the rewritten loop.
+[[nodiscard]] CopyInsertWithGraph insert_copies_with_graph(
+    const Loop& loop, const LatencyModel& lat, CopyTreeShape shape = CopyTreeShape::kBalanced);
 
 /// True when `loop` satisfies the queue fan-out discipline (<= 1 consumer
 /// per value, <= 2 for copy-produced values).

@@ -714,6 +714,54 @@ TEST(Sweep, CrossMachineSeedsNeverWorseThanCold) {
   }
 }
 
+// Regression: a point that requests strict verification itself, run under
+// a sweep whose verify_mode is also strict, used to verify every cell's
+// artifact bundle from scratch even when an ascending-budget ladder
+// accepted the identical schedule at both budgets.  The task-scoped
+// artifact memo now replays the verdict (and the queue allocation) for
+// repeated (loop, machine, schedule) bundles: probes count every request,
+// hits count the deduped ones, and every cell still reports
+// verify_checked with zero violations.
+TEST(Sweep, StrictPointUnderStrictModeDedupesVerification) {
+  SynthConfig config;
+  config.loops = 6;
+  config.seed = 17;
+  const std::vector<Loop> loops = synthesize_suite(config);
+
+  const MachineConfig machine = MachineConfig::single_cluster_machine(6);
+  std::vector<SweepPoint> points;
+  for (const int budget : {6, 12}) {
+    SweepPoint point{cat("6fu-budget-", budget, "x"), machine, {}};
+    point.options.verify = VerifyPolicy::kStrict;  // the point's own request
+    point.options.ims.budget_ratio = budget;
+    points.push_back(point);
+  }
+
+  SweepOptions options;
+  options.use_cache = true;
+  options.verify_mode = SweepVerifyMode::kStrict;  // the sweep's blanket policy
+  const SweepResult sweep = SweepRunner(options).run(loops, points);
+
+  // Every cell was verified exactly once from the caller's point of view...
+  EXPECT_EQ(sweep.verify_checked(), loops.size() * points.size());
+  EXPECT_EQ(sweep.verify_violations(), 0u);
+  // ...but the budget ladder accepts identical schedules at 6x and 12x
+  // (the budget only caps failed searches), so the second point's verify
+  // and allocation replay from the memo instead of re-running.
+  EXPECT_EQ(sweep.cache.verify_memo_probes, loops.size() * points.size());
+  EXPECT_GT(sweep.cache.verify_memo_hits, 0u);
+  EXPECT_GT(sweep.cache.alloc_memo_probes, 0u);
+  EXPECT_GT(sweep.cache.alloc_memo_hits, 0u);
+
+  // The memo must not change any semantic outcome: the same sweep with
+  // the memo-less uncached path produces identical results.
+  SweepOptions uncached = options;
+  uncached.use_cache = false;
+  const SweepResult baseline = SweepRunner(uncached).run(loops, points);
+  EXPECT_EQ(baseline.cache.verify_memo_probes, 0u);
+  ASSERT_EQ(sweep_result_fingerprint(sweep), sweep_result_fingerprint(baseline));
+}
+
 TEST(Sweep, RunSuiteWrapperMatchesSweep) {
   SynthConfig config;
   config.loops = 8;

@@ -20,7 +20,12 @@ Compares a fresh perf_micro run against the committed baseline and fails
     but parallel_speedup fell below the --speedup-floor (default 1.5):
     the thread pool stopped paying for itself.  Single-threaded runs and
     single-core machines skip this floor — there is no parallelism to
-    measure — but never the identity checks.
+    measure — but never the identity checks;
+  - a gated pipeline stage (uncached copy_insert / schedule / queue_alloc,
+    warm verify) ran slower than the baseline's stage_seconds by more
+    than --stage-tolerance (default 0.50) plus a small absolute slack
+    that absorbs jitter on sub-50ms stages.  Baselines predating the
+    stage_seconds schema skip these gates with an info line.
 
 With --scaling, a fresh sweep_scaling run is additionally gated: every
 worker count must be fingerprint-identical to the serial run
@@ -67,7 +72,58 @@ def require(obj, source, *path):
     return obj
 
 
-def check(baseline, fresh, tolerance, speedup_floor=1.5):
+# The per-stage wall-time gates: (run, stage) pairs whose stage_seconds
+# must not regress past the stage tolerance.  The uncached run exposes the
+# cold front end (copy insertion dominates it); the warm run exposes the
+# memoized verifier.
+STAGE_GATES = (
+    ("uncached", "copy_insert"),
+    ("uncached", "schedule"),
+    ("uncached", "queue_alloc"),
+    ("warm", "verify"),
+)
+
+# Absolute slack added to every stage ceiling: sub-50ms stages are all
+# scheduler jitter, and a relative band alone would flap on them.
+STAGE_ABS_SLACK_SECONDS = 0.05
+
+
+def check_stages(baseline, fresh, stage_tolerance):
+    """Gates the per-stage wall times listed in STAGE_GATES.
+
+    A baseline without stage_seconds (pre-stage-gate schema) skips each
+    gate with an info line — the operator arms them by regenerating the
+    baseline.  A *fresh* file without stage_seconds is a schema error:
+    the current perf_micro always emits it.
+    """
+    for run_name, stage in STAGE_GATES:
+        base_run = baseline.get(run_name)
+        base_stages = base_run.get("stage_seconds") if isinstance(base_run, dict) else None
+        if not isinstance(base_stages, dict) or stage not in base_stages:
+            print(
+                f"info: stage gate {run_name}.{stage} skipped (baseline has no "
+                "stage_seconds for it; regenerate the baseline to arm the gate)"
+            )
+            continue
+        base_seconds = base_stages[stage]
+        # A stage absent from the fresh run never executed, i.e. took no
+        # time — trivially under the ceiling.
+        fresh_seconds = require(fresh, "fresh", run_name, "stage_seconds").get(stage, 0.0)
+        ceiling = base_seconds * (1.0 + stage_tolerance) + STAGE_ABS_SLACK_SECONDS
+        verdict = "OK" if fresh_seconds <= ceiling else "FAIL"
+        print(
+            f"{verdict}: {run_name} {stage} stage {fresh_seconds:.3f}s vs baseline "
+            f"{base_seconds:.3f}s (ceiling {ceiling:.3f}s at stage tolerance "
+            f"{stage_tolerance:.0%})"
+        )
+        if fresh_seconds > ceiling:
+            print(f"the {stage} stage regressed beyond tolerance; investigate or "
+                  "regenerate the baseline")
+            return 1
+    return 0
+
+
+def check(baseline, fresh, tolerance, speedup_floor=1.5, stage_tolerance=0.50):
     if not fresh.get("results_identical", False):
         print("FAIL: fresh run reports results_identical: false (cache correctness bug)")
         return 1
@@ -173,6 +229,9 @@ def check(baseline, fresh, tolerance, speedup_floor=1.5):
             return 1
         print(f"OK: warm_start_hit_rate {fresh_rate:.1%} (baseline {base_rate:.1%})")
 
+    if check_stages(baseline, fresh, stage_tolerance) != 0:
+        return 1
+
     speedup = fresh.get("cache_speedup", 0.0)
     replay = fresh.get("checkpoint_replay", {})
     if not isinstance(replay, dict):
@@ -218,10 +277,10 @@ def check_scaling(scaling, speedup_floor=1.5):
     return 0
 
 
-def run(baseline, fresh, tolerance, speedup_floor=1.5, scaling=None):
+def run(baseline, fresh, tolerance, speedup_floor=1.5, scaling=None, stage_tolerance=0.50):
     """check() (+ optional check_scaling) with SchemaError as a clean FAIL line."""
     try:
-        code = check(baseline, fresh, tolerance, speedup_floor)
+        code = check(baseline, fresh, tolerance, speedup_floor, stage_tolerance)
         if code == 0 and scaling is not None:
             code = check_scaling(scaling, speedup_floor)
         return code
@@ -251,6 +310,12 @@ def main(argv=None) -> int:
         default=None,
         help="also gate a fresh BENCH_sweep_scaling.json",
     )
+    parser.add_argument(
+        "--stage-tolerance",
+        type=float,
+        default=float(os.environ.get("QVLIW_STAGE_TOLERANCE", "0.50")),
+        help="allowed fractional slowdown of a gated stage's wall time (default 0.50)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -262,7 +327,8 @@ def main(argv=None) -> int:
         with open(args.scaling, encoding="utf-8") as f:
             scaling = json.load(f)
 
-    return run(baseline, fresh, args.tolerance, args.speedup_floor, scaling)
+    return run(baseline, fresh, args.tolerance, args.speedup_floor, scaling,
+               args.stage_tolerance)
 
 
 if __name__ == "__main__":

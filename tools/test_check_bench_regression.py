@@ -140,6 +140,87 @@ class GateVerdicts(unittest.TestCase):
         self.assertEqual(code, 0, out)
 
 
+def with_stages(bench, uncached_stages=None, warm_stages=None):
+    """Returns `bench` with stage_seconds sections attached."""
+    bench.setdefault("uncached", {})["stage_seconds"] = dict(
+        uncached_stages
+        if uncached_stages is not None
+        else {"invariants": 0.1, "unroll": 0.3, "copy_insert": 1.0,
+              "schedule": 0.8, "queue_alloc": 0.4, "sim": 0.2, "verify": 0.9}
+    )
+    bench["warm"]["stage_seconds"] = dict(
+        warm_stages if warm_stages is not None else {"schedule": 0.5, "verify": 0.3}
+    )
+    return bench
+
+
+class StageGates(unittest.TestCase):
+    """The per-stage wall-time gates over STAGE_GATES."""
+
+    def test_equal_stage_times_pass(self):
+        code, out = run_gate(with_stages(bench_json()), with_stages(bench_json()))
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK: uncached copy_insert stage", out)
+        self.assertIn("OK: warm verify stage", out)
+
+    def test_cold_copy_insert_regression_fails(self):
+        fresh = with_stages(bench_json())
+        fresh["uncached"]["stage_seconds"]["copy_insert"] = 2.0
+        code, out = run_gate(with_stages(bench_json()), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: uncached copy_insert stage", out)
+
+    def test_warm_verify_regression_fails(self):
+        fresh = with_stages(bench_json())
+        fresh["warm"]["stage_seconds"]["verify"] = 0.9
+        code, out = run_gate(with_stages(bench_json()), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: warm verify stage", out)
+
+    def test_stage_jitter_within_tolerance_passes(self):
+        fresh = with_stages(bench_json())
+        fresh["uncached"]["stage_seconds"]["schedule"] = 1.1  # base 0.8, ceiling 1.25
+        code, out = run_gate(with_stages(bench_json()), fresh)
+        self.assertEqual(code, 0, out)
+
+    def test_tiny_stage_absorbed_by_absolute_slack(self):
+        # 3x relative growth on a 10ms stage stays under the absolute slack.
+        base = with_stages(bench_json(), warm_stages={"verify": 0.01})
+        fresh = with_stages(bench_json(), warm_stages={"verify": 0.03})
+        code, out = run_gate(base, fresh)
+        self.assertEqual(code, 0, out)
+
+    def test_baseline_without_stage_seconds_skips_with_info(self):
+        # Pre-stage-gate baselines must not fail; the gate stays disarmed.
+        code, out = run_gate(bench_json(), with_stages(bench_json()))
+        self.assertEqual(code, 0, out)
+        self.assertIn("stage gate uncached.copy_insert skipped", out)
+
+    def test_fresh_without_stage_seconds_fails(self):
+        fresh = bench_json()
+        fresh["uncached"] = {"stage": "missing"}
+        code, out = run_gate(with_stages(bench_json()), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("fresh missing field uncached.stage_seconds", out)
+
+    def test_stage_absent_from_fresh_counts_as_zero(self):
+        # The warm run legitimately skips stages the memo elided entirely.
+        fresh = with_stages(bench_json(), warm_stages={"schedule": 0.5})
+        code, out = run_gate(with_stages(bench_json()), fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK: warm verify stage 0.000s", out)
+
+    def test_custom_stage_tolerance_applies(self):
+        base = with_stages(bench_json())
+        fresh = with_stages(bench_json())
+        fresh["uncached"]["stage_seconds"]["queue_alloc"] = 0.5  # base 0.4
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = gate.run(base, fresh, 0.30, 1.5, None, 0.10)
+        self.assertEqual(code, 1, out.getvalue())
+        self.assertIn("FAIL: uncached queue_alloc stage", out.getvalue())
+
+
 def scaling_json(identical=True, speedup=2.0, hardware=4, counts=(1, 2, 4)):
     return {
         "bench": "sweep_scaling",
