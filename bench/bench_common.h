@@ -58,17 +58,56 @@ inline Suite make_suite() {
   return full_suite(config);
 }
 
+/// Short label prefix for a bench machine: "ring-4", "mesh-9", "xbar-4".
+inline std::string topology_label(TopologyKind kind, int clusters) {
+  return cat(kind == TopologyKind::kCrossbar ? "xbar" : topology_kind_name(kind), "-", clusters);
+}
+
+/// Shared `--topology ring|mesh|crossbar` / `--clusters N` parsing for the
+/// bench drivers.  Defaults to the paper's 4-cluster ring, so benches run
+/// without flags keep their historical labels and fingerprints.
+struct TopologyChoice {
+  TopologyKind kind = TopologyKind::kRing;
+  int clusters = 4;
+
+  [[nodiscard]] MachineConfig machine() const {
+    return MachineConfig::topology_machine(kind, clusters);
+  }
+  [[nodiscard]] std::string label() const { return topology_label(kind, clusters); }
+
+  /// Consumes `--topology`/`--clusters` at argv[a] (advancing `a` past the
+  /// value).  Returns false on an unknown flag or a bad value; callers fall
+  /// through to their own flag handling.
+  bool parse_flag(int argc, char** argv, int& a) {
+    const std::string flag = argv[a];
+    if (flag == "--topology") {
+      if (a + 1 >= argc) return false;
+      const auto parsed = parse_topology_kind(argv[++a]);
+      if (!parsed.has_value()) return false;
+      kind = *parsed;
+      return true;
+    }
+    if (flag == "--clusters") {
+      if (a + 1 >= argc) return false;
+      clusters = std::atoi(argv[++a]);
+      return clusters >= 1;
+    }
+    return false;
+  }
+};
+
 /// The multi-heuristic back-end sweep perf_micro and sweep_shard share:
-/// every point reuses the unrolled/copy-inserted front end of the
-/// 4-cluster ring and differs only in (heuristic, IMS budget), so the
-/// points form ascending-budget warm-start ladders per heuristic.
-inline std::vector<SweepPoint> perf_sweep_points() {
+/// every point reuses the unrolled/copy-inserted front end of one machine
+/// (default: the paper's 4-cluster ring) and differs only in (heuristic,
+/// IMS budget), so the points form ascending-budget warm-start ladders
+/// per heuristic.
+inline std::vector<SweepPoint> perf_sweep_points(const TopologyChoice& choice = {}) {
   PipelineOptions base;
   base.unroll = true;
   base.max_unroll = max_unroll();
 
   std::vector<SweepPoint> points;
-  const MachineConfig ring = MachineConfig::clustered_machine(4);
+  const MachineConfig machine = choice.machine();
   for (const ClusterHeuristic heuristic :
        {ClusterHeuristic::kAffinity, ClusterHeuristic::kLoadBalance,
         ClusterHeuristic::kFirstFit}) {
@@ -77,8 +116,9 @@ inline std::vector<SweepPoint> perf_sweep_points() {
       options.scheduler = SchedulerKind::kClustered;
       options.heuristic = heuristic;
       options.ims.budget_ratio = budget;
-      points.push_back({cat("ring-4-", cluster_heuristic_name(heuristic), "-", budget, "x"),
-                        ring, options});
+      points.push_back({cat(choice.label(), "-", cluster_heuristic_name(heuristic), "-", budget,
+                            "x"),
+                        machine, options});
     }
   }
   return points;

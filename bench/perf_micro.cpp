@@ -35,6 +35,7 @@
 // result-identical to the serial one (the determinism contract CI gates).
 //
 //   QVLIW_LOOPS=200 ./build/bench/perf_micro [out.json] [--workers N]
+//                    [--topology ring|mesh|crossbar] [--clusters N]
 //   ./build/bench/perf_micro --list-backends   # registry contents only
 #include <filesystem>
 #include <fstream>
@@ -154,6 +155,7 @@ void write_points(std::ostream& os, const std::vector<SweepPoint>& points) {
 
 int run(int argc, char** argv) {
   int workers_request = bench::env_workers();
+  bench::TopologyChoice topology;
   std::string out_override;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -163,6 +165,11 @@ int run(int argc, char** argv) {
     }
     if (arg == "--workers" && a + 1 < argc) {
       workers_request = std::atoi(argv[++a]);
+    } else if (arg == "--topology" || arg == "--clusters") {
+      if (!topology.parse_flag(argc, argv, a)) {
+        std::cerr << "bad " << arg << " value\n";
+        return 2;
+      }
     } else {
       out_override = arg;
     }
@@ -183,9 +190,10 @@ int run(int argc, char** argv) {
   uncached_options.verify_mode = SweepVerifyMode::kStrict;
   const int workers = resolved_sweep_workers(uncached_options);
 
-  const std::vector<SweepPoint> points = bench::perf_sweep_points();
+  const std::vector<SweepPoint> points = bench::perf_sweep_points(topology);
   std::cout << "sweep: " << points.size() << " points (3 heuristics x 2 IMS budgets on the "
-            << "4-cluster ring), " << workers << " worker(s)\n\n";
+            << topology.clusters << "-cluster " << topology_kind_name(topology.kind) << "), "
+            << workers << " worker(s)\n\n";
 
   // Serial baseline for parallel_speedup, only worth a run when the
   // threaded sweeps actually use more than one worker.
@@ -298,6 +306,8 @@ int run(int argc, char** argv) {
       << "  \"bench\": \"pipeline_sweep\",\n"
       << "  \"suite_loops\": " << suite.loops.size() << ",\n"
       << "  \"sweep_points\": " << points.size() << ",\n"
+      << "  \"topology\": \"" << topology_kind_name(topology.kind) << "\",\n"
+      << "  \"clusters\": " << topology.clusters << ",\n"
       << "  \"workers\": " << workers << ",\n"
       << "  \"hardware_threads\": " << worker_count() << ",\n"
       << "  \"store_dir\": \"" << cached_options.store_dir << "\",\n"

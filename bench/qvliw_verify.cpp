@@ -2,10 +2,11 @@
 // bundles (src/verify).
 //
 //   qvliw_verify dump OUT.qvb [--index N] [--clusters K] [--budget R]
+//                [--topology ring|mesh|crossbar]
 //     Compiles one suite loop through the full pipeline on the K-cluster
-//     ring (K=1: the 6-FU single-cluster machine) and writes the emitted
-//     artifacts — rewritten loop, machine, schedule, queue allocation —
-//     as a verify bundle.
+//     machine (K=1: the 6-FU single-cluster machine; default topology:
+//     ring) and writes the emitted artifacts — rewritten loop, machine,
+//     schedule, queue allocation — as a verify bundle.
 //
 //   qvliw_verify check FILE...
 //     Decodes each bundle and re-derives its legality from first
@@ -27,7 +28,8 @@ namespace qvliw {
 namespace {
 
 int usage() {
-  std::cerr << "usage: qvliw_verify dump OUT.qvb [--index N] [--clusters K] [--budget R]\n"
+  std::cerr << "usage: qvliw_verify dump OUT.qvb [--index N] [--clusters K] [--budget R]"
+            << " [--topology ring|mesh|crossbar]\n"
             << "       qvliw_verify check FILE...\n";
   return 2;
 }
@@ -38,6 +40,7 @@ int dump(int argc, char** argv) {
   int index = 0;
   int clusters = 4;
   int budget = 6;
+  TopologyKind kind = TopologyKind::kRing;
   for (int a = 3; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--index" && a + 1 < argc) {
@@ -46,6 +49,10 @@ int dump(int argc, char** argv) {
       clusters = std::atoi(argv[++a]);
     } else if (arg == "--budget" && a + 1 < argc) {
       budget = std::atoi(argv[++a]);
+    } else if (arg == "--topology" && a + 1 < argc) {
+      const auto parsed = parse_topology_kind(argv[++a]);
+      if (!parsed.has_value()) return usage();
+      kind = *parsed;
     } else {
       return usage();
     }
@@ -64,7 +71,7 @@ int dump(int argc, char** argv) {
   options.ims.budget_ratio = budget;
   MachineConfig machine = MachineConfig::single_cluster_machine(6);
   if (clusters > 1) {
-    machine = MachineConfig::clustered_machine(clusters);
+    machine = MachineConfig::topology_machine(kind, clusters);
     options.scheduler = SchedulerKind::kClustered;
   }
 

@@ -12,6 +12,10 @@
 //   sweep_shard merge  --out merged.json S0.shard S1.shard ...
 //   sweep_shard single --out single.json [--warm] [--store DIR] [--workers M]
 //
+// `--topology ring|mesh|crossbar` and `--clusters N` (defaults: ring, 4)
+// select the swept machine; merge must be invoked with the same choice so
+// the canonical JSON carries the right point labels.
+//
 // `--workers M` (default QVLIW_WORKERS, else one per hardware thread)
 // runs the shard's sweep on M threads — sharding and threading compose, and the merged result
 // stays fingerprint-identical at any worker count.
@@ -45,7 +49,9 @@ struct Args {
   int shards = 1;
   int shard = 0;
   int workers = bench::env_workers();  // 0 = one thread per hardware thread
+  bench::TopologyChoice topology;
   ShardAxis axis = ShardAxis::kLoops;
+  bool verify = false;  // strict translation validation on every pipeline
   bool warm = false;
   bool store_stats = false;
 };
@@ -54,10 +60,11 @@ int usage() {
   std::cerr
       << "usage:\n"
       << "  sweep_shard run    --shards N --shard I --out FILE [--warm] [--store DIR]"
-      << " [--checkpoint DIR] [--axis loops|points] [--workers M]\n"
-      << "  sweep_shard merge  --out FILE.json SHARD...\n"
+      << " [--checkpoint DIR] [--axis loops|points] [--workers M]"
+      << " [--topology ring|mesh|crossbar] [--clusters N]\n"
+      << "  sweep_shard merge  --out FILE.json [--topology T] [--clusters N] SHARD...\n"
       << "  sweep_shard single --out FILE.json [--warm] [--store DIR] [--checkpoint DIR]"
-      << " [--workers M]\n"
+      << " [--workers M] [--topology ring|mesh|crossbar] [--clusters N] [--verify]\n"
       << "  sweep_shard --store-stats --store DIR   # inspect a shared store directory\n";
   return 2;
 }
@@ -110,6 +117,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       } else {
         return false;
       }
+    } else if (flag == "--topology" || flag == "--clusters") {
+      if (!args.topology.parse_flag(argc, argv, a)) return false;
+    } else if (flag == "--verify") {
+      args.verify = true;
     } else if (flag == "--warm") {
       args.warm = true;
     } else if (flag == "--store-stats") {
@@ -135,13 +146,14 @@ int write_file(const std::string& path, const std::string& bytes) {
 
 int run_mode(const Args& args, bool sharded) {
   const Suite suite = bench::make_suite();
-  const std::vector<SweepPoint> points = bench::perf_sweep_points();
+  const std::vector<SweepPoint> points = bench::perf_sweep_points(args.topology);
 
   SweepOptions options;
   options.store_dir = args.store;
   options.checkpoint_dir = args.checkpoint;
   options.warm_start = args.warm;
   options.workers = args.workers;
+  if (args.verify) options.verify_mode = SweepVerifyMode::kStrict;
   if (sharded) {
     options.shard_count = args.shards;
     options.shard_index = args.shard;
@@ -205,7 +217,7 @@ int merge_mode(const Args& args) {
   // Labels for the canonical JSON: the shared perf sweep's points (the
   // config hash already proved the shards came from this sweep).
   std::ostringstream json;
-  bench::write_results_json(json, bench::perf_sweep_points(), merged);
+  bench::write_results_json(json, bench::perf_sweep_points(args.topology), merged);
   return write_file(args.out, json.str());
 }
 

@@ -52,12 +52,12 @@ int main() {
   const QueueAllocation allocation = allocate_queues(loop, graph, ring, on_ring.schedule);
   std::cout << "\nqueue domains used:\n";
   for (const AllocatedQueue& queue : allocation.queues) {
-    std::cout << "  " << pad_right(domain_name(queue.domain), 14) << " queue #"
+    std::cout << "  " << pad_right(domain_name(ring.topology(), queue.domain), 14) << " queue #"
               << queue.index_in_domain << ": " << queue.members.size() << " lifetime(s), "
               << queue.max_occupancy << " position(s)\n";
   }
   std::cout << "max private queues per cluster: " << allocation.max_private_queues()
-            << "; max ring queues per segment/direction: " << allocation.max_ring_queues()
+            << "; max queues per interconnect segment: " << allocation.max_segment_queues()
             << " (the paper's cluster provisions 8 and 8)\n";
 
   const CheckedSim checked =

@@ -20,11 +20,11 @@ std::string_view cluster_heuristic_name(ClusterHeuristic heuristic) {
   QVLIW_ASSERT(false, "bad ClusterHeuristic");
 }
 
-RingClusterAssigner::RingClusterAssigner(const Loop& loop, const Ddg& graph,
+TopologyClusterAssigner::TopologyClusterAssigner(const Loop& loop, const Ddg& graph,
                                          const MachineConfig& machine,
                                          ClusterHeuristic heuristic, bool strict)
-    : machine_(machine), heuristic_(heuristic), strict_(strict) {
-  check(loop.op_count() == graph.node_count(), "RingClusterAssigner: loop/DDG mismatch");
+    : machine_(machine), topology_(machine.topology()), heuristic_(heuristic), strict_(strict) {
+  check(loop.op_count() == graph.node_count(), "TopologyClusterAssigner: loop/DDG mismatch");
   kind_of_.reserve(loop.ops.size());
   for (const Op& op : loop.ops) kind_of_.push_back(fu_for(op.opcode));
 
@@ -51,17 +51,17 @@ RingClusterAssigner::RingClusterAssigner(const Loop& loop, const Ddg& graph,
   reset(1);
 }
 
-void RingClusterAssigner::reset(int) {
+void TopologyClusterAssigner::reset(int) {
   cluster_of_.assign(kind_of_.size(), -1);
   load_.assign(static_cast<std::size_t>(machine_.cluster_count()),
                std::vector<int>(kNumFuKinds, 0));
 }
 
-int RingClusterAssigner::cluster_of(int op) const {
+int TopologyClusterAssigner::cluster_of(int op) const {
   return cluster_of_[static_cast<std::size_t>(op)];
 }
 
-double RingClusterAssigner::score(int op, int cluster) const {
+double TopologyClusterAssigner::score(int op, int cluster) const {
   const int k = machine_.cluster_count();
   const FuKind kind = kind_of_[static_cast<std::size_t>(op)];
   const int kind_load = load_[static_cast<std::size_t>(cluster)][static_cast<std::size_t>(kind)];
@@ -82,7 +82,7 @@ double RingClusterAssigner::score(int op, int cluster) const {
            idx < flow_off_[static_cast<std::size_t>(op) + 1]; ++idx) {
         const int oc = cluster_of_[static_cast<std::size_t>(flow_adj_[static_cast<std::size_t>(idx)])];
         if (oc < 0) continue;
-        const int dist = machine_.ring_distance(cluster, oc);
+        const int dist = topology_.distance(cluster, oc);
         if (dist == 0) affinity += 2.0;
         else if (dist == 1) affinity += 1.0;
         else affinity -= static_cast<double>(dist);  // relaxed mode: fewer hops
@@ -94,7 +94,7 @@ double RingClusterAssigner::score(int op, int cluster) const {
   QVLIW_ASSERT(false, "bad ClusterHeuristic");
 }
 
-void RingClusterAssigner::candidates(int op, std::vector<int>& out) {
+void TopologyClusterAssigner::candidates(int op, std::vector<int>& out) {
   const int k = machine_.cluster_count();
   out.resize(static_cast<std::size_t>(k));
   std::iota(out.begin(), out.end(), 0);
@@ -105,36 +105,36 @@ void RingClusterAssigner::candidates(int op, std::vector<int>& out) {
   });
 }
 
-bool RingClusterAssigner::legal(int op, int cluster) {
+bool TopologyClusterAssigner::legal(int op, int cluster) {
   if (!strict_) return true;
   for (std::int32_t idx = flow_off_[static_cast<std::size_t>(op)];
        idx < flow_off_[static_cast<std::size_t>(op) + 1]; ++idx) {
     const int oc = cluster_of_[static_cast<std::size_t>(flow_adj_[static_cast<std::size_t>(idx)])];
-    if (oc >= 0 && machine_.ring_distance(cluster, oc) > 1) return false;
+    if (oc >= 0 && topology_.distance(cluster, oc) > 1) return false;
   }
   return true;
 }
 
-void RingClusterAssigner::adjacency_evictions(int op, int cluster, std::vector<int>& out) {
+void TopologyClusterAssigner::adjacency_evictions(int op, int cluster, std::vector<int>& out) {
   out.clear();
   if (!strict_) return;
   for (std::int32_t idx = flow_off_[static_cast<std::size_t>(op)];
        idx < flow_off_[static_cast<std::size_t>(op) + 1]; ++idx) {
     const int other = flow_adj_[static_cast<std::size_t>(idx)];
     const int oc = cluster_of_[static_cast<std::size_t>(other)];
-    if (oc >= 0 && machine_.ring_distance(cluster, oc) > 1) out.push_back(other);
+    if (oc >= 0 && topology_.distance(cluster, oc) > 1) out.push_back(other);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
-void RingClusterAssigner::on_place(int op, int cluster) {
+void TopologyClusterAssigner::on_place(int op, int cluster) {
   cluster_of_[static_cast<std::size_t>(op)] = cluster;
   load_[static_cast<std::size_t>(cluster)][static_cast<std::size_t>(
       kind_of_[static_cast<std::size_t>(op)])] += 1;
 }
 
-void RingClusterAssigner::on_remove(int op) {
+void TopologyClusterAssigner::on_remove(int op) {
   const int cluster = cluster_of_[static_cast<std::size_t>(op)];
   QVLIW_ASSERT(cluster >= 0, "on_remove of an unplaced op");
   load_[static_cast<std::size_t>(cluster)][static_cast<std::size_t>(
@@ -144,7 +144,7 @@ void RingClusterAssigner::on_remove(int op) {
 
 ImsResult partition_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
                              const PartitionOptions& options, const WarmStartSeed* seed) {
-  RingClusterAssigner assigner(loop, graph, machine, options.heuristic, options.strict);
+  TopologyClusterAssigner assigner(loop, graph, machine, options.heuristic, options.strict);
   if (seed != nullptr && options.strict &&
       (seed->schedule.op_count() != graph.node_count() ||
        !find_comm_violations(graph, machine, seed->schedule).empty())) {
@@ -162,10 +162,11 @@ ImsResult partition_schedule(const Loop& loop, const Ddg& graph, const MachineCo
 std::vector<std::string> communication_violations(const Ddg& graph, const MachineConfig& machine,
                                                   const Schedule& schedule) {
   std::vector<std::string> violations;
+  const std::string_view kind = topology_kind_name(machine.topology_kind);
   for (const CommViolation& v : find_comm_violations(graph, machine, schedule)) {
     const DepEdge& edge = graph.edge(v.edge);
-    violations.push_back(cat("flow edge ", edge.src, "->", edge.dst, " spans ", v.hops,
-                             " ring hops (clusters ", schedule.cluster(edge.src), " -> ",
+    violations.push_back(cat("flow edge ", edge.src, "->", edge.dst, " spans ", v.hops, " ", kind,
+                             " hops (clusters ", schedule.cluster(edge.src), " -> ",
                              schedule.cluster(edge.dst), ")"));
   }
   return violations;
@@ -174,11 +175,12 @@ std::vector<std::string> communication_violations(const Ddg& graph, const Machin
 std::vector<CommViolation> find_comm_violations(const Ddg& graph, const MachineConfig& machine,
                                                 const Schedule& schedule) {
   std::vector<CommViolation> violations;
+  const Topology topology = machine.topology();
   for (int e = 0; e < graph.edge_count(); ++e) {
     const DepEdge& edge = graph.edge(e);
     if (!edge.is_value_flow()) continue;
     if (!schedule.scheduled(edge.src) || !schedule.scheduled(edge.dst)) continue;
-    const int hops = machine.ring_distance(schedule.cluster(edge.src), schedule.cluster(edge.dst));
+    const int hops = topology.distance(schedule.cluster(edge.src), schedule.cluster(edge.dst));
     if (hops > 1) violations.push_back({e, edge.dst, edge.dst_arg, hops});
   }
   return violations;

@@ -1,9 +1,9 @@
-// Partitioned modulo scheduling for the clustered ring machine (Section 4).
+// Partitioned modulo scheduling for the clustered machine (Section 4).
 //
 // The partitioner is the paper's scheme: heuristics layered on IMS decide
 // which cluster each operation goes to, under the constraint that a value
-// may only flow within a cluster (private QRF) or between ring-adjacent
-// clusters (a directional segment queue).  No multi-hop routing exists in
+// may only flow within a cluster (private QRF) or between topology-adjacent
+// clusters (a directed segment queue).  No multi-hop routing exists in
 // the base scheme, so an op whose neighbours have drifted apart can become
 // unplaceable; IMS's force-and-evict backtracking then displaces the
 // offenders, and persistent failure escalates the II — exactly the
@@ -26,16 +26,17 @@ enum class ClusterHeuristic {
 
 [[nodiscard]] std::string_view cluster_heuristic_name(ClusterHeuristic heuristic);
 
-/// IMS ClusterAssigner for a bidirectional ring of clusters.
+/// IMS ClusterAssigner for any interconnect topology (ring, mesh,
+/// crossbar — whatever the machine's Topology models).
 ///
-/// In strict mode (the paper's scheme) `legal` enforces ring adjacency of
-/// every scheduled flow neighbour.  In relaxed mode any cluster is legal —
-/// used by the move-routing extension to discover which edges need relay
+/// In strict mode (the paper's scheme) `legal` enforces topology adjacency
+/// of every scheduled flow neighbour.  In relaxed mode any cluster is legal
+/// — used by the move-routing extension to discover which edges need relay
 /// moves; candidate ordering still minimises expected hops.
-class RingClusterAssigner final : public ClusterAssigner {
+class TopologyClusterAssigner final : public ClusterAssigner {
  public:
-  RingClusterAssigner(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
-                      ClusterHeuristic heuristic, bool strict = true);
+  TopologyClusterAssigner(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
+                          ClusterHeuristic heuristic, bool strict = true);
 
   void reset(int ii) override;
   void candidates(int op, std::vector<int>& out) override;
@@ -51,6 +52,7 @@ class RingClusterAssigner final : public ClusterAssigner {
   [[nodiscard]] double score(int op, int cluster) const;
 
   const MachineConfig& machine_;
+  Topology topology_;
   ClusterHeuristic heuristic_;
   bool strict_;
   std::vector<FuKind> kind_of_;
@@ -72,7 +74,7 @@ struct PartitionOptions {
   ImsOptions ims;
 };
 
-/// Partitioned IMS over the ring machine.  On success the schedule is
+/// Partitioned IMS over the clustered machine.  On success the schedule is
 /// additionally checked for communication legality (strict mode).  A warm
 /// seed is forwarded to IMS only after passing the same communication
 /// check, so an adjacency-violating seed is ignored rather than adopted.
@@ -81,7 +83,7 @@ struct PartitionOptions {
                                            const PartitionOptions& options = {},
                                            const WarmStartSeed* seed = nullptr);
 
-/// Flow edges whose endpoint clusters are not ring-adjacent (empty ==
+/// Flow edges whose endpoint clusters are not topology-adjacent (empty ==
 /// communication-legal for the base scheme).
 [[nodiscard]] std::vector<std::string> communication_violations(const Ddg& graph,
                                                                 const MachineConfig& machine,
@@ -93,7 +95,7 @@ struct CommViolation {
   int edge = -1;
   int dst = -1;
   int dst_arg = -1;
-  int hops = 0;  // ring distance between producer and consumer clusters
+  int hops = 0;  // topology distance between producer and consumer clusters
 };
 
 [[nodiscard]] std::vector<CommViolation> find_comm_violations(const Ddg& graph,

@@ -2,11 +2,12 @@
 //
 // Round-based repair: schedule with a *relaxed* partitioner (any cluster
 // legal, affinity still steers placement), find the flow edges that ended
-// up spanning more than one ring hop, split each with a chain of `move`
-// ops (hops-1 relays), then re-schedule *strictly*.  Moves are ordinary
-// DDG ops on the copy/move FU class, so the strict partitioner places each
-// relay in an intermediate cluster along the path.  Repeat while the
-// strict schedule keeps failing (more moves each round), up to max_rounds.
+// up spanning more than one topology hop, split each with a chain of
+// `move` ops (hops-1 relays), then re-schedule *strictly*.  Moves are
+// ordinary DDG ops on the copy/move FU class, so the strict partitioner
+// places each relay in an intermediate cluster along a shortest
+// (next_hop) path.  Repeat while the strict schedule keeps failing (more
+// moves each round), up to max_rounds.
 #pragma once
 
 #include "cluster/partition.h"

@@ -111,7 +111,7 @@ struct LoopResult {
   // Queue demand.
   int total_queues = 0;
   int max_private_queues = 0;
-  int max_ring_queues = 0;
+  int max_segment_queues = 0;
   int max_positions = 0;
 
   // Conventional-RF register baseline for the same schedule.

@@ -41,7 +41,7 @@ void serialize_loop_result(BlobWriter& out, const LoopResult& r, bool provenance
   out.put_f64(r.ipc_dynamic);
   out.put_i32(r.total_queues);
   out.put_i32(r.max_private_queues);
-  out.put_i32(r.max_ring_queues);
+  out.put_i32(r.max_segment_queues);
   out.put_i32(r.max_positions);
   out.put_i32(r.registers);
   out.put_bool(r.fits_machine_queues);
@@ -84,7 +84,7 @@ LoopResult deserialize_loop_result(BlobReader& in) {
   r.ipc_dynamic = in.get_f64();
   r.total_queues = in.get_i32();
   r.max_private_queues = in.get_i32();
-  r.max_ring_queues = in.get_i32();
+  r.max_segment_queues = in.get_i32();
   r.max_positions = in.get_i32();
   r.registers = in.get_i32();
   r.fits_machine_queues = in.get_bool();

@@ -179,7 +179,7 @@ bool QueueAllocStage::run(PipelineContext& ctx) {
   result.ipc_dynamic = dynamic_ipc(ctx.loop, ctx.machine->latency, ctx.sched.schedule, trip);
   result.total_queues = ctx.allocation.total_queues();
   result.max_private_queues = ctx.allocation.max_private_queues();
-  result.max_ring_queues = ctx.allocation.max_ring_queues();
+  result.max_segment_queues = ctx.allocation.max_segment_queues();
   result.max_positions = ctx.allocation.max_positions();
   result.registers =
       register_requirement(ctx.loop, *ctx.graph, ctx.machine->latency, ctx.sched.schedule);

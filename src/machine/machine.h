@@ -1,13 +1,14 @@
-// Machine configuration: clusters, queue register files, ring interconnect.
+// Machine configuration: clusters, queue register files, interconnect.
 //
-// A machine is a ring of clusters.  Each cluster has a private QRF (a set
-// of queues usable only by its own FUs) and is connected to its two ring
-// neighbours by directional *segments*, each implemented as a set of
-// queues (Fig. 5b / Fig. 7 of the paper): a producer in cluster c writes a
-// segment queue that a consumer in the adjacent cluster pops.  The base
-// partitioning scheme permits communication only between adjacent
-// clusters; `move` operations (the paper's future-work extension) relay
-// values across several segments.
+// A machine is a set of clusters on an interconnect topology (ring, mesh
+// or crossbar — see machine/topology.h).  Each cluster has a private QRF
+// (a set of queues usable only by its own FUs) and is connected to its
+// topology neighbours by directed *segments*, each implemented as a set
+// of queues (Fig. 5b / Fig. 7 of the paper): a producer in cluster c
+// writes a segment queue that a consumer in the adjacent cluster pops.
+// The base partitioning scheme permits communication only between
+// adjacent clusters; `move` operations (the paper's future-work
+// extension) relay values across several segments.
 #pragma once
 
 #include <array>
@@ -17,6 +18,7 @@
 
 #include "ir/opcode.h"
 #include "machine/fu.h"
+#include "machine/topology.h"
 
 namespace qvliw {
 
@@ -37,11 +39,14 @@ struct ClusterConfig {
   [[nodiscard]] static ClusterConfig paper_cluster();
 };
 
-struct RingConfig {
-  /// Queues per directional segment between adjacent clusters (paper: 8).
-  int queues_per_direction = 8;
+/// Queue resources of one directed interconnect segment; every segment of
+/// a machine shares this configuration (paper ring: 8 queues x 16 deep
+/// per direction).
+struct SegmentConfig {
+  /// Queues per directed segment between adjacent clusters (paper: 8).
+  int queues_per_segment = 8;
 
-  /// Positions per ring queue.
+  /// Positions per segment queue.
   int queue_depth = 16;
 };
 
@@ -49,8 +54,15 @@ class MachineConfig {
  public:
   std::string name = "machine";
   std::vector<ClusterConfig> clusters;
-  RingConfig ring;
+  SegmentConfig segment;
   LatencyModel latency = LatencyModel::classic();
+
+  /// Interconnect shape; mesh additionally needs mesh_rows x mesh_cols ==
+  /// cluster count.  Defaults to the paper's ring so existing
+  /// configurations keep their meaning.
+  TopologyKind topology_kind = TopologyKind::kRing;
+  int mesh_rows = 0;
+  int mesh_cols = 0;
 
   [[nodiscard]] int cluster_count() const { return static_cast<int>(clusters.size()); }
   [[nodiscard]] bool single_cluster() const { return clusters.size() == 1; }
@@ -66,23 +78,24 @@ class MachineConfig {
   /// machine-size label ("12 FUs" = 4 clusters).
   [[nodiscard]] int total_compute_fus() const;
 
-  // --- ring topology ------------------------------------------------------
+  // --- interconnect topology ----------------------------------------------
 
-  /// Minimal hop count between clusters on the bidirectional ring.
-  [[nodiscard]] int ring_distance(int a, int b) const;
+  /// The interconnect as a graph value (cheap to build; see topology.h).
+  [[nodiscard]] Topology topology() const;
 
-  /// True when a == b or the clusters are ring neighbours.
-  [[nodiscard]] bool adjacent(int a, int b) const { return ring_distance(a, b) <= 1; }
+  /// Minimal hop count between clusters on the interconnect.
+  [[nodiscard]] int distance(int a, int b) const { return topology().distance(a, b); }
 
-  /// Hops going clockwise from a to b (0 .. cluster_count-1).
-  [[nodiscard]] int clockwise_distance(int a, int b) const;
+  /// True when a == b or the clusters are interconnect neighbours.
+  [[nodiscard]] bool adjacent(int a, int b) const { return distance(a, b) <= 1; }
 
-  /// Next cluster one hop from `a` toward `b` along a shortest ring path
-  /// (clockwise preferred on ties).  Requires a != b.
-  [[nodiscard]] int step_toward(int a, int b) const;
+  /// Next cluster one hop from `a` toward `b` along a shortest path
+  /// (deterministic tie-breaks; see Topology::next_hop).  Requires a != b.
+  [[nodiscard]] int next_hop(int a, int b) const { return topology().next_hop(a, b); }
 
   /// Structural checks: >= 1 cluster, every cluster has >= 1 of each
-  /// compute FU kind, positive queue counts/depths.
+  /// compute FU kind, positive queue counts/depths, and topology
+  /// parameters consistent with the cluster count.
   void validate() const;
 
   // --- paper configurations ----------------------------------------------
@@ -95,13 +108,27 @@ class MachineConfig {
 
   /// `n_clusters` paper clusters on a bidirectional ring of queues
   /// (Fig. 5b): 3 compute FUs + 1 copy FU per cluster, 8 private queues,
-  /// 8 ring queues per direction per segment.
+  /// 8 segment queues per direction.
   [[nodiscard]] static MachineConfig clustered_machine(int n_clusters);
 
+  /// rows x cols paper clusters on a 2D mesh, same per-cluster and
+  /// per-segment resources as clustered_machine.
+  [[nodiscard]] static MachineConfig mesh_machine(int rows, int cols);
+
+  /// `n_clusters` paper clusters on a full crossbar, same per-cluster and
+  /// per-segment resources as clustered_machine.
+  [[nodiscard]] static MachineConfig crossbar_machine(int n_clusters);
+
+  /// Paper clusters on any built-in topology; meshes factor `n_clusters`
+  /// into the most nearly square rows x cols grid (9 -> 3x3, 6 -> 2x3).
+  [[nodiscard]] static MachineConfig topology_machine(TopologyKind kind, int n_clusters);
+
   /// Structural hash of everything that affects compilation results:
-  /// cluster FU mix, queue counts/depths, ring config and latency model
-  /// (the `name` is ignored).  Equal signatures mean interchangeable
-  /// machines for the sweep runner's artifact cache.
+  /// cluster FU mix, queue counts/depths, interconnect topology, segment
+  /// config and latency model (the `name` is ignored).  Equal signatures
+  /// mean interchangeable machines for the sweep runner's artifact cache.
+  /// Ring machines hash exactly as they did before the topology became
+  /// configurable, so cached ring artifacts stay valid.
   [[nodiscard]] std::uint64_t signature() const;
 };
 
@@ -112,16 +139,26 @@ class MachineConfig {
 class BlobReader;
 class BlobWriter;
 
+/// Machine blob layout version.  Version 1 predates configurable
+/// topologies (every machine was a ring); version 2 appends the topology
+/// kind and mesh dimensions.  Containers embedding a machine record which
+/// version they carry (e.g. the qvliw_verify bundle magic) and pass it to
+/// deserialize_machine.
+inline constexpr int kMachineCodecVersion = 2;
+
 /// Serialises `machine` into the portable blob format
-/// (support/artifact_store.h): name, per-cluster FU mix and queue
-/// configuration, ring config, and the latency model.  Used by the
-/// qvliw_verify bundle so a dumped artifact names the exact machine it
-/// claims legality against.
+/// (support/artifact_store.h) at kMachineCodecVersion: name, per-cluster
+/// FU mix and queue configuration, segment config, latency model, and the
+/// topology kind + mesh dimensions.  Used by the qvliw_verify bundle so a
+/// dumped artifact names the exact machine it claims legality against.
 void serialize_machine(BlobWriter& out, const MachineConfig& machine);
 
-/// Inverse of serialize_machine; throws Error on truncation or an
-/// implausible cluster count.  The result is *not* validated — run
-/// MachineConfig::validate before trusting a deserialised machine.
-[[nodiscard]] MachineConfig deserialize_machine(BlobReader& in);
+/// Inverse of serialize_machine; throws Error on truncation, an
+/// implausible cluster count, or a malformed topology.  `version` selects
+/// the blob layout (version-1 blobs decode as ring machines).  The result
+/// is *not* validated — run MachineConfig::validate before trusting a
+/// deserialised machine.
+[[nodiscard]] MachineConfig deserialize_machine(BlobReader& in,
+                                                int version = kMachineCodecVersion);
 
 }  // namespace qvliw

@@ -16,39 +16,31 @@ long long floor_div(long long a, long long b) {
 }
 }  // namespace
 
-std::string domain_name(const QueueDomain& domain) {
+std::string domain_name(const Topology& topology, const QueueDomain& domain) {
   switch (domain.kind) {
     case QueueDomain::Kind::kPrivate:
       return cat("private[", domain.index, "]");
-    case QueueDomain::Kind::kRingCw:
-      return cat("ring-cw[", domain.index, "]");
-    case QueueDomain::Kind::kRingCcw:
-      return cat("ring-ccw[", domain.index, "]");
+    case QueueDomain::Kind::kSegment:
+      return topology.segment_name(domain.index);
   }
   QVLIW_ASSERT(false, "bad QueueDomain kind");
 }
 
-QueueDomain domain_of_edge(const MachineConfig& machine, int producer_cluster,
+QueueDomain domain_of_edge(const Topology& topology, int producer_cluster,
                            int consumer_cluster) {
-  const int k = machine.cluster_count();
   if (producer_cluster == consumer_cluster) {
     return {QueueDomain::Kind::kPrivate, producer_cluster};
   }
-  // Clockwise first: for k == 2 both directions match, and we consistently
-  // use the two clockwise segments (0->1 and 1->0).
-  if ((producer_cluster + 1) % k == consumer_cluster) {
-    return {QueueDomain::Kind::kRingCw, producer_cluster};
-  }
-  if ((consumer_cluster + 1) % k == producer_cluster) {
-    return {QueueDomain::Kind::kRingCcw, consumer_cluster};
-  }
+  const int segment = topology.segment_between(producer_cluster, consumer_cluster);
+  if (segment >= 0) return {QueueDomain::Kind::kSegment, segment};
   fail(cat("value flow between non-adjacent clusters ", producer_cluster, " and ",
-           consumer_cluster, " (ring of ", k, ")"));
+           consumer_cluster, " (", topology.kind_name(), " of ", topology.cluster_count(), ")"));
 }
 
 std::vector<Lifetime> extract_lifetimes(const Loop& loop, const Ddg& graph,
                                         const MachineConfig& machine, const Schedule& schedule) {
   check(schedule.complete(), "extract_lifetimes: schedule incomplete");
+  const Topology topology = machine.topology();
   std::vector<Lifetime> lifetimes;
   for (int e = 0; e < graph.edge_count(); ++e) {
     const DepEdge& edge = graph.edge(e);
@@ -61,7 +53,7 @@ std::vector<Lifetime> extract_lifetimes(const Loop& loop, const Ddg& graph,
               machine.latency.of(loop.ops[static_cast<std::size_t>(edge.src)].opcode);
     lt.pop = schedule.cycle(edge.dst) + schedule.ii() * edge.distance;
     QVLIW_ASSERT(lt.pop >= lt.push, "lifetime with pop before push (dependence violation)");
-    lt.domain = domain_of_edge(machine, schedule.cluster(edge.src), schedule.cluster(edge.dst));
+    lt.domain = domain_of_edge(topology, schedule.cluster(edge.src), schedule.cluster(edge.dst));
     lifetimes.push_back(lt);
   }
   return lifetimes;

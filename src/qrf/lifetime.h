@@ -6,7 +6,7 @@
 // sigma(src)+lat(src)+j*II and popped at sigma(dst)+(j+dist)*II.
 // The lifetime records the j=0 representative (push, pop) pair plus the
 // queue *domain* it must live in: the producer cluster's private QRF, or
-// one directional segment of the ring when producer and consumer sit in
+// one directed interconnect segment when producer and consumer sit in
 // adjacent clusters.
 #pragma once
 
@@ -19,19 +19,24 @@
 
 namespace qvliw {
 
-/// One pool of physical queues: a cluster's private QRF or one directional
-/// ring segment (clockwise segment i: cluster i -> i+1; counter-clockwise
-/// segment i: cluster i+1 -> i).
+/// One pool of physical queues: a cluster's private QRF or one directed
+/// interconnect segment, named by its canonical id (Topology::segment).
+/// On a ring the canonical order is the historical one — clockwise
+/// segments 0..k-1 then counter-clockwise segments k..2k-1 — so domain
+/// ordering (and with it queue-allocation processing order) is unchanged
+/// from the cw/ccw encoding this replaced.
 struct QueueDomain {
-  enum class Kind : std::uint8_t { kPrivate, kRingCw, kRingCcw };
+  enum class Kind : std::uint8_t { kPrivate, kSegment };
   Kind kind = Kind::kPrivate;
-  int index = 0;  // cluster for kPrivate; segment index otherwise
+  int index = 0;  // cluster for kPrivate; canonical segment id for kSegment
 
   friend bool operator==(const QueueDomain&, const QueueDomain&) = default;
   friend auto operator<=>(const QueueDomain&, const QueueDomain&) = default;
 };
 
-[[nodiscard]] std::string domain_name(const QueueDomain& domain);
+/// Diagnostic name of a domain on `topology`: "private[c]" or the
+/// topology's segment name ("ring-cw[i]", "mesh[a->b]", ...).
+[[nodiscard]] std::string domain_name(const Topology& topology, const QueueDomain& domain);
 
 struct Lifetime {
   int edge = -1;      // DDG edge index (always a kFlow edge)
@@ -46,9 +51,10 @@ struct Lifetime {
 };
 
 /// Resolves the queue domain of a flow edge given the placements of its
-/// endpoints.  Fails (Error) when the clusters are not ring-adjacent: the
-/// partitioner guarantees adjacency, so a violation is an internal error.
-[[nodiscard]] QueueDomain domain_of_edge(const MachineConfig& machine, int producer_cluster,
+/// endpoints.  Fails (Error) when the clusters are not adjacent on the
+/// topology: the partitioner guarantees adjacency, so a violation is an
+/// internal error.
+[[nodiscard]] QueueDomain domain_of_edge(const Topology& topology, int producer_cluster,
                                          int consumer_cluster);
 
 /// Extracts every flow edge's lifetime from a complete schedule.

@@ -27,11 +27,11 @@ int QueueAllocation::max_private_queues() const {
   return best;
 }
 
-int QueueAllocation::max_ring_queues() const {
-  std::map<std::pair<int, int>, int> per_segment;
+int QueueAllocation::max_segment_queues() const {
+  std::map<int, int> per_segment;
   for (const AllocatedQueue& q : queues) {
     if (q.domain.kind == QueueDomain::Kind::kPrivate) continue;
-    ++per_segment[{static_cast<int>(q.domain.kind), q.domain.index}];
+    ++per_segment[q.domain.index];
   }
   int best = 0;
   for (const auto& [segment, count] : per_segment) best = std::max(best, count);
@@ -46,6 +46,7 @@ int QueueAllocation::max_positions() const {
 
 std::vector<std::string> QueueAllocation::capacity_violations(const MachineConfig& machine) const {
   std::vector<std::string> violations;
+  const Topology topology = machine.topology();
   std::map<QueueDomain, int> counts;
   std::map<QueueDomain, int> depths;
   for (const AllocatedQueue& q : queues) {
@@ -55,15 +56,15 @@ std::vector<std::string> QueueAllocation::capacity_violations(const MachineConfi
   for (const auto& [domain, count] : counts) {
     const bool is_private = domain.kind == QueueDomain::Kind::kPrivate;
     const int queue_limit = is_private ? machine.cluster(domain.index).private_queues
-                                       : machine.ring.queues_per_direction;
+                                       : machine.segment.queues_per_segment;
     const int depth_limit =
-        is_private ? machine.cluster(domain.index).queue_depth : machine.ring.queue_depth;
+        is_private ? machine.cluster(domain.index).queue_depth : machine.segment.queue_depth;
     if (count > queue_limit) {
-      violations.push_back(cat(domain_name(domain), ": needs ", count, " queues, machine has ",
-                               queue_limit));
+      violations.push_back(cat(domain_name(topology, domain), ": needs ", count,
+                               " queues, machine has ", queue_limit));
     }
     if (depths.at(domain) > depth_limit) {
-      violations.push_back(cat(domain_name(domain), ": needs depth ", depths.at(domain),
+      violations.push_back(cat(domain_name(topology, domain), ": needs depth ", depths.at(domain),
                                ", machine has ", depth_limit));
     }
   }

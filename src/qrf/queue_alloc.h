@@ -1,7 +1,7 @@
 // Queue register file allocation.
 //
 // Partitions the lifetimes of a schedule into queues, per domain (private
-// QRF of each cluster; each directional ring segment).  All members of a
+// QRF of each cluster; each directed interconnect segment).  All members of a
 // queue must be pairwise Q-compatible — pairwise consistency implies a
 // globally consistent FIFO interleaving because push times impose a total
 // order that every pair's pops follow.  Exact minimisation is a clique
@@ -36,8 +36,8 @@ struct QueueAllocation {
   /// Largest private-QRF demand over clusters.
   [[nodiscard]] int max_private_queues() const;
 
-  /// Largest demand over ring segments (either direction).
-  [[nodiscard]] int max_ring_queues() const;
+  /// Largest demand over interconnect segments.
+  [[nodiscard]] int max_segment_queues() const;
 
   /// Total queues across every domain (the paper's Fig. 3 metric on
   /// single-cluster machines, where all queues are private).

@@ -9,7 +9,7 @@
 // A budget bounds total placements per II; on exhaustion II is bumped and
 // scheduling restarts.  With the default `SingleClusterAssigner` this is
 // exactly classic IMS; the partitioner of src/cluster/ supplies a
-// ring-topology-aware assigner (Section 4 of the paper).
+// topology-aware assigner (Section 4 of the paper).
 #pragma once
 
 #include <memory>
@@ -28,7 +28,7 @@ namespace qvliw {
 ///
 /// `legal(op, cluster)` must be true iff placing `op` in `cluster` keeps
 /// every *currently scheduled* flow neighbour's value path realisable
-/// (same cluster or ring-adjacent in the base scheme).  Implementations
+/// (same cluster or topology-adjacent in the base scheme).  Implementations
 /// observe placements through on_place/on_remove.
 class ClusterAssigner {
  public:
@@ -69,7 +69,7 @@ struct ImsOptions {
 
   /// Maximum IIs tried before giving up.  Raising the II relaxes timing
   /// but never communication structure, so a loop that is unplaceable
-  /// under the ring-adjacency constraint would otherwise burn the whole
+  /// under the adjacency constraint would otherwise burn the whole
   /// ladder; 32 attempts is far beyond what any schedulable loop needs.
   int max_ii_attempts = 32;
 

@@ -58,7 +58,7 @@ class Simulator {
       const QueueDomain& domain = allocation_.queues[q].domain;
       depth_limit_[q] = domain.kind == QueueDomain::Kind::kPrivate
                             ? machine_.cluster(domain.index).queue_depth
-                            : machine_.ring.queue_depth;
+                            : machine_.segment.queue_depth;
     }
 
     for (long long t = t_min_; t <= t_max_ && failure_.empty(); ++t) {

@@ -1,6 +1,7 @@
 #include "verify/verify.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <optional>
 #include <tuple>
@@ -176,18 +177,62 @@ ExpectedMemDep* find_expected_mem(std::vector<ExpectedMemDep>& expected, int src
 }
 
 /// Queue domain a flow between two placed clusters must live in,
-/// re-derived from the ring topology (clockwise segment c: c -> c+1,
-/// counter-clockwise segment c: c+1 -> c; clockwise wins the k == 2 tie).
-std::optional<QueueDomain> expected_domain(int cluster_count, int producer_cluster,
+/// re-derived here from the topology parameters alone — deliberately not
+/// by calling Topology::segment_between, so the verifier's notion of the
+/// canonical segment numbering is independent of the producer's.
+/// Ring: clockwise segments c -> c+1 get ids 0..k-1, counter-clockwise
+/// segments c+1 -> c get ids k..2k-1; clockwise wins the k == 2 tie.
+/// Mesh: one segment per directed grid-neighbour edge, enumerated
+/// source-major with destinations ascending.  Crossbar: one segment per
+/// ordered pair, enumerated the same way.
+std::optional<QueueDomain> expected_domain(const MachineConfig& machine, int producer_cluster,
                                            int consumer_cluster) {
   if (producer_cluster == consumer_cluster) {
     return QueueDomain{QueueDomain::Kind::kPrivate, producer_cluster};
   }
-  if ((producer_cluster + 1) % cluster_count == consumer_cluster) {
-    return QueueDomain{QueueDomain::Kind::kRingCw, producer_cluster};
-  }
-  if ((consumer_cluster + 1) % cluster_count == producer_cluster) {
-    return QueueDomain{QueueDomain::Kind::kRingCcw, consumer_cluster};
+  const int k = machine.cluster_count();
+  switch (machine.topology_kind) {
+    case TopologyKind::kRing:
+      if ((producer_cluster + 1) % k == consumer_cluster) {
+        return QueueDomain{QueueDomain::Kind::kSegment, producer_cluster};
+      }
+      if (k > 2 && (consumer_cluster + 1) % k == producer_cluster) {
+        return QueueDomain{QueueDomain::Kind::kSegment, k + consumer_cluster};
+      }
+      return std::nullopt;
+    case TopologyKind::kMesh: {
+      const int rows = machine.mesh_rows;
+      const int cols = machine.mesh_cols;
+      const int pr = producer_cluster / cols;
+      const int pc = producer_cluster % cols;
+      const int cr = consumer_cluster / cols;
+      const int cc = consumer_cluster % cols;
+      if (std::abs(pr - cr) + std::abs(pc - cc) != 1) return std::nullopt;
+      int id = 0;
+      for (int n = 0; n < producer_cluster; ++n) {
+        const int r = n / cols;
+        const int c = n % cols;
+        id += (r > 0 ? 1 : 0) + (r + 1 < rows ? 1 : 0) + (c > 0 ? 1 : 0) + (c + 1 < cols ? 1 : 0);
+      }
+      if (consumer_cluster == producer_cluster - cols) {
+        return QueueDomain{QueueDomain::Kind::kSegment, id};
+      }
+      id += pr > 0 ? 1 : 0;
+      if (consumer_cluster == producer_cluster - 1) {
+        return QueueDomain{QueueDomain::Kind::kSegment, id};
+      }
+      id += pc > 0 ? 1 : 0;
+      if (consumer_cluster == producer_cluster + 1) {
+        return QueueDomain{QueueDomain::Kind::kSegment, id};
+      }
+      id += pc + 1 < cols ? 1 : 0;
+      return QueueDomain{QueueDomain::Kind::kSegment, id};  // one row down
+    }
+    case TopologyKind::kCrossbar:
+      return QueueDomain{
+          QueueDomain::Kind::kSegment,
+          producer_cluster * (k - 1) +
+              (consumer_cluster < producer_cluster ? consumer_cluster : consumer_cluster - 1)};
   }
   return std::nullopt;
 }
@@ -199,9 +244,27 @@ void domain_limits(const MachineConfig& machine, const QueueDomain& domain, int&
     queue_limit = machine.cluster(domain.index).private_queues;
     depth_limit = machine.cluster(domain.index).queue_depth;
   } else {
-    queue_limit = machine.ring.queues_per_direction;
-    depth_limit = machine.ring.queue_depth;
+    queue_limit = machine.segment.queues_per_segment;
+    depth_limit = machine.segment.queue_depth;
   }
+}
+
+/// True when the domain's index is inside the machine's cluster/segment
+/// ranges (an untrusted bundle can claim anything).
+bool domain_in_range(const Topology& topology, const QueueDomain& domain) {
+  const int limit = domain.kind == QueueDomain::Kind::kPrivate ? topology.cluster_count()
+                                                               : topology.segment_count();
+  return domain.index >= 0 && domain.index < limit;
+}
+
+/// domain_name that tolerates out-of-range indices instead of throwing.
+std::string safe_domain_name(const Topology& topology, const QueueDomain& domain) {
+  if (!domain_in_range(topology, domain)) {
+    const std::string_view what =
+        domain.kind == QueueDomain::Kind::kPrivate ? "private[" : "segment[";
+    return cat(what, domain.index, "]");
+  }
+  return domain_name(topology, domain);
 }
 
 }  // namespace
@@ -409,6 +472,7 @@ VerifyReport verify_routing(const Loop& loop, const Ddg& graph, const MachineCon
   VerifyReport report;
   if (!shapes_agree(loop, graph, schedule, report)) return report;
 
+  const std::string_view kind = topology_kind_name(machine.topology_kind);
   for (int e = 0; e < graph.edge_count(); ++e) {
     const DepEdge& edge = graph.edge(e);
     if (!edge.is_value_flow()) continue;
@@ -418,12 +482,12 @@ VerifyReport verify_routing(const Loop& loop, const Ddg& graph, const MachineCon
     if (from < 0 || from >= machine.cluster_count() || to < 0 || to >= machine.cluster_count()) {
       continue;  // reported as sched-placement by the schedule pass
     }
-    const int hops = machine.ring_distance(from, to);
+    const int hops = machine.distance(from, to);
     if (hops > 1) {
       report.add(VerifyRule::kRouteAdjacency,
                  cat("value of ", op_label(loop, edge.src), " on cluster ", from,
                      " consumed by ", op_label(loop, edge.dst), " on cluster ", to, " (", hops,
-                     " ring hops; only adjacent clusters share a segment)"));
+                     " ", kind, " hops; only adjacent clusters share a segment)"));
     }
   }
 
@@ -464,6 +528,7 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
     return report;
   }
   const int ii = schedule.ii();
+  const Topology topology = machine.topology();
   if (allocation.ii != ii) {
     report.add(VerifyRule::kQueueIi,
                cat("allocation built for II=", allocation.ii, ", schedule has II=", ii));
@@ -512,8 +577,7 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
       usable = false;
     }
     const auto want_domain =
-        expected_domain(machine.cluster_count(), schedule.cluster(edge.src),
-                        schedule.cluster(edge.dst));
+        expected_domain(machine, schedule.cluster(edge.src), schedule.cluster(edge.dst));
     if (!want_domain.has_value()) {
       report.add(VerifyRule::kQueueDomain,
                  cat("edge ", lt.edge, " flows between non-adjacent clusters ",
@@ -522,8 +586,9 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
       usable = false;
     } else if (lt.domain != *want_domain) {
       report.add(VerifyRule::kQueueDomain,
-                 cat("lifetime of edge ", lt.edge, " filed under ", domain_name(lt.domain),
-                     ", placement implies ", domain_name(*want_domain)));
+                 cat("lifetime of edge ", lt.edge, " filed under ",
+                     safe_domain_name(topology, lt.domain), ", placement implies ",
+                     safe_domain_name(topology, *want_domain)));
       usable = false;
     }
     lifetime_usable[l] = usable;
@@ -573,8 +638,10 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
           allocation.lifetimes[static_cast<std::size_t>(l)].domain != queue.domain) {
         report.add(VerifyRule::kQueueAssignment,
                    cat("lifetime ", l, " lives in ",
-                       domain_name(allocation.lifetimes[static_cast<std::size_t>(l)].domain),
-                       " but its queue ", q, " belongs to ", domain_name(queue.domain)));
+                       safe_domain_name(topology,
+                                        allocation.lifetimes[static_cast<std::size_t>(l)].domain),
+                       " but its queue ", q, " belongs to ",
+                       safe_domain_name(topology, queue.domain)));
         assignment_ok = false;
       }
     }
@@ -635,8 +702,9 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
         if (!event.is_pop) {
           if (event.time == last_push_cycle) {
             report.add(VerifyRule::kQueuePort,
-                       cat("queue ", q, " (", domain_name(
-                               allocation.queues[static_cast<std::size_t>(q)].domain),
+                       cat("queue ", q, " (",
+                           safe_domain_name(
+                               topology, allocation.queues[static_cast<std::size_t>(q)].domain),
                            ") receives two pushes in cycle ", event.time));
             queue_ok = false;
             break;
@@ -685,8 +753,8 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
       ++queues_per_domain[queue.domain];
     }
     for (const auto& [domain, used] : queues_per_domain) {
-      if (domain.index < 0 || domain.index >= machine.cluster_count()) {
-        report.add(VerifyRule::kQueueDomain, cat("domain ", domain_name(domain),
+      if (!domain_in_range(topology, domain)) {
+        report.add(VerifyRule::kQueueDomain, cat("domain ", safe_domain_name(topology, domain),
                                                  " names a cluster/segment out of range"));
         continue;
       }
@@ -694,19 +762,19 @@ VerifyReport verify_queue_allocation(const Loop& loop, const Ddg& graph,
       int depth_limit = 0;
       domain_limits(machine, domain, queue_limit, depth_limit);
       if (used > queue_limit) {
-        report.add(VerifyRule::kQueueCapacity, cat(domain_name(domain), " needs ", used,
+        report.add(VerifyRule::kQueueCapacity, cat(domain_name(topology, domain), " needs ", used,
                                                    " queues, machine has ", queue_limit));
       }
     }
     for (int q = 0; q < queue_count; ++q) {
       const AllocatedQueue& queue = allocation.queues[static_cast<std::size_t>(q)];
-      if (queue.domain.index < 0 || queue.domain.index >= machine.cluster_count()) continue;
+      if (!domain_in_range(topology, queue.domain)) continue;
       int queue_limit = 0;
       int depth_limit = 0;
       domain_limits(machine, queue.domain, queue_limit, depth_limit);
       if (sim_occupancy[static_cast<std::size_t>(q)] > depth_limit) {
         report.add(VerifyRule::kQueueCapacity,
-                   cat("queue ", q, " (", domain_name(queue.domain), ") needs depth ",
+                   cat("queue ", q, " (", domain_name(topology, queue.domain), ") needs depth ",
                        sim_occupancy[static_cast<std::size_t>(q)], ", machine allows ",
                        depth_limit));
       }
@@ -731,8 +799,13 @@ VerifyReport verify_artifacts(const Loop& loop, const Ddg& graph, const MachineC
 
 namespace {
 
-// "QVBNDL" + format version.  Bump on any layout change below.
-constexpr std::uint64_t kVerifyBundleMagic = 0x5156424e444c0001ULL;
+// "QVBNDL" + format version.  Bump on any layout change below.  Version
+// 0002 added the machine's topology fields and collapsed the queue-domain
+// kinds to {private, segment}; version-0001 bundles are still decoded
+// (machines default to ring, cw/ccw domain kinds translate to canonical
+// segment ids).
+constexpr std::uint64_t kVerifyBundleMagic = 0x5156424e444c0002ULL;
+constexpr std::uint64_t kVerifyBundleMagicV1 = 0x5156424e444c0001ULL;
 constexpr int kMaxBundleItems = 1 << 24;
 
 void put_domain(BlobWriter& out, const QueueDomain& domain) {
@@ -740,10 +813,19 @@ void put_domain(BlobWriter& out, const QueueDomain& domain) {
   out.put_i32(domain.index);
 }
 
-QueueDomain get_domain(BlobReader& in) {
+QueueDomain get_domain(BlobReader& in, int version, int cluster_count) {
   const std::int32_t kind = in.get_i32();
-  if (kind < 0 || kind > 2) fail(cat("verify bundle: bad queue-domain kind ", kind));
   QueueDomain domain;
+  if (version == 1) {
+    // v1 kinds: 0 private, 1 ring-cw (segment i: i -> i+1), 2 ring-ccw
+    // (segment i: i+1 -> i, canonical id k+i).
+    if (kind < 0 || kind > 2) fail(cat("verify bundle: bad queue-domain kind ", kind));
+    domain.kind = kind == 0 ? QueueDomain::Kind::kPrivate : QueueDomain::Kind::kSegment;
+    domain.index = in.get_i32();
+    if (kind == 2) domain.index += cluster_count;
+    return domain;
+  }
+  if (kind < 0 || kind > 1) fail(cat("verify bundle: bad queue-domain kind ", kind));
   domain.kind = static_cast<QueueDomain::Kind>(kind);
   domain.index = in.get_i32();
   return domain;
@@ -778,7 +860,7 @@ void put_allocation(BlobWriter& out, const QueueAllocation& allocation) {
   }
 }
 
-QueueAllocation get_allocation(BlobReader& in) {
+QueueAllocation get_allocation(BlobReader& in, int version, int cluster_count) {
   QueueAllocation allocation;
   allocation.ii = in.get_i32();
   if (allocation.ii < 1) fail(cat("verify bundle: allocation II ", allocation.ii));
@@ -791,7 +873,7 @@ QueueAllocation get_allocation(BlobReader& in) {
     lt.consumer = in.get_i32();
     lt.push = in.get_i32();
     lt.pop = in.get_i32();
-    lt.domain = get_domain(in);
+    lt.domain = get_domain(in, version, cluster_count);
     allocation.lifetimes.push_back(lt);
   }
   const int assignments = get_count(in, "queue_of");
@@ -801,7 +883,7 @@ QueueAllocation get_allocation(BlobReader& in) {
   allocation.queues.reserve(static_cast<std::size_t>(queues));
   for (int q = 0; q < queues; ++q) {
     AllocatedQueue queue;
-    queue.domain = get_domain(in);
+    queue.domain = get_domain(in, version, cluster_count);
     queue.index_in_domain = in.get_i32();
     queue.max_occupancy = in.get_i32();
     const int members = get_count(in, "queue member");
@@ -849,13 +931,23 @@ std::string encode_verify_bundle(const VerifyBundle& bundle) {
 
 VerifyBundle decode_verify_bundle(const std::string& blob) {
   BlobReader in(blob);
-  if (in.get_u64() != kVerifyBundleMagic) fail("verify bundle: bad magic");
+  const std::uint64_t magic = in.get_u64();
+  int version = 0;
+  if (magic == kVerifyBundleMagic) {
+    version = 2;
+  } else if (magic == kVerifyBundleMagicV1) {
+    version = 1;
+  } else {
+    fail("verify bundle: bad magic");
+  }
   VerifyBundle bundle;
   bundle.loop = deserialize_loop(in);
-  bundle.machine = deserialize_machine(in);
+  bundle.machine = deserialize_machine(in, version);
   bundle.schedule = deserialize_schedule(in);
   bundle.has_allocation = in.get_bool();
-  if (bundle.has_allocation) bundle.allocation = get_allocation(in);
+  if (bundle.has_allocation) {
+    bundle.allocation = get_allocation(in, version, bundle.machine.cluster_count());
+  }
   bundle.check_fanout = in.get_bool();
   bundle.must_fit = in.get_bool();
   in.require_exhausted("verify bundle");

@@ -12,9 +12,10 @@
 //      per edge, conflict freedom on a freshly built modulo occupancy map
 //      (not sched/reservation.h), and op-to-cluster/FU-class placement
 //      range checks.
-//   3. Copy/route legality — every value flow hops at most one ring
-//      segment, and (when copy insertion was requested) queue fan-out
-//      discipline holds: one consumer per value, two for copy results.
+//   3. Copy/route legality — every value flow hops at most one
+//      interconnect segment, and (when copy insertion was requested) queue
+//      fan-out discipline holds: one consumer per value, two for copy
+//      results.
 //   4. Queue-RF legality — lifetimes re-derived from the schedule, FIFO
 //      read order and the one-push/one-pop-per-cycle port rule checked by
 //      a joint FIFO simulation per queue (not qrf/qcompat.h's closed
@@ -52,7 +53,7 @@ enum class VerifyRule : std::uint8_t {
   kSchedDependence,       // sigma(dst) < sigma(src) + lat - II*dist
   kSchedPlacement,        // cluster or FU instance out of range for the op's class
   kSchedResource,         // two ops share one FU instance's modulo slot
-  kRouteAdjacency,        // value flow between non-adjacent ring clusters
+  kRouteAdjacency,        // value flow between non-adjacent clusters
   kRouteFanout,           // more consumers than the queue fan-out discipline allows
   kQueueIi,               // allocation II disagrees with the schedule
   kQueueLifetime,         // lifetime endpoints/push/pop disagree with the schedule
@@ -100,9 +101,9 @@ struct VerifyReport {
                                                   const MachineConfig& machine,
                                                   const Schedule& schedule);
 
-/// Pass 3: communication legality on the ring (every flow edge spans at
-/// most one segment) and — with `check_fanout` — the queue fan-out
-/// discipline copy insertion exists to restore.
+/// Pass 3: communication legality on the interconnect (every flow edge
+/// spans at most one segment) and — with `check_fanout` — the queue
+/// fan-out discipline copy insertion exists to restore.
 [[nodiscard]] VerifyReport verify_routing(const Loop& loop, const Ddg& graph,
                                           const MachineConfig& machine, const Schedule& schedule,
                                           bool check_fanout);

@@ -1,6 +1,6 @@
 // Move insertion for inter-cluster routing (the paper's future work).
 //
-// The base partitioning scheme only lets a value flow between ring-adjacent
+// The base partitioning scheme only lets a value flow between topology-adjacent
 // clusters; the paper's conclusion proposes `move` operations to relay
 // values across intermediate clusters.  This transform splits one flow
 // edge with a chain of moves: each hop is an ordinary DDG op executed on a

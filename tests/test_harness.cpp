@@ -58,7 +58,7 @@ TEST(Pipeline, ClusteredPathReportsRingQueues) {
   const LoopResult r =
       run_pipeline(kernel_by_name("fir8"), MachineConfig::clustered_machine(4), options);
   ASSERT_TRUE(r.ok) << r.failure;
-  EXPECT_GE(r.max_ring_queues, 0);
+  EXPECT_GE(r.max_segment_queues, 0);
   EXPECT_GT(r.max_private_queues, 0);
 }
 

@@ -56,49 +56,70 @@ TEST(LiveInstances, MaxMatchesBruteForce) {
 }
 
 TEST(DomainOfEdge, PrivateSameCluster) {
-  const MachineConfig m = MachineConfig::clustered_machine(4);
-  const QueueDomain d = domain_of_edge(m, 2, 2);
+  const Topology t = MachineConfig::clustered_machine(4).topology();
+  const QueueDomain d = domain_of_edge(t, 2, 2);
   EXPECT_EQ(d.kind, QueueDomain::Kind::kPrivate);
   EXPECT_EQ(d.index, 2);
 }
 
 TEST(DomainOfEdge, ClockwiseSegment) {
-  const MachineConfig m = MachineConfig::clustered_machine(4);
-  const QueueDomain d = domain_of_edge(m, 1, 2);
-  EXPECT_EQ(d.kind, QueueDomain::Kind::kRingCw);
+  // Clockwise ring segments keep their historical canonical ids 0..k-1.
+  const Topology t = MachineConfig::clustered_machine(4).topology();
+  const QueueDomain d = domain_of_edge(t, 1, 2);
+  EXPECT_EQ(d.kind, QueueDomain::Kind::kSegment);
   EXPECT_EQ(d.index, 1);
-  const QueueDomain wrap = domain_of_edge(m, 3, 0);
-  EXPECT_EQ(wrap.kind, QueueDomain::Kind::kRingCw);
+  const QueueDomain wrap = domain_of_edge(t, 3, 0);
+  EXPECT_EQ(wrap.kind, QueueDomain::Kind::kSegment);
   EXPECT_EQ(wrap.index, 3);
 }
 
 TEST(DomainOfEdge, CounterClockwiseSegment) {
-  const MachineConfig m = MachineConfig::clustered_machine(4);
-  const QueueDomain d = domain_of_edge(m, 2, 1);
-  EXPECT_EQ(d.kind, QueueDomain::Kind::kRingCcw);
-  EXPECT_EQ(d.index, 1);
-  const QueueDomain wrap = domain_of_edge(m, 0, 3);
-  EXPECT_EQ(wrap.kind, QueueDomain::Kind::kRingCcw);
-  EXPECT_EQ(wrap.index, 3);
+  // Counter-clockwise segment i ((i+1) -> i) has canonical id k + i.
+  const Topology t = MachineConfig::clustered_machine(4).topology();
+  const QueueDomain d = domain_of_edge(t, 2, 1);
+  EXPECT_EQ(d.kind, QueueDomain::Kind::kSegment);
+  EXPECT_EQ(d.index, 4 + 1);
+  const QueueDomain wrap = domain_of_edge(t, 0, 3);
+  EXPECT_EQ(wrap.kind, QueueDomain::Kind::kSegment);
+  EXPECT_EQ(wrap.index, 4 + 3);
 }
 
 TEST(DomainOfEdge, NonAdjacentFails) {
-  const MachineConfig m = MachineConfig::clustered_machine(5);
-  EXPECT_THROW((void)domain_of_edge(m, 0, 2), Error);
+  const Topology t = MachineConfig::clustered_machine(5).topology();
+  EXPECT_THROW((void)domain_of_edge(t, 0, 2), Error);
 }
 
 TEST(DomainOfEdge, TwoClusterRingUsesClockwise) {
-  const MachineConfig m = MachineConfig::clustered_machine(2);
-  EXPECT_EQ(domain_of_edge(m, 0, 1).kind, QueueDomain::Kind::kRingCw);
-  EXPECT_EQ(domain_of_edge(m, 0, 1).index, 0);
-  EXPECT_EQ(domain_of_edge(m, 1, 0).kind, QueueDomain::Kind::kRingCw);
-  EXPECT_EQ(domain_of_edge(m, 1, 0).index, 1);
+  const Topology t = MachineConfig::clustered_machine(2).topology();
+  EXPECT_EQ(domain_of_edge(t, 0, 1).kind, QueueDomain::Kind::kSegment);
+  EXPECT_EQ(domain_of_edge(t, 0, 1).index, 0);
+  EXPECT_EQ(domain_of_edge(t, 1, 0).kind, QueueDomain::Kind::kSegment);
+  EXPECT_EQ(domain_of_edge(t, 1, 0).index, 1);
+}
+
+TEST(DomainOfEdge, MeshAndCrossbarSegments) {
+  const Topology mesh = MachineConfig::mesh_machine(2, 2).topology();
+  // 2x2 mesh segments, source-major, destinations ascending:
+  // 0:[0->1] 1:[0->2] 2:[1->0] 3:[1->3] 4:[2->0] 5:[2->3] 6:[3->1] 7:[3->2]
+  EXPECT_EQ(domain_of_edge(mesh, 0, 1).index, 0);
+  EXPECT_EQ(domain_of_edge(mesh, 0, 2).index, 1);
+  EXPECT_EQ(domain_of_edge(mesh, 3, 1).index, 6);
+  EXPECT_THROW((void)domain_of_edge(mesh, 0, 3), Error);  // diagonal
+
+  const Topology xbar = MachineConfig::crossbar_machine(4).topology();
+  EXPECT_EQ(domain_of_edge(xbar, 0, 3).index, 2);
+  EXPECT_EQ(domain_of_edge(xbar, 3, 0).index, 9);
 }
 
 TEST(DomainName, Formats) {
-  EXPECT_EQ(domain_name({QueueDomain::Kind::kPrivate, 3}), "private[3]");
-  EXPECT_EQ(domain_name({QueueDomain::Kind::kRingCw, 0}), "ring-cw[0]");
-  EXPECT_EQ(domain_name({QueueDomain::Kind::kRingCcw, 2}), "ring-ccw[2]");
+  const Topology ring = MachineConfig::clustered_machine(4).topology();
+  EXPECT_EQ(domain_name(ring, {QueueDomain::Kind::kPrivate, 3}), "private[3]");
+  EXPECT_EQ(domain_name(ring, {QueueDomain::Kind::kSegment, 0}), "ring-cw[0]");
+  EXPECT_EQ(domain_name(ring, {QueueDomain::Kind::kSegment, 4 + 2}), "ring-ccw[2]");
+  const Topology mesh = MachineConfig::mesh_machine(2, 2).topology();
+  EXPECT_EQ(domain_name(mesh, {QueueDomain::Kind::kSegment, 0}), "mesh[0->1]");
+  const Topology xbar = MachineConfig::crossbar_machine(3).topology();
+  EXPECT_EQ(domain_name(xbar, {QueueDomain::Kind::kSegment, 5}), "xbar[2->1]");
 }
 
 TEST(ExtractLifetimes, PushPopTimesFromSchedule) {

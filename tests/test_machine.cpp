@@ -64,7 +64,8 @@ TEST(Machine, ClusteredShape) {
   EXPECT_FALSE(m.single_cluster());
   EXPECT_EQ(m.total_compute_fus(), 12);
   EXPECT_EQ(m.total_fus(FuKind::kCopy), 4);
-  EXPECT_EQ(m.ring.queues_per_direction, 8);
+  EXPECT_EQ(m.segment.queues_per_segment, 8);
+  EXPECT_EQ(m.topology_kind, TopologyKind::kRing);
 }
 
 TEST(Machine, ClusteredRejectsOne) {
@@ -73,18 +74,18 @@ TEST(Machine, ClusteredRejectsOne) {
 
 TEST(Ring, DistanceOnFourRing) {
   const MachineConfig m = MachineConfig::clustered_machine(4);
-  EXPECT_EQ(m.ring_distance(0, 0), 0);
-  EXPECT_EQ(m.ring_distance(0, 1), 1);
-  EXPECT_EQ(m.ring_distance(0, 2), 2);
-  EXPECT_EQ(m.ring_distance(0, 3), 1);  // wraps
-  EXPECT_EQ(m.ring_distance(3, 0), 1);
+  EXPECT_EQ(m.distance(0, 0), 0);
+  EXPECT_EQ(m.distance(0, 1), 1);
+  EXPECT_EQ(m.distance(0, 2), 2);
+  EXPECT_EQ(m.distance(0, 3), 1);  // wraps
+  EXPECT_EQ(m.distance(3, 0), 1);
 }
 
 TEST(Ring, DistanceOnSixRing) {
   const MachineConfig m = MachineConfig::clustered_machine(6);
-  EXPECT_EQ(m.ring_distance(0, 3), 3);
-  EXPECT_EQ(m.ring_distance(1, 5), 2);
-  EXPECT_EQ(m.ring_distance(5, 1), 2);
+  EXPECT_EQ(m.distance(0, 3), 3);
+  EXPECT_EQ(m.distance(1, 5), 2);
+  EXPECT_EQ(m.distance(5, 1), 2);
 }
 
 TEST(Ring, Adjacency) {
@@ -96,19 +97,58 @@ TEST(Ring, Adjacency) {
   EXPECT_FALSE(m.adjacent(0, 3));
 }
 
-TEST(Ring, ClockwiseDistance) {
-  const MachineConfig m = MachineConfig::clustered_machine(4);
-  EXPECT_EQ(m.clockwise_distance(0, 3), 3);
-  EXPECT_EQ(m.clockwise_distance(3, 0), 1);
-  EXPECT_EQ(m.clockwise_distance(2, 2), 0);
+TEST(Ring, NextHop) {
+  const MachineConfig m = MachineConfig::clustered_machine(6);
+  EXPECT_EQ(m.next_hop(0, 2), 1);
+  EXPECT_EQ(m.next_hop(0, 5), 5);   // counter-clockwise is shorter
+  EXPECT_EQ(m.next_hop(0, 3), 1);   // tie -> clockwise
+  EXPECT_THROW((void)m.next_hop(2, 2), Error);
 }
 
-TEST(Ring, StepToward) {
-  const MachineConfig m = MachineConfig::clustered_machine(6);
-  EXPECT_EQ(m.step_toward(0, 2), 1);
-  EXPECT_EQ(m.step_toward(0, 5), 5);   // counter-clockwise is shorter
-  EXPECT_EQ(m.step_toward(0, 3), 1);   // tie -> clockwise
-  EXPECT_THROW((void)m.step_toward(2, 2), Error);
+TEST(Machine, MeshShape) {
+  const MachineConfig m = MachineConfig::mesh_machine(3, 3);
+  EXPECT_EQ(m.cluster_count(), 9);
+  EXPECT_EQ(m.topology_kind, TopologyKind::kMesh);
+  EXPECT_EQ(m.name, "mesh-3x3x3fu");
+  EXPECT_EQ(m.distance(0, 8), 4);  // corner to corner, Manhattan
+  EXPECT_TRUE(m.adjacent(4, 1));
+  EXPECT_FALSE(m.adjacent(0, 4));  // diagonal
+}
+
+TEST(Machine, CrossbarShape) {
+  const MachineConfig m = MachineConfig::crossbar_machine(4);
+  EXPECT_EQ(m.topology_kind, TopologyKind::kCrossbar);
+  EXPECT_EQ(m.name, "xbar-4x3fu");
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) EXPECT_TRUE(m.adjacent(a, b));
+  }
+}
+
+TEST(Machine, TopologyMachineFactorsMeshes) {
+  EXPECT_EQ(MachineConfig::topology_machine(TopologyKind::kMesh, 9).name, "mesh-3x3x3fu");
+  EXPECT_EQ(MachineConfig::topology_machine(TopologyKind::kMesh, 6).name, "mesh-2x3x3fu");
+  EXPECT_EQ(MachineConfig::topology_machine(TopologyKind::kMesh, 7).name, "mesh-1x7x3fu");
+  EXPECT_EQ(MachineConfig::topology_machine(TopologyKind::kRing, 4).name, "ring-4x3fu");
+  EXPECT_EQ(MachineConfig::topology_machine(TopologyKind::kCrossbar, 4).name, "xbar-4x3fu");
+}
+
+TEST(Machine, ValidateCatchesBadMeshDims) {
+  MachineConfig m = MachineConfig::mesh_machine(2, 3);
+  m.mesh_rows = 3;  // 3x3 != 6 clusters
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(Machine, SignatureSeparatesTopologies) {
+  // Same cluster/segment resources, different interconnects: the sweep
+  // cache must never serve a ring artifact to a mesh machine.
+  const auto ring = MachineConfig::clustered_machine(4);
+  const auto mesh = MachineConfig::mesh_machine(2, 2);
+  const auto wide = MachineConfig::mesh_machine(1, 4);
+  const auto xbar = MachineConfig::crossbar_machine(4);
+  EXPECT_NE(ring.signature(), mesh.signature());
+  EXPECT_NE(ring.signature(), xbar.signature());
+  EXPECT_NE(mesh.signature(), xbar.signature());
+  EXPECT_NE(mesh.signature(), wide.signature());
 }
 
 TEST(Machine, ValidateCatchesMissingFuKind) {

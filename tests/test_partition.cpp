@@ -117,7 +117,7 @@ TEST(Partition, AssignerTracksPlacements) {
   const Loop loop = insert_copies(kernel_by_name("vadd")).loop;
   const MachineConfig machine = MachineConfig::clustered_machine(4);
   const Ddg graph = Ddg::build(loop, machine.latency);
-  RingClusterAssigner assigner(loop, graph, machine, ClusterHeuristic::kAffinity);
+  TopologyClusterAssigner assigner(loop, graph, machine, ClusterHeuristic::kAffinity);
   assigner.reset(2);
   EXPECT_EQ(assigner.cluster_of(0), -1);
   assigner.on_place(0, 2);
@@ -132,7 +132,7 @@ TEST(Partition, LegalityFollowsNeighbours) {
   const Loop loop = parse_loop("loop t { x = load X[i]; store Y[i], x; }");
   const MachineConfig machine = MachineConfig::clustered_machine(5);
   const Ddg graph = Ddg::build(loop, machine.latency);
-  RingClusterAssigner assigner(loop, graph, machine, ClusterHeuristic::kAffinity);
+  TopologyClusterAssigner assigner(loop, graph, machine, ClusterHeuristic::kAffinity);
   assigner.reset(1);
   assigner.on_place(0, 0);
   EXPECT_TRUE(assigner.legal(1, 0));

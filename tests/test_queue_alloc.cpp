@@ -91,7 +91,7 @@ TEST(QueueAlloc, SingleClusterHasOnlyPrivateQueues) {
     EXPECT_EQ(q.domain.index, 0);
   }
   EXPECT_EQ(a.max_private_queues(), a.total_queues());
-  EXPECT_EQ(a.max_ring_queues(), 0);
+  EXPECT_EQ(a.max_segment_queues(), 0);
 }
 
 TEST(QueueAlloc, OccupancyPositiveAndBounded) {
@@ -167,7 +167,7 @@ TEST(QueueAlloc, DomainQueueCount) {
   const QueueAllocation a = allocate_kernel("vadd", 6);
   const QueueDomain d{QueueDomain::Kind::kPrivate, 0};
   EXPECT_EQ(a.domain_queue_count(d), a.total_queues());
-  EXPECT_EQ(a.domain_queue_count({QueueDomain::Kind::kRingCw, 0}), 0);
+  EXPECT_EQ(a.domain_queue_count({QueueDomain::Kind::kSegment, 0}), 0);
 }
 
 }  // namespace

@@ -90,7 +90,7 @@ TEST(QueueFit, ClusteredMachineEnforcement) {
   MachineConfig ring = MachineConfig::clustered_machine(4);
   // The paper's 8-queue private files with a tighter depth.
   for (auto& cluster : ring.clusters) cluster.queue_depth = 4;
-  ring.ring.queue_depth = 4;
+  ring.segment.queue_depth = 4;
   PipelineOptions options;
   options.scheduler = SchedulerKind::kClustered;
   options.enforce_queue_limits = true;

@@ -82,7 +82,7 @@ void expect_identical(const LoopResult& a, const LoopResult& b, const std::strin
   EXPECT_EQ(a.ipc_dynamic, b.ipc_dynamic) << where;
   EXPECT_EQ(a.total_queues, b.total_queues) << where;
   EXPECT_EQ(a.max_private_queues, b.max_private_queues) << where;
-  EXPECT_EQ(a.max_ring_queues, b.max_ring_queues) << where;
+  EXPECT_EQ(a.max_segment_queues, b.max_segment_queues) << where;
   EXPECT_EQ(a.max_positions, b.max_positions) << where;
   EXPECT_EQ(a.registers, b.registers) << where;
   EXPECT_EQ(a.fits_machine_queues, b.fits_machine_queues) << where;

@@ -53,8 +53,8 @@ MachineConfig random_machine(Rng& rng) {
     machine = MachineConfig::single_cluster_machine(3 * rng.uniform_int(1, 4));
   } else {
     machine = MachineConfig::clustered_machine(clusters);
-    machine.ring.queues_per_direction = 4 << rng.uniform_int(0, 1);
-    machine.ring.queue_depth = 8 << rng.uniform_int(0, 1);
+    machine.segment.queues_per_segment = 4 << rng.uniform_int(0, 1);
+    machine.segment.queue_depth = 8 << rng.uniform_int(0, 1);
   }
   for (ClusterConfig& cluster : machine.clusters) {
     cluster.fus(FuKind::kLS) = rng.uniform_int(1, 2);
@@ -78,7 +78,7 @@ std::string describe_machine(const MachineConfig& machine) {
                "A ", cluster.fus(FuKind::kMul), "M ", cluster.fus(FuKind::kCopy), "C q",
                cluster.private_queues, "x", cluster.queue_depth);
   }
-  return out + cat("] ring q", machine.ring.queues_per_direction, "x", machine.ring.queue_depth);
+  return out + cat("] ring q", machine.segment.queues_per_segment, "x", machine.segment.queue_depth);
 }
 
 /// Smallest trip count (from a short ladder) still failing the checked

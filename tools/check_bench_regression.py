@@ -124,6 +124,19 @@ def check_stages(baseline, fresh, stage_tolerance):
 
 
 def check(baseline, fresh, tolerance, speedup_floor=1.5, stage_tolerance=0.50):
+    # Throughput baselines are per-machine: a ring baseline gated against a
+    # mesh or crossbar run would compare apples to oranges.  Files
+    # predating the topology fields are implicitly the 4-cluster ring.
+    base_machine = (baseline.get("topology", "ring"), baseline.get("clusters", 4))
+    fresh_machine = (fresh.get("topology", "ring"), fresh.get("clusters", 4))
+    if base_machine != fresh_machine:
+        print(
+            f"FAIL: baseline measured {base_machine[0]}-{base_machine[1]} but the "
+            f"fresh run measured {fresh_machine[0]}-{fresh_machine[1]}; gate each "
+            "topology against a baseline generated with the same --topology/--clusters"
+        )
+        return 1
+
     if not fresh.get("results_identical", False):
         print("FAIL: fresh run reports results_identical: false (cache correctness bug)")
         return 1

@@ -73,6 +73,31 @@ class GateVerdicts(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("results_identical", out)
 
+    def test_topology_fields_tolerated(self):
+        baseline = bench_json()
+        fresh = bench_json()
+        for doc in (baseline, fresh):
+            doc["topology"] = "mesh"
+            doc["clusters"] = 9
+        code, out = run_gate(baseline, fresh)
+        self.assertEqual(code, 0, out)
+
+    def test_topology_mismatch_fails(self):
+        fresh = bench_json()
+        fresh["topology"] = "mesh"
+        fresh["clusters"] = 9
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("ring-4", out)
+        self.assertIn("mesh-9", out)
+
+    def test_baseline_without_topology_fields_is_ring4(self):
+        fresh = bench_json()
+        fresh["topology"] = "ring"
+        fresh["clusters"] = 4
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 0, out)
+
     def test_degraded_warm_ii_fails(self):
         code, out = run_gate(bench_json(), bench_json(never_worse=False))
         self.assertEqual(code, 1)
