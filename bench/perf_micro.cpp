@@ -85,6 +85,50 @@ bool iis_never_worse(const SweepResult& cold, const SweepResult& warm) {
   return true;
 }
 
+/// Search-effort telemetry summed over every cell of a run (the new
+/// ImsStats fields the arena searcher reports).
+struct SchedTelemetry {
+  long long placements = 0;
+  long long evictions = 0;
+  long long forced = 0;
+  long long budget_spent = 0;
+  long long mii_optimal = 0;   // cells whose accepted II == MII
+  bool ii_consistent = true;   // every mii_optimal cell really has ii == mii
+};
+
+SchedTelemetry sched_telemetry(const SweepResult& sweep) {
+  SchedTelemetry t;
+  for (const std::vector<LoopResult>& point : sweep.by_point) {
+    for (const LoopResult& r : point) {
+      t.placements += r.sched_stats.placements;
+      t.evictions += r.sched_stats.evictions;
+      t.forced += r.sched_stats.forced;
+      t.budget_spent += r.sched_stats.budget_spent;
+      if (r.sched_stats.mii_optimal) {
+        ++t.mii_optimal;
+        if (!r.ok || r.ii != r.mii) t.ii_consistent = false;
+      }
+    }
+  }
+  return t;
+}
+
+/// The MII-optimality bit is an outcome property (II == MII), so it must
+/// agree cell-for-cell across runs regardless of how each run obtained
+/// its schedule (search, warm seed, or ladder memo install).
+bool mii_optimal_identical(const SweepResult& a, const SweepResult& b) {
+  if (a.by_point.size() != b.by_point.size()) return false;
+  for (std::size_t p = 0; p < a.by_point.size(); ++p) {
+    if (a.by_point[p].size() != b.by_point[p].size()) return false;
+    for (std::size_t i = 0; i < a.by_point[p].size(); ++i) {
+      if (a.by_point[p][i].sched_stats.mii_optimal != b.by_point[p][i].sched_stats.mii_optimal) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 void print_backends(std::ostream& os) {
   os << "registered scheduler backends:";
   for (const std::string& name : SchedulerRegistry::instance().names()) os << " " << name;
@@ -103,6 +147,7 @@ void write_stage_seconds(std::ostream& os, const SweepResult& sweep, const char*
 }
 
 void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
+  const SchedTelemetry telemetry = sched_telemetry(sweep);
   const double backend_s = bench::backend_seconds(sweep);
   const double backend_lps =
       backend_s > 0.0 ? static_cast<double>(sweep.pipelines) / backend_s : 0.0;
@@ -125,6 +170,8 @@ void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
      << "    \"warm_start_hit_rate\": " << fixed(sweep.cache.warm_hit_rate(), 6) << ",\n"
      << "    \"warm_probes\": " << sweep.cache.warm_probes << ",\n"
      << "    \"warm_hits\": " << sweep.cache.warm_hits << ",\n"
+     << "    \"sched_memo_probes\": " << sweep.cache.sched_memo_probes << ",\n"
+     << "    \"sched_memo_hits\": " << sweep.cache.sched_memo_hits << ",\n"
      << "    \"unroll_probe_factors\": " << sweep.cache.probe_factors << ",\n"
      << "    \"unroll_probe_naive_fallbacks\": " << sweep.cache.probe_fallbacks << ",\n"
      << "    \"verify_checked\": " << sweep.verify_checked() << ",\n"
@@ -133,6 +180,13 @@ void write_run(std::ostream& os, const char* name, const SweepResult& sweep) {
      << "    \"verify_memo_hits\": " << sweep.cache.verify_memo_hits << ",\n"
      << "    \"alloc_memo_probes\": " << sweep.cache.alloc_memo_probes << ",\n"
      << "    \"alloc_memo_hits\": " << sweep.cache.alloc_memo_hits << ",\n"
+     << "    \"sched_placements\": " << telemetry.placements << ",\n"
+     << "    \"sched_evictions\": " << telemetry.evictions << ",\n"
+     << "    \"sched_forced\": " << telemetry.forced << ",\n"
+     << "    \"sched_budget_spent\": " << telemetry.budget_spent << ",\n"
+     << "    \"sched_mii_optimal\": " << telemetry.mii_optimal << ",\n"
+     << "    \"mii_optimal_ii_consistent\": " << (telemetry.ii_consistent ? "true" : "false")
+     << ",\n"
      << "    \"tasks_replayed\": " << sweep.checkpoint.tasks_replayed << ",\n"
      << "    \"tasks_executed\": " << sweep.checkpoint.tasks_executed << ",\n"
      << "    \"journal_bytes\": " << sweep.checkpoint.journal_bytes << ",\n"
@@ -247,6 +301,8 @@ int run(int argc, char** argv) {
   const bool identical = results_identical(uncached, cached);
   const bool warm_identical = results_identical(uncached, warm);
   const bool never_worse = iis_never_worse(cached, warm);
+  const bool optimality_identical =
+      mii_optimal_identical(uncached, cached) && mii_optimal_identical(uncached, warm);
   const bool checkpoint_identical =
       results_identical(cached, checkpointed) && results_identical(cached, replayed) &&
       replayed.checkpoint.tasks_executed == 0 &&
@@ -288,6 +344,9 @@ int run(int argc, char** argv) {
             << cached.cache.mii_disk_probes << " MII maps + " << warm.cache.sched_disk_hits
             << "/" << warm.cache.sched_disk_probes
             << " warm schedules warm (rerun the bench for a fully warm start)\n"
+            << "ladder memo: " << cached.cache.sched_memo_hits << "/"
+            << cached.cache.sched_memo_probes << " MII-optimal installs cached, "
+            << warm.cache.sched_memo_hits << "/" << warm.cache.sched_memo_probes << " warm\n"
             << "verify: strict on every run; " << cached.verify_checked()
             << " artifact bundles checked cold, " << warm.verify_checked() << " warm, "
             << cached.verify_violations() + warm.verify_violations() << " violation(s)\n";
@@ -338,11 +397,12 @@ int run(int argc, char** argv) {
       << "  \"warm_iis_never_worse\": " << (never_worse ? "true" : "false") << ",\n"
       << "  \"checkpoint_results_identical\": " << (checkpoint_identical ? "true" : "false")
       << ",\n"
+      << "  \"mii_optimal_identical\": " << (optimality_identical ? "true" : "false") << ",\n"
       << "  \"results_identical\": " << (identical && warm_identical ? "true" : "false") << "\n"
       << "}\n";
   std::cout << "\nwrote " << out_path << "\n";
   return identical && warm_identical && never_worse && checkpoint_identical &&
-                 parallel_identical
+                 parallel_identical && optimality_identical
              ? 0
              : 1;
 }

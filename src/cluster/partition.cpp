@@ -52,9 +52,11 @@ TopologyClusterAssigner::TopologyClusterAssigner(const Loop& loop, const Ddg& gr
 }
 
 void TopologyClusterAssigner::reset(int) {
+  // Called at the top of every II attempt: plain assigns on flat vectors
+  // reuse the storage from the previous attempt (no per-attempt heap
+  // traffic in the searcher's reset path).
   cluster_of_.assign(kind_of_.size(), -1);
-  load_.assign(static_cast<std::size_t>(machine_.cluster_count()),
-               std::vector<int>(kNumFuKinds, 0));
+  load_.assign(static_cast<std::size_t>(machine_.cluster_count() * kNumFuKinds), 0);
 }
 
 int TopologyClusterAssigner::cluster_of(int op) const {
@@ -64,7 +66,8 @@ int TopologyClusterAssigner::cluster_of(int op) const {
 double TopologyClusterAssigner::score(int op, int cluster) const {
   const int k = machine_.cluster_count();
   const FuKind kind = kind_of_[static_cast<std::size_t>(op)];
-  const int kind_load = load_[static_cast<std::size_t>(cluster)][static_cast<std::size_t>(kind)];
+  const int kind_load =
+      load_[static_cast<std::size_t>(cluster * kNumFuKinds) + static_cast<std::size_t>(kind)];
   const int kind_fus = machine_.fu_count(cluster, kind);
   const double pressure =
       kind_fus > 0 ? static_cast<double>(kind_load) / kind_fus : 1e9;
@@ -98,10 +101,10 @@ void TopologyClusterAssigner::candidates(int op, std::vector<int>& out) {
   const int k = machine_.cluster_count();
   out.resize(static_cast<std::size_t>(k));
   std::iota(out.begin(), out.end(), 0);
-  std::vector<double> scores(static_cast<std::size_t>(k));
-  for (int c = 0; c < k; ++c) scores[static_cast<std::size_t>(c)] = score(op, c);
-  std::stable_sort(out.begin(), out.end(), [&scores](int a, int b) {
-    return scores[static_cast<std::size_t>(a)] > scores[static_cast<std::size_t>(b)];
+  scores_.resize(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) scores_[static_cast<std::size_t>(c)] = score(op, c);
+  std::stable_sort(out.begin(), out.end(), [this](int a, int b) {
+    return scores_[static_cast<std::size_t>(a)] > scores_[static_cast<std::size_t>(b)];
   });
 }
 
@@ -130,15 +133,15 @@ void TopologyClusterAssigner::adjacency_evictions(int op, int cluster, std::vect
 
 void TopologyClusterAssigner::on_place(int op, int cluster) {
   cluster_of_[static_cast<std::size_t>(op)] = cluster;
-  load_[static_cast<std::size_t>(cluster)][static_cast<std::size_t>(
-      kind_of_[static_cast<std::size_t>(op)])] += 1;
+  load_[static_cast<std::size_t>(cluster * kNumFuKinds) +
+        static_cast<std::size_t>(kind_of_[static_cast<std::size_t>(op)])] += 1;
 }
 
 void TopologyClusterAssigner::on_remove(int op) {
   const int cluster = cluster_of_[static_cast<std::size_t>(op)];
   QVLIW_ASSERT(cluster >= 0, "on_remove of an unplaced op");
-  load_[static_cast<std::size_t>(cluster)][static_cast<std::size_t>(
-      kind_of_[static_cast<std::size_t>(op)])] -= 1;
+  load_[static_cast<std::size_t>(cluster * kNumFuKinds) +
+        static_cast<std::size_t>(kind_of_[static_cast<std::size_t>(op)])] -= 1;
   cluster_of_[static_cast<std::size_t>(op)] = -1;
 }
 

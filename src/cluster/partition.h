@@ -57,7 +57,8 @@ class TopologyClusterAssigner final : public ClusterAssigner {
   bool strict_;
   std::vector<FuKind> kind_of_;
   std::vector<int> cluster_of_;
-  std::vector<std::vector<int>> load_;  // [cluster][fu kind] placed ops
+  std::vector<int> load_;        // [cluster*kNumFuKinds + kind] placed ops
+  std::vector<double> scores_;   // candidates() scratch, one slot per cluster
 
   // Flow-neighbour adjacency (CSR), extracted from the DDG once at
   // construction: for each op, the other endpoints of its value-flow edges

@@ -24,7 +24,8 @@ namespace {
 // current build cannot have produced.
 // v2: LoopResult gained verify_checked/verify_violations (kShardMagic v4).
 // v3: SweepCacheStats gained the verify/alloc memo counters (kShardMagic v5).
-constexpr std::uint64_t kJournalMagic = 0x514a524e4c000003ULL;  // "QJRNL" + v3
+// v4: sched_stats search telemetry + sched-memo counters (kShardMagic v6).
+constexpr std::uint64_t kJournalMagic = 0x514a524e4c000004ULL;  // "QJRNL" + v4
 
 constexpr std::int32_t kTaskRecord = 1;
 constexpr std::int32_t kHeartbeatRecord = 2;

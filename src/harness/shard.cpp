@@ -17,7 +17,9 @@ namespace {
 // v3: CheckpointStats joined the result accounting.
 // v4: verify_checked/verify_violations joined LoopResult's semantic fields.
 // v5: verify/alloc artifact-memo counters joined SweepCacheStats.
-constexpr std::uint64_t kShardMagic = 0x5153484152440005ULL;  // "QSHARD" + v5
+// v6: search telemetry (forced/budget_spent/mii_optimal) joined the
+//     sched_stats provenance; sched-memo counters joined SweepCacheStats.
+constexpr std::uint64_t kShardMagic = 0x5153484152440006ULL;  // "QSHARD" + v6
 
 }  // namespace
 
@@ -55,6 +57,9 @@ void serialize_loop_result(BlobWriter& out, const LoopResult& r, bool provenance
   out.put_i32(r.sched_stats.placements);
   out.put_i32(r.sched_stats.evictions);
   out.put_i32(r.sched_stats.ii_attempts);
+  out.put_i32(r.sched_stats.forced);
+  out.put_i32(r.sched_stats.budget_spent);
+  out.put_bool(r.sched_stats.mii_optimal);
   out.put_bool(r.warm_started);
   out.put_u64(r.stage_times.size());
   for (const StageTiming& t : r.stage_times) {
@@ -97,6 +102,9 @@ LoopResult deserialize_loop_result(BlobReader& in) {
   r.sched_stats.placements = in.get_i32();
   r.sched_stats.evictions = in.get_i32();
   r.sched_stats.ii_attempts = in.get_i32();
+  r.sched_stats.forced = in.get_i32();
+  r.sched_stats.budget_spent = in.get_i32();
+  r.sched_stats.mii_optimal = in.get_bool();
   r.warm_started = in.get_bool();
   const std::uint64_t timings = in.get_u64();
   check(timings <= 1u << 20, "shard blob: implausible stage_times count");
@@ -116,7 +124,8 @@ void serialize_cache_stats(BlobWriter& out, const SweepCacheStats& c) {
         c.front_hits, c.mii_probes, c.mii_hits, c.disk_probes, c.disk_hits, c.mii_disk_probes,
         c.mii_disk_hits, c.sched_disk_probes, c.sched_disk_hits, c.warm_probes, c.warm_hits,
         c.probe_factors, c.probe_fallbacks, c.verify_memo_probes, c.verify_memo_hits,
-        c.alloc_memo_probes, c.alloc_memo_hits, c.fallback_runs}) {
+        c.alloc_memo_probes, c.alloc_memo_hits, c.sched_memo_probes, c.sched_memo_hits,
+        c.fallback_runs}) {
     out.put_u64(v);
   }
 }
@@ -129,7 +138,7 @@ SweepCacheStats deserialize_cache_stats(BlobReader& in) {
         &c.disk_hits, &c.mii_disk_probes, &c.mii_disk_hits, &c.sched_disk_probes,
         &c.sched_disk_hits, &c.warm_probes, &c.warm_hits, &c.probe_factors, &c.probe_fallbacks,
         &c.verify_memo_probes, &c.verify_memo_hits, &c.alloc_memo_probes, &c.alloc_memo_hits,
-        &c.fallback_runs}) {
+        &c.sched_memo_probes, &c.sched_memo_hits, &c.fallback_runs}) {
     *v = in.get_u64();
   }
   return c;

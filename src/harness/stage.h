@@ -44,12 +44,28 @@ struct TaskMemo {
     int violations = 0;
     std::string summary;  // non-empty only when violations > 0
   };
+  /// A schedule a sibling budget-ladder point accepted at II == MII,
+  /// keyed by (loop content hash, front prefix, machine signature,
+  /// backend key *excluding* the budget axis).  An MII schedule cannot be
+  /// beaten, so any same-key point whose budget is at least the
+  /// publisher's installs it outright instead of re-searching — the cold
+  /// attempt at MII is deterministic and completes within the publisher's
+  /// (smaller) budget, so the installed schedule is bit-identical to what
+  /// the skipped search would have produced.
+  struct SchedEntry {
+    Schedule schedule;
+    int ii = 0;
+    int budget_ratio = 0;  // smallest budget that proved the MII schedule
+  };
   std::unordered_map<std::uint64_t, QueueAllocation> alloc;
   std::unordered_map<std::uint64_t, VerifyOutcome> verify;
+  std::unordered_map<std::uint64_t, SchedEntry> sched;
   std::uint64_t alloc_probes = 0;
   std::uint64_t alloc_hits = 0;
   std::uint64_t verify_probes = 0;
   std::uint64_t verify_hits = 0;
+  std::uint64_t sched_probes = 0;
+  std::uint64_t sched_hits = 0;
 };
 
 /// Artifact bundle flowing through the stage graph for one loop + one

@@ -58,6 +58,8 @@ SweepCacheStats& SweepCacheStats::operator+=(const SweepCacheStats& other) {
   verify_memo_hits += other.verify_memo_hits;
   alloc_memo_probes += other.alloc_memo_probes;
   alloc_memo_hits += other.alloc_memo_hits;
+  sched_memo_probes += other.sched_memo_probes;
+  sched_memo_hits += other.sched_memo_hits;
   fallback_runs += other.fallback_runs;
   return *this;
 }
@@ -509,6 +511,7 @@ SweepPrefixKeys sweep_prefix_keys(const SweepPoint& point) {
   if (backend != nullptr) {
     keys.backend = backend->cache_key(point.options.heuristic, point.options.ims);
     keys.consumes_cached_mii = backend->consumes_cached_mii();
+    keys.supports_warm_start = backend->supports_warm_start();
   } else {
     // Unknown backend override: the point fails in the schedule stage;
     // hash the name so distinct unknown names still occupy distinct slots.
@@ -757,7 +760,7 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
     TaskMemo memo;  // back-end artifact memo: one verify/alloc per unique bundle
     SweepCacheStats local_stats;
     FrontSeconds local_seconds{};
-    const std::uint64_t loop_hash = persist ? loops[i].content_hash() : 0;
+    const std::uint64_t loop_hash = loops[i].content_hash();
     std::vector<std::unique_ptr<WarmStartSeed>> chain_seed(
         static_cast<std::size_t>(chain_count));
     // Most recent accepted schedule per (front prefix, backend) across
@@ -798,9 +801,33 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
             }
             const int chain = chain_of[p];
             const std::uint64_t cross_key = hash_combine(keys[p].front, keys[p].backend);
+            // MII-optimality short-circuit: a sibling budget-ladder point
+            // of this task already proved an II == MII schedule for the
+            // same (loop, front prefix, machine, budget-less backend key).
+            // Any point with at least the publisher's budget installs it —
+            // the cold search at MII is deterministic and completes within
+            // the publisher's budget, so installing is bit-identical to
+            // searching.  Probed before the disk tier: a hit saves the
+            // store round trip as well as the search.
+            const std::uint64_t sched_memo_key =
+                hash_combine(hash_combine(hash64(loop_hash), keys[p].front),
+                             hash_combine(keys[p].machine, keys[p].backend));
+            WarmStartSeed memo_seed;
+            bool memo_seeded = false;
+            if (keys[p].supports_warm_start) {
+              ++memo.sched_probes;
+              if (auto it = memo.sched.find(sched_memo_key);
+                  it != memo.sched.end() &&
+                  point.options.ims.budget_ratio >= it->second.budget_ratio) {
+                memo_seed.schedule = it->second.schedule;
+                memo_seed.ii = it->second.ii;
+                ctx.seed = &memo_seed;
+                memo_seeded = true;
+              }
+            }
             std::unique_ptr<WarmStartSeed> disk_seed;
             bool disk_seed_installed = false;
-            if (chain >= 0) {
+            if (!memo_seeded && chain >= 0) {
               // Seed preference: the point's own persisted schedule (an
               // exact answer — installing it is bit-identical to the cold
               // search), then the in-process ladder predecessor, then —
@@ -833,9 +860,24 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
             }
             run_stages(ctx, back_stage_plan());
             if (ctx.result.warm_started) {
-              ++local_stats.warm_hits;
-              if (ctx.seed == disk_seed.get() && disk_seed != nullptr) {
-                disk_seed_installed = true;
+              if (memo_seeded) {
+                ++memo.sched_hits;
+              } else {
+                ++local_stats.warm_hits;
+                if (ctx.seed == disk_seed.get() && disk_seed != nullptr) {
+                  disk_seed_installed = true;
+                }
+              }
+            }
+            // Publish a proven-optimal accepted schedule (II == MII, post
+            // queue-fit escalation) for this task's later ladder siblings,
+            // keeping the smallest budget that proved it.
+            if (keys[p].supports_warm_start && ctx.sched.ok && ctx.sched.stats.mii_optimal) {
+              auto [entry, added] = memo.sched.try_emplace(sched_memo_key);
+              if (added || point.options.ims.budget_ratio < entry->second.budget_ratio) {
+                entry->second.schedule = ctx.sched.schedule;
+                entry->second.ii = ctx.sched.ii;
+                entry->second.budget_ratio = point.options.ims.budget_ratio;
               }
             }
             if (chain >= 0 && ctx.sched.ok) {
@@ -875,6 +917,8 @@ SweepResult SweepRunner::run(const std::vector<Loop>& loops,
     local_stats.verify_memo_hits += memo.verify_hits;
     local_stats.alloc_memo_probes += memo.alloc_probes;
     local_stats.alloc_memo_hits += memo.alloc_hits;
+    local_stats.sched_memo_probes += memo.sched_probes;
+    local_stats.sched_memo_hits += memo.sched_hits;
 
     TaskCommit commit;
     commit.task_id = i;

@@ -95,6 +95,14 @@ struct SweepCacheStats {
   std::uint64_t verify_memo_probes = 0, verify_memo_hits = 0;
   std::uint64_t alloc_memo_probes = 0, alloc_memo_hits = 0;
 
+  /// MII-optimality short-circuit (TaskMemo::sched): per warm-capable
+  /// point, one probe of the task-local map of schedules a sibling
+  /// budget-ladder point already accepted at II == MII; a hit means the
+  /// point installed that proven-optimal schedule instead of re-searching.
+  /// Distinct from warm_probes/warm_hits — those count chain/disk/cross
+  /// seeds; a memo-served point contributes here and nowhere else.
+  std::uint64_t sched_memo_probes = 0, sched_memo_hits = 0;
+
   /// Cached runs that abandoned the cached path entirely and re-ran the
   /// monolithic pipeline (exception escape hatch; 0 in normal operation —
   /// cached front-end *failures* are replayed from the cache, not re-run).
@@ -312,6 +320,11 @@ struct SweepPrefixKeys {
   /// scheduler (SchedulerBackend::consumes_cached_mii; replaces the old
   /// hard-coded wants_mii special case).
   bool consumes_cached_mii = false;
+
+  /// Whether the backend accepts WarmStartSeed injection
+  /// (SchedulerBackend::supports_warm_start).  Gates both the warm-start
+  /// seeding tiers and the task-local MII-optimality short-circuit.
+  bool supports_warm_start = false;
 };
 
 [[nodiscard]] SweepPrefixKeys sweep_prefix_keys(const SweepPoint& point);

@@ -219,4 +219,25 @@ std::vector<int> height_priority(const Ddg& graph, int ii) {
   return height;
 }
 
+void height_priority(const DdgFlat& flat, int ii, std::vector<int>& height) {
+  check(ii >= 1, "height_priority: ii must be >= 1");
+  const auto n = static_cast<std::size_t>(flat.node_count);
+  height.assign(n, 0);
+  const int m = flat.edge_count();
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (int e = 0; e < m; ++e) {
+      const auto i = static_cast<std::size_t>(e);
+      const int w = flat.latency[i] - ii * flat.distance[i];
+      const int candidate = std::max(0, height[static_cast<std::size_t>(flat.dst[i])] + w);
+      if (candidate > height[static_cast<std::size_t>(flat.src[i])]) {
+        height[static_cast<std::size_t>(flat.src[i])] = candidate;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    QVLIW_ASSERT(round < n, "height_priority on graph with positive cycle");
+  }
+}
+
 }  // namespace qvliw

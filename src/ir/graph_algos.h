@@ -49,4 +49,10 @@ struct Circuit {
 /// This is the height-based scheduling priority of Rau's IMS.
 [[nodiscard]] std::vector<int> height_priority(const Ddg& graph, int ii);
 
+/// Same computation over the flat SoA mirror, writing into `height`'s
+/// existing storage (resized to node_count).  Edge order matches Ddg edge
+/// ids, so the result is identical to the Ddg overload; this is the
+/// allocation-free form the IMS searcher recomputes per II attempt.
+void height_priority(const DdgFlat& flat, int ii, std::vector<int>& height);
+
 }  // namespace qvliw

@@ -18,23 +18,21 @@ int QueueAllocation::domain_queue_count(const QueueDomain& domain) const {
 }
 
 int QueueAllocation::max_private_queues() const {
-  std::map<int, int> per_cluster;
-  for (const AllocatedQueue& q : queues) {
-    if (q.domain.kind == QueueDomain::Kind::kPrivate) ++per_cluster[q.domain.index];
-  }
+  // index_in_domain is dense per domain, so the per-domain count is
+  // max(index_in_domain) + 1 — no per-domain tally needed.
   int best = 0;
-  for (const auto& [cluster, count] : per_cluster) best = std::max(best, count);
+  for (const AllocatedQueue& q : queues) {
+    if (q.domain.kind == QueueDomain::Kind::kPrivate) best = std::max(best, q.index_in_domain + 1);
+  }
   return best;
 }
 
 int QueueAllocation::max_segment_queues() const {
-  std::map<int, int> per_segment;
+  int best = 0;
   for (const AllocatedQueue& q : queues) {
     if (q.domain.kind == QueueDomain::Kind::kPrivate) continue;
-    ++per_segment[q.domain.index];
+    best = std::max(best, q.index_in_domain + 1);
   }
-  int best = 0;
-  for (const auto& [segment, count] : per_segment) best = std::max(best, count);
   return best;
 }
 
@@ -77,6 +75,7 @@ QueueAllocation allocate_queues(const Loop& loop, const Ddg& graph, const Machin
   allocation.ii = schedule.ii();
   allocation.lifetimes = extract_lifetimes(loop, graph, machine, schedule);
   allocation.queue_of.assign(allocation.lifetimes.size(), -1);
+  allocation.queues.reserve(allocation.lifetimes.size());  // worst case: one queue each
 
   // Flat (push, pop) mirrors of the lifetimes: the compatibility scans and
   // the occupancy analysis below touch only these two ints per lifetime,
@@ -101,13 +100,26 @@ QueueAllocation allocate_queues(const Loop& loop, const Ddg& graph, const Machin
     return la.edge < lb.edge;
   });
 
+  // The processing order groups lifetimes by domain, so a domain's queues
+  // are created contiguously: a running counter gives index_in_domain and
+  // the first queue of the current domain, with no rescans of the queue
+  // list for either.
   const int ii = allocation.ii;
+  QueueDomain current_domain{};
+  int domain_first_queue = 0;   // index of the current domain's first queue
+  int domain_queue_count = 0;   // queues created for the current domain
+  bool have_domain = false;
   for (int lt_index : order) {
     const Lifetime& lt = allocation.lifetimes[static_cast<std::size_t>(lt_index)];
+    if (!have_domain || lt.domain != current_domain) {
+      current_domain = lt.domain;
+      domain_first_queue = static_cast<int>(allocation.queues.size());
+      domain_queue_count = 0;
+      have_domain = true;
+    }
     int target = -1;
-    for (std::size_t q = 0; q < allocation.queues.size(); ++q) {
-      AllocatedQueue& queue = allocation.queues[q];
-      if (queue.domain != lt.domain) continue;
+    for (int q = domain_first_queue; q < domain_first_queue + domain_queue_count; ++q) {
+      AllocatedQueue& queue = allocation.queues[static_cast<std::size_t>(q)];
       bool fits = true;
       for (int member : queue.members) {
         const std::size_t m = static_cast<std::size_t>(member);
@@ -118,17 +130,14 @@ QueueAllocation allocate_queues(const Loop& loop, const Ddg& graph, const Machin
         }
       }
       if (fits) {
-        target = static_cast<int>(q);
+        target = q;
         break;
       }
     }
     if (target < 0) {
       AllocatedQueue queue;
       queue.domain = lt.domain;
-      queue.index_in_domain = 0;
-      for (const AllocatedQueue& other : allocation.queues) {
-        if (other.domain == lt.domain) ++queue.index_in_domain;
-      }
+      queue.index_in_domain = domain_queue_count++;
       allocation.queues.push_back(std::move(queue));
       target = static_cast<int>(allocation.queues.size()) - 1;
     }

@@ -1,8 +1,9 @@
 #include "sched/ims.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <limits>
-#include <set>
 
 #include "ir/graph_algos.h"
 #include "sched/reservation.h"
@@ -13,46 +14,113 @@ namespace qvliw {
 
 namespace {
 
-/// One II attempt of the iterative scheme.  Dependence scans (earliest
-/// start, post-placement eviction) iterate the flat CSR mirror of the DDG,
-/// which is built once per ims_schedule call and shared across attempts.
-class Attempt {
+/// Allocation-free II-ladder search core.  Every piece of attempt state —
+/// heights, schedule, MRT, prev-cycle memory, the ready structure, and the
+/// eviction scratch — is allocated once per ims_schedule call and reset in
+/// place between II attempts.
+///
+/// The ready "queue" exploits that heights are fixed for the duration of
+/// one II attempt: ops are counting-sorted once into `order_` by the exact
+/// set key of the original implementation, (-height, op) ascending, and
+/// readiness becomes a bitmask over those ranks.  Popping the minimum
+/// present rank (countr_zero from a monotone cursor word) therefore
+/// reproduces the std::set pop order bit-for-bit, and re-inserting a
+/// displaced op is a single bit set.
+class ImsSearcher {
  public:
-  Attempt(const Loop& loop, const Ddg& graph, const DdgFlat& flat, const MachineConfig& machine,
-          ClusterAssigner& assigner, int ii, int budget_ratio, ImsStats& stats)
-      : loop_(loop),
-        flat_(flat),
+  ImsSearcher(const Loop& loop, const Ddg& graph, const MachineConfig& machine,
+              ClusterAssigner& assigner)
+      : flat_(DdgFlat::from(graph)),
         assigner_(assigner),
-        ii_(ii),
-        stats_(stats),
-        height_(height_priority(graph, ii)),
-        schedule_(graph.node_count(), ii),
-        mrt_(machine, ii),
-        prev_cycle_(static_cast<std::size_t>(graph.node_count()), -1),
-        budget_(static_cast<long long>(budget_ratio) * graph.node_count()) {
-    assigner_.reset(ii);
-    for (int op = 0; op < flat_.node_count; ++op) ready_.insert(key(op));
+        n_(flat_.node_count),
+        mrt_(machine, 1),
+        schedule_(flat_.node_count, 1) {
+    kind_of_.reserve(static_cast<std::size_t>(n_));
+    for (int op = 0; op < n_; ++op) {
+      kind_of_.push_back(fu_for(loop.ops[static_cast<std::size_t>(op)].opcode));
+    }
+    prev_cycle_.resize(static_cast<std::size_t>(n_));
+    order_.resize(static_cast<std::size_t>(n_));
+    rank_of_.resize(static_cast<std::size_t>(n_));
+    words_.resize(static_cast<std::size_t>(n_ + 63) / 64);
   }
 
-  bool run() {
-    while (!ready_.empty()) {
-      if (budget_-- <= 0) return false;
-      const int op = ready_.begin()->second;
-      ready_.erase(ready_.begin());
-      schedule_one(op);
+  /// One II attempt; true iff a complete schedule was built within budget.
+  bool attempt(int ii, int budget_ratio, ImsStats& stats) {
+    ii_ = ii;
+    stats_ = &stats;
+    height_priority(flat_, ii, height_);
+    schedule_.reset(n_, ii);
+    mrt_.reset(ii);
+    std::fill(prev_cycle_.begin(), prev_cycle_.end(), -1);
+    assigner_.reset(ii);
+    build_rank_order();
+    ready_all();
+
+    long long budget = static_cast<long long>(budget_ratio) * n_;
+    int spent = 0;
+    while (ready_count_ > 0) {
+      if (budget-- <= 0) {
+        stats.budget_spent = spent;
+        return false;
+      }
+      schedule_one(pop_ready());
+      ++spent;
     }
+    stats.budget_spent = spent;
     return true;
   }
 
   [[nodiscard]] Schedule take_schedule() { return std::move(schedule_); }
 
  private:
-  [[nodiscard]] std::pair<int, int> key(int op) const {
-    return {-height_[static_cast<std::size_t>(op)], op};
+  [[nodiscard]] FuKind kind_of(int op) const { return kind_of_[static_cast<std::size_t>(op)]; }
+
+  /// Counting sort of all ops by (-height, op) ascending into order_;
+  /// rank_of_ is the inverse permutation.
+  void build_rank_order() {
+    int max_h = 0;
+    for (int op = 0; op < n_; ++op) max_h = std::max(max_h, height_[static_cast<std::size_t>(op)]);
+    bucket_.assign(static_cast<std::size_t>(max_h) + 1, 0);
+    for (int op = 0; op < n_; ++op) ++bucket_[static_cast<std::size_t>(height_[static_cast<std::size_t>(op)])];
+    int off = 0;
+    for (int h = max_h; h >= 0; --h) {
+      const int count = bucket_[static_cast<std::size_t>(h)];
+      bucket_[static_cast<std::size_t>(h)] = off;
+      off += count;
+    }
+    for (int op = 0; op < n_; ++op) {
+      const int r = bucket_[static_cast<std::size_t>(height_[static_cast<std::size_t>(op)])]++;
+      order_[static_cast<std::size_t>(r)] = op;
+      rank_of_[static_cast<std::size_t>(op)] = r;
+    }
   }
 
-  [[nodiscard]] FuKind kind_of(int op) const {
-    return fu_for(loop_.ops[static_cast<std::size_t>(op)].opcode);
+  void ready_all() {
+    std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+    if (n_ % 64 != 0 && !words_.empty()) {
+      words_.back() = (std::uint64_t{1} << (n_ % 64)) - 1;
+    }
+    cursor_ = 0;
+    ready_count_ = n_;
+  }
+
+  int pop_ready() {
+    std::size_t w = cursor_;
+    while (words_[w] == 0) ++w;
+    cursor_ = w;
+    const int bit = std::countr_zero(words_[w]);
+    words_[w] &= words_[w] - 1;
+    --ready_count_;
+    return order_[w * 64 + static_cast<std::size_t>(bit)];
+  }
+
+  void push_ready(int op) {
+    const int r = rank_of_[static_cast<std::size_t>(op)];
+    const std::size_t w = static_cast<std::size_t>(r) / 64;
+    words_[w] |= std::uint64_t{1} << (r % 64);
+    if (w < cursor_) cursor_ = w;
+    ++ready_count_;
   }
 
   /// Earliest start from currently scheduled predecessors.
@@ -74,19 +142,21 @@ class Attempt {
     mrt_.remove(p.cluster, kind_of(op), p.fu, p.cycle, op);
     schedule_.clear(op);
     assigner_.on_remove(op);
-    ready_.insert(key(op));
-    ++stats_.evictions;
+    push_ready(op);
+    ++stats_->evictions;
   }
 
   /// Instance whose occupant has the lowest height (cheapest to displace).
+  /// Walks the set bits of the MRT's busy word; called only when every
+  /// instance is occupied, so the word enumerates all of them.
   [[nodiscard]] int victim_fu(int cluster, FuKind kind, int cycle) const {
-    const int n = mrt_.instances(cluster, kind);
-    QVLIW_ASSERT(n > 0, "forced placement on a cluster without this FU kind");
+    std::uint64_t busy = mrt_.busy_word(cluster, kind, cycle);
+    QVLIW_ASSERT(busy != 0, "forced placement on a cluster without this FU kind");
     int best = 0;
     int best_height = std::numeric_limits<int>::max();
-    for (int fu = 0; fu < n; ++fu) {
+    for (; busy != 0; busy &= busy - 1) {
+      const int fu = std::countr_zero(busy);
       const int occ = mrt_.occupant(cluster, kind, fu, cycle);
-      QVLIW_ASSERT(occ >= 0, "victim_fu called with a free instance available");
       if (height_[static_cast<std::size_t>(occ)] < best_height) {
         best_height = height_[static_cast<std::size_t>(occ)];
         best = fu;
@@ -120,6 +190,7 @@ class Attempt {
     if (chosen_cycle < 0) {
       // Forced placement (Rau): at Estart the first time through, one past
       // the previous placement when re-scheduling at the same spot.
+      ++stats_->forced;
       const int prev = prev_cycle_[static_cast<std::size_t>(op)];
       chosen_cycle = (prev < 0 || estart > prev) ? estart : prev + 1;
       chosen_cluster = -1;
@@ -141,7 +212,7 @@ class Attempt {
     schedule_.set(op, Placement{chosen_cycle, chosen_cluster, chosen_fu});
     assigner_.on_place(op, chosen_cluster);
     prev_cycle_[static_cast<std::size_t>(op)] = chosen_cycle;
-    ++stats_.placements;
+    ++stats_->placements;
 
     // Displace scheduled neighbours whose dependence constraints broke.
     evictions_.clear();
@@ -167,17 +238,22 @@ class Attempt {
     for (int v : evictions_) displace(v);
   }
 
-  const Loop& loop_;
-  const DdgFlat& flat_;
+  const DdgFlat flat_;
   ClusterAssigner& assigner_;
-  const int ii_;
-  ImsStats& stats_;
-  std::vector<int> height_;
-  Schedule schedule_;
+  const int n_;
+  int ii_ = 1;
+  ImsStats* stats_ = nullptr;
   ReservationTable mrt_;
+  Schedule schedule_;
+  std::vector<FuKind> kind_of_;
+  std::vector<int> height_;
   std::vector<int> prev_cycle_;
-  long long budget_;
-  std::set<std::pair<int, int>> ready_;
+  std::vector<int> bucket_;   // counting-sort scratch, indexed by height
+  std::vector<int> order_;    // rank -> op, sorted by (-height, op)
+  std::vector<int> rank_of_;  // op -> rank
+  std::vector<std::uint64_t> words_;  // readiness bitmask over ranks
+  std::size_t cursor_ = 0;            // lowest word that may contain a set bit
+  int ready_count_ = 0;
   std::vector<int> candidates_;
   std::vector<int> evictions_;
   std::vector<int> adjacency_evictions_;
@@ -218,11 +294,19 @@ ImsResult ims_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& 
                            seed->schedule.ii() == seed->ii &&
                            verify_schedule(loop, graph, machine, seed->schedule).empty();
 
-  // One flat mirror serves every II attempt of this call.
-  const DdgFlat flat = DdgFlat::from(graph);
+  // One searcher arena (flat DDG mirror, MRT, schedule, ready structure,
+  // scratch) serves every II attempt of this call.
+  ImsSearcher searcher(loop, graph, machine, strategy);
 
   for (int ii = first_ii; ii <= last_ii; ++ii) {
-    if (result.stats.ii_attempts >= options.max_ii_attempts) break;
+    if (result.stats.ii_attempts >= options.max_ii_attempts) {
+      // Stopping on the attempt cap is not the same failure as running
+      // off the II ladder: the ladder may have had room left.
+      result.failure = cat("no schedule found within ", options.max_ii_attempts,
+                           " II attempts (stopped at II=", ii - 1, ", ladder cap II=", last_ii,
+                           ")");
+      return result;
+    }
     ++result.stats.ii_attempts;
     if (seed_usable && ii == seed->ii) {
       // The ladder reached the seed's II without finding anything better:
@@ -232,13 +316,14 @@ ImsResult ims_schedule(const Loop& loop, const Ddg& graph, const MachineConfig& 
       result.ii = ii;
       result.ok = true;
       result.warm_started = true;
+      result.stats.mii_optimal = ii == result.mii.mii;
       return result;
     }
-    Attempt attempt(loop, graph, flat, machine, strategy, ii, options.budget_ratio, result.stats);
-    if (!attempt.run()) continue;
-    result.schedule = attempt.take_schedule();
+    if (!searcher.attempt(ii, options.budget_ratio, result.stats)) continue;
+    result.schedule = searcher.take_schedule();
     result.ii = ii;
     result.ok = true;
+    result.stats.mii_optimal = ii == result.mii.mii;
 
     const auto errors = verify_schedule(loop, graph, machine, result.schedule);
     QVLIW_ASSERT(errors.empty(), cat("IMS produced an illegal schedule: ", errors.front()));

@@ -92,6 +92,13 @@ struct ImsStats {
   int placements = 0;   // total scheduling acts over all II attempts
   int evictions = 0;    // total displacements
   int ii_attempts = 0;  // number of IIs tried
+  int forced = 0;       // forced (Rau) placements, the ones that may displace
+  int budget_spent = 0;  // placements consumed by the final II attempt
+  /// True when the accepted schedule's II equals MII — provably optimal,
+  /// since no schedule of this loop on this machine can beat its MII.
+  /// The sweep runner uses this to let higher-budget ladder siblings
+  /// install the schedule instead of re-searching.
+  bool mii_optimal = false;
 };
 
 /// A previously accepted schedule offered as a warm start for a new run

@@ -17,6 +17,13 @@ Schedule::Schedule(int op_count, int ii) : ii_(ii), places_(static_cast<std::siz
   check(ii >= 1, "Schedule: ii must be >= 1");
 }
 
+void Schedule::reset(int op_count, int ii) {
+  check(op_count >= 0, "Schedule: negative op count");
+  check(ii >= 1, "Schedule: ii must be >= 1");
+  ii_ = ii;
+  places_.assign(static_cast<std::size_t>(op_count), std::nullopt);
+}
+
 bool Schedule::scheduled(int op) const {
   check(op >= 0 && op < op_count(), "Schedule: op out of range");
   return places_[static_cast<std::size_t>(op)].has_value();

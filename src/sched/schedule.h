@@ -26,6 +26,11 @@ class Schedule {
   Schedule() = default;
   Schedule(int op_count, int ii);
 
+  /// Rebinds to a new (op_count, ii) with every op unscheduled — same
+  /// post-state as constructing afresh, but reusing the placement storage
+  /// so the II-ladder searcher pays no allocation between attempts.
+  void reset(int op_count, int ii);
+
   [[nodiscard]] int ii() const { return ii_; }
   [[nodiscard]] int op_count() const { return static_cast<int>(places_.size()); }
 

@@ -3,6 +3,7 @@
 #include "ir/parser.h"
 #include "sched/ims.h"
 #include "sched/schedule.h"
+#include "support/strings.h"
 #include "workload/kernels.h"
 
 namespace qvliw {
@@ -101,6 +102,35 @@ TEST(Ims, InfeasibleMachineFailsCleanly) {
   const ImsResult r = ims_schedule(loop, graph, machine);
   EXPECT_FALSE(r.ok);
   EXPECT_FALSE(r.failure.empty());
+}
+
+TEST(Ims, AttemptCapReportedDistinctlyFromLadderExhaustion) {
+  // budget_ratio 0 gives every II attempt a zero placement budget, so each
+  // attempt fails immediately and the ladder climbs until a cap stops it.
+  const Loop loop = kernel_by_name("fir4");
+  const MachineConfig machine = MachineConfig::single_cluster_machine(3);
+  const Ddg graph = Ddg::build(loop, machine.latency);
+
+  // Attempt cap fires first: the message must say how many attempts were
+  // made, not pretend the whole II range was searched.
+  ImsOptions capped;
+  capped.budget_ratio = 0;
+  capped.max_ii_attempts = 3;
+  const ImsResult r = ims_schedule(loop, graph, machine, capped);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.stats.ii_attempts, 3);
+  EXPECT_NE(r.failure.find("3 II attempts"), std::string::npos) << r.failure;
+  EXPECT_EQ(r.failure.find("up to II="), std::string::npos) << r.failure;
+
+  // Ladder exhaustion (II range ran out before the attempt cap) keeps the
+  // original "up to II=" message.
+  ImsOptions exhausted;
+  exhausted.budget_ratio = 0;
+  exhausted.max_ii = r.mii.mii + 1;
+  const ImsResult e = ims_schedule(loop, graph, machine, exhausted);
+  EXPECT_FALSE(e.ok);
+  EXPECT_EQ(e.stats.ii_attempts, 2);  // MII and MII+1 both tried
+  EXPECT_NE(e.failure.find(cat("up to II=", e.mii.mii + 1)), std::string::npos) << e.failure;
 }
 
 TEST(Ims, StatsPopulated) {

@@ -59,8 +59,10 @@ std::vector<SweepPoint> demo_points() {
 
 // Every semantic field of LoopResult.  stage_times is deliberately
 // excluded: wall time is measurement, not outcome.  `compare_effort`
-// additionally covers ImsStats — warm-started runs produce identical
-// schedules with less search, so effort comparisons are skipped there.
+// additionally covers ImsStats — installed schedules (warm-start seeds,
+// the MII-optimality ladder memo) are bit-identical with less search, so
+// effort is compared only when both sides actually searched
+// (warm_started false on both).
 void expect_identical(const LoopResult& a, const LoopResult& b, const std::string& where,
                       bool compare_effort = true) {
   EXPECT_EQ(a.name, b.name) << where;
@@ -90,10 +92,13 @@ void expect_identical(const LoopResult& a, const LoopResult& b, const std::strin
   EXPECT_EQ(a.sim_ok, b.sim_ok) << where;
   EXPECT_EQ(a.sim_cycles, b.sim_cycles) << where;
   EXPECT_EQ(a.backend, b.backend) << where;
-  if (compare_effort) {
+  if (compare_effort && !a.warm_started && !b.warm_started) {
     EXPECT_EQ(a.sched_stats.placements, b.sched_stats.placements) << where;
     EXPECT_EQ(a.sched_stats.evictions, b.sched_stats.evictions) << where;
     EXPECT_EQ(a.sched_stats.ii_attempts, b.sched_stats.ii_attempts) << where;
+    EXPECT_EQ(a.sched_stats.forced, b.sched_stats.forced) << where;
+    EXPECT_EQ(a.sched_stats.budget_spent, b.sched_stats.budget_spent) << where;
+    EXPECT_EQ(a.sched_stats.mii_optimal, b.sched_stats.mii_optimal) << where;
   }
 }
 

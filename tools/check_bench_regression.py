@@ -8,9 +8,15 @@ Compares a fresh perf_micro run against the committed baseline and fails
 (exit 1) when:
 
   - the fresh run reports results_identical: false,
-    warm_iis_never_worse: false, checkpoint_results_identical: false, or
-    parallel_results_identical: false — correctness signals, never
-    tolerable;
+    warm_iis_never_worse: false, checkpoint_results_identical: false,
+    parallel_results_identical: false, or mii_optimal_identical: false —
+    correctness signals, never tolerable;
+  - the fresh run's scheduling-search telemetry is malformed: the
+    sched_memo_* counters are absent (the artifact predates the ladder
+    memo), a run reports mii_optimal_ii_consistent: false, or the cached
+    run proves fewer MII-optimal schedules than the baseline did
+    (sched_mii_optimal must never regress — optimality is an outcome,
+    not a measurement);
   - the cached sweep's loops_per_second is more than `tolerance` slower;
   - the warm sweep's backend_loops_per_second (back-end-only throughput,
     the figure warm starting improves) is more than `tolerance` slower;
@@ -80,6 +86,7 @@ STAGE_GATES = (
     ("uncached", "copy_insert"),
     ("uncached", "schedule"),
     ("uncached", "queue_alloc"),
+    ("cached", "schedule"),
     ("warm", "verify"),
 )
 
@@ -158,6 +165,39 @@ def check(baseline, fresh, tolerance, speedup_floor=1.5, stage_tolerance=0.50):
         print("FAIL: fresh run reports parallel_results_identical: false "
               "(multi-threaded sweep diverged from the serial sweep)")
         return 1
+
+    if not require(fresh, "fresh", "mii_optimal_identical"):
+        print("FAIL: fresh run reports mii_optimal_identical: false "
+              "(runs disagree about which schedules are MII-optimal; the "
+              "ladder memo changed an outcome)")
+        return 1
+
+    # Scheduling-search telemetry: the memo counters must exist in every
+    # fresh run (absent means the artifact predates the ladder memo), and
+    # the MII-optimality bit must be internally consistent.
+    for run_name in ("uncached", "cached", "warm"):
+        require(fresh, "fresh", run_name, "sched_memo_probes")
+        require(fresh, "fresh", run_name, "sched_memo_hits")
+        if not require(fresh, "fresh", run_name, "mii_optimal_ii_consistent"):
+            print(f"FAIL: fresh {run_name} run reports mii_optimal_ii_consistent: "
+                  "false (a cell claims MII-optimality at II != MII)")
+            return 1
+
+    # Optimality never regresses: a fresh build may prove MII on *more*
+    # loops than the baseline (a better searcher) but never fewer.
+    base_optimal = baseline.get("cached", {}).get("sched_mii_optimal")
+    if base_optimal is not None:
+        fresh_optimal = require(fresh, "fresh", "cached", "sched_mii_optimal")
+        verdict = "OK" if fresh_optimal >= base_optimal else "FAIL"
+        print(f"{verdict}: MII-optimal schedules {fresh_optimal} vs baseline "
+              f"{base_optimal}")
+        if fresh_optimal < base_optimal:
+            print("the scheduler stopped proving optimality on loops the "
+                  "baseline handled; that is an outcome regression, not jitter")
+            return 1
+    else:
+        print("info: sched_mii_optimal gate skipped (baseline predates the "
+              "search-telemetry schema; regenerate the baseline to arm it)")
 
     # Translation validation: perf_micro runs every sweep under the strict
     # independent verifier, so a fresh artifact must show work checked and

@@ -21,17 +21,29 @@ import check_bench_regression as gate  # noqa: E402
 def bench_json(cached_lps=100.0, warm_blps=500.0, warm_rate=0.9, disk_hits=0,
                identical=True, never_worse=True, checkpoint_identical=True,
                workers=1, hardware=1, parallel_speedup=1.0,
-               parallel_identical=True, verify_checked=48, verify_violations=0):
+               parallel_identical=True, verify_checked=48, verify_violations=0,
+               mii_identical=True, mii_consistent=True, mii_optimal=40):
+    sched_memo = {
+        "sched_memo_probes": 24,
+        "sched_memo_hits": 8,
+        "mii_optimal_ii_consistent": mii_consistent,
+    }
     return {
         "results_identical": identical,
         "warm_iis_never_worse": never_worse,
         "checkpoint_results_identical": checkpoint_identical,
         "parallel_results_identical": parallel_identical,
+        "mii_optimal_identical": mii_identical,
         "workers": workers,
         "hardware_threads": hardware,
         "cache_speedup": 5.0,
         "parallel_speedup": parallel_speedup,
         "warm_backend_speedup": 1.2,
+        "uncached": {
+            "sched_memo_probes": 0,
+            "sched_memo_hits": 0,
+            "mii_optimal_ii_consistent": mii_consistent,
+        },
         "cached": {
             "loops_per_second": cached_lps,
             "disk_hits": disk_hits,
@@ -39,6 +51,8 @@ def bench_json(cached_lps=100.0, warm_blps=500.0, warm_rate=0.9, disk_hits=0,
             "unroll_probe_naive_fallbacks": 0,
             "verify_checked": verify_checked,
             "verify_violations": verify_violations,
+            "sched_mii_optimal": mii_optimal,
+            **sched_memo,
         },
         "warm": {
             "backend_loops_per_second": warm_blps,
@@ -46,6 +60,7 @@ def bench_json(cached_lps=100.0, warm_blps=500.0, warm_rate=0.9, disk_hits=0,
             "sched_disk_hits": 0,
             "verify_checked": verify_checked,
             "verify_violations": verify_violations,
+            **sched_memo,
         },
         "checkpoint_replay": {
             "tasks_replayed": 48,
@@ -165,6 +180,51 @@ class GateVerdicts(unittest.TestCase):
         self.assertEqual(code, 0, out)
 
 
+class SchedTelemetryVerdicts(unittest.TestCase):
+    """The scheduling-search gates: memo counters, MII-optimality bits."""
+
+    def test_mii_optimal_divergence_fails(self):
+        code, out = run_gate(bench_json(), bench_json(mii_identical=False))
+        self.assertEqual(code, 1)
+        self.assertIn("mii_optimal_identical", out)
+
+    def test_fresh_missing_mii_identity_fails(self):
+        fresh = bench_json()
+        del fresh["mii_optimal_identical"]
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("fresh missing field mii_optimal_identical", out)
+
+    def test_fresh_missing_sched_memo_counters_fails(self):
+        fresh = bench_json()
+        del fresh["cached"]["sched_memo_probes"]
+        code, out = run_gate(bench_json(), fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("fresh missing field cached.sched_memo_probes", out)
+
+    def test_inconsistent_mii_bit_fails(self):
+        code, out = run_gate(bench_json(), bench_json(mii_consistent=False))
+        self.assertEqual(code, 1)
+        self.assertIn("mii_optimal_ii_consistent", out)
+
+    def test_mii_optimal_regression_fails(self):
+        code, out = run_gate(bench_json(mii_optimal=40), bench_json(mii_optimal=30))
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: MII-optimal schedules 30 vs baseline 40", out)
+
+    def test_mii_optimal_improvement_passes(self):
+        code, out = run_gate(bench_json(mii_optimal=40), bench_json(mii_optimal=55))
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK: MII-optimal schedules 55 vs baseline 40", out)
+
+    def test_baseline_without_sched_telemetry_skips_with_info(self):
+        baseline = bench_json()
+        del baseline["cached"]["sched_mii_optimal"]
+        code, out = run_gate(baseline, bench_json())
+        self.assertEqual(code, 0, out)
+        self.assertIn("sched_mii_optimal gate skipped", out)
+
+
 def with_stages(bench, uncached_stages=None, warm_stages=None):
     """Returns `bench` with stage_seconds sections attached."""
     bench.setdefault("uncached", {})["stage_seconds"] = dict(
@@ -222,11 +282,19 @@ class StageGates(unittest.TestCase):
         self.assertIn("stage gate uncached.copy_insert skipped", out)
 
     def test_fresh_without_stage_seconds_fails(self):
-        fresh = bench_json()
-        fresh["uncached"] = {"stage": "missing"}
+        fresh = bench_json()  # has the memo counters but no stage_seconds
         code, out = run_gate(with_stages(bench_json()), fresh)
         self.assertEqual(code, 1)
         self.assertIn("fresh missing field uncached.stage_seconds", out)
+
+    def test_cached_schedule_stage_gate_armed_by_baseline(self):
+        base = with_stages(bench_json())
+        base["cached"]["stage_seconds"] = {"schedule": 0.2}
+        fresh = with_stages(bench_json())
+        fresh["cached"]["stage_seconds"] = {"schedule": 0.9}
+        code, out = run_gate(base, fresh)
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: cached schedule stage", out)
 
     def test_stage_absent_from_fresh_counts_as_zero(self):
         # The warm run legitimately skips stages the memo elided entirely.
